@@ -1,0 +1,93 @@
+// Experiment E12 (ablation) — the open question of Section 6.3: trees are
+// optimizable in polynomial time, and the paper shows hardness kicks in
+// once the query graph has m + Theta(m^tau) edges. This ablation walks the
+// boundary: start from a random tree query and add j extra random edges,
+// j = 0, 1, 2, 4, ...; at each step measure how far the polynomial
+// heuristics drift from the exact (DP) optimum.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "graph/generators.h"
+#include "qo/optimizers.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace aqo {
+namespace {
+
+QonInstance InstanceOn(const Graph& g, Rng* rng) {
+  int n = g.NumVertices();
+  std::vector<LogDouble> sizes;
+  for (int i = 0; i < n; ++i) {
+    sizes.push_back(
+        LogDouble::FromLinear(static_cast<double>(rng->UniformInt(10, 1000000))));
+  }
+  QonInstance inst(g, std::move(sizes));
+  for (const auto& [u, v] : g.Edges()) {
+    inst.SetSelectivity(u, v,
+                        LogDouble::FromLinear(rng->UniformReal(0.00001, 0.9)));
+  }
+  return inst;
+}
+
+void Run(const bench::Flags& flags) {
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 12)));
+  int n = static_cast<int>(flags.GetInt("n", 16));
+  int trials = flags.Quick() ? 8 : 30;
+
+  TextTable table;
+  table.SetTitle(
+      "E12 (ablation, §6.3): heuristic optimality loss vs extra non-tree edges");
+  table.SetHeader({"extra edges", "trials", "greedy opt-rate",
+                   "greedy p95 lg-ratio", "II opt-rate", "II p95 lg-ratio"});
+
+  for (int extra : {0, 1, 2, 4, 8, 16, 32}) {
+    if (n - 1 + extra > n * (n - 1) / 2) break;
+    int greedy_opt = 0, ii_opt = 0;
+    SampleSet greedy_ratio, ii_ratio;
+    for (int t = 0; t < trials; ++t) {
+      Graph g = RandomTree(n, &rng);
+      int added = 0;
+      while (added < extra) {
+        int u = static_cast<int>(rng.UniformInt(0, n - 1));
+        int v = static_cast<int>(rng.UniformInt(0, n - 1));
+        if (u == v || g.HasEdge(u, v)) continue;
+        g.AddEdge(u, v);
+        ++added;
+      }
+      QonInstance inst = InstanceOn(g, &rng);
+      OptimizerOptions options;
+      options.forbid_cartesian = true;
+      OptimizerResult opt = DpQonOptimizer(inst, options);
+      if (!opt.feasible) continue;
+      OptimizerResult greedy = GreedyQonOptimizer(inst, options);
+      OptimizerResult ii =
+          IterativeImprovementOptimizer(inst, &rng, 2, options);
+      double g_ratio = greedy.cost.Log2() - opt.cost.Log2();
+      double i_ratio = ii.cost.Log2() - opt.cost.Log2();
+      greedy_ratio.Add(g_ratio);
+      ii_ratio.Add(i_ratio);
+      greedy_opt += g_ratio < 1e-6;
+      ii_opt += i_ratio < 1e-6;
+    }
+    table.AddRow({std::to_string(extra), std::to_string(trials),
+                  FormatDouble(100.0 * greedy_opt / trials, 3) + "%",
+                  FormatDouble(greedy_ratio.Percentile(95), 4),
+                  FormatDouble(100.0 * ii_opt / trials, 3) + "%",
+                  FormatDouble(ii_ratio.Percentile(95), 4)});
+  }
+  table.Print(std::cout);
+  std::cout << "At 0 extra edges KBZ/greedy-style reasoning is exact\n"
+               "(trees, [1]/[6]); the optimality rate decays as non-tree\n"
+               "edges accumulate — the regime Theorems 16/17 prove hard.\n";
+}
+
+}  // namespace
+}  // namespace aqo
+
+int main(int argc, char** argv) {
+  aqo::bench::Flags flags(argc, argv);
+  aqo::Run(flags);
+  return 0;
+}

@@ -1,0 +1,64 @@
+#ifndef AQO_BENCH_BENCH_COMMON_H_
+#define AQO_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the experiment harness binaries: a wall-clock timer
+// and minimal --flag=value parsing (every bench accepts --quick=1 to run a
+// reduced sweep, and --seed=<u64>).
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+namespace aqo::bench {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg.substr(2)] = "1";
+      } else {
+        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  bool Quick() const { return GetInt("quick", 0) != 0; }
+
+  int64_t GetInt(const std::string& name, int64_t def) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+
+  double GetDouble(const std::string& name, double def) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace aqo::bench
+
+#endif  // AQO_BENCH_BENCH_COMMON_H_

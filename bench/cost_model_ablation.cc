@@ -1,0 +1,79 @@
+// Experiment E13 (ablation) — cost-model choice. The paper's QO_N model
+// prices each join as N(prefix) * best-access-path; a large slice of the
+// join-ordering literature optimizes C_out (sum of intermediate sizes,
+// e.g. [2] in the paper) instead. How much does optimizing the wrong
+// model cost? For each workload shape we compute both exact optima and
+// evaluate each plan under the other metric (the "regret", in lg).
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "qo/analysis.h"
+#include "qo/optimizers.h"
+#include "qo/workloads.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace aqo {
+namespace {
+
+void Run(const bench::Flags& flags) {
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 13)));
+  int n = static_cast<int>(flags.GetInt("n", 12));
+  int trials = flags.Quick() ? 8 : 40;
+
+  TextTable table;
+  table.SetTitle("E13 (ablation): optimizing H-cost vs C_out (regret in lg)");
+  table.SetHeader({"shape", "trials", "H-equivalent", "Cout-plan H-regret p50/p95",
+                   "H-plan Cout-regret p50/p95"});
+
+  struct ShapeRow {
+    const char* name;
+    WorkloadShape shape;
+  };
+  for (ShapeRow shape : {ShapeRow{"chain", WorkloadShape::kChain},
+                         ShapeRow{"star", WorkloadShape::kStar},
+                         ShapeRow{"tree", WorkloadShape::kTree},
+                         ShapeRow{"cycle", WorkloadShape::kCycle},
+                         ShapeRow{"random p=.5", WorkloadShape::kRandom},
+                         ShapeRow{"clique", WorkloadShape::kClique}}) {
+    int same = 0;
+    SampleSet h_regret, cout_regret;
+    for (int t = 0; t < trials; ++t) {
+      WorkloadOptions options;
+      options.shape = shape.shape;
+      QonInstance inst = RandomQonWorkload(n, &rng, options);
+      OptimizerResult h_opt = DpQonOptimizer(inst);
+      OptimizerResult cout_opt = CoutOptimalJoinOrder(inst);
+      if (!h_opt.feasible) continue;
+      // Evaluate each plan under the other metric.
+      double regret = QonSequenceCost(inst, cout_opt.sequence).Log2() -
+                      h_opt.cost.Log2();
+      same += regret < 1e-6;  // the C_out plan is H-optimal too
+      h_regret.Add(regret);
+      cout_regret.Add(CoutSequenceCost(inst, h_opt.sequence).Log2() -
+                      cout_opt.cost.Log2());
+    }
+    table.AddRow({shape.name, std::to_string(trials),
+                  FormatDouble(100.0 * same / trials, 3) + "%",
+                  FormatDouble(h_regret.Percentile(50), 3) + "/" +
+                      FormatDouble(h_regret.Percentile(95), 3),
+                  FormatDouble(cout_regret.Percentile(50), 3) + "/" +
+                      FormatDouble(cout_regret.Percentile(95), 3)});
+  }
+  table.Print(std::cout);
+  std::cout << "Regret 0 = the models agree on the plan; positive lg regret\n"
+               "means optimizing the simplified C_out metric ships a plan\n"
+               "that the paper's access-path-aware model charges 2^regret\n"
+               "more. The models diverge most on star/random shapes where\n"
+               "index access paths dominate.\n";
+}
+
+}  // namespace
+}  // namespace aqo
+
+int main(int argc, char** argv) {
+  aqo::bench::Flags flags(argc, argv);
+  aqo::Run(flags);
+  return 0;
+}

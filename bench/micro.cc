@@ -1,0 +1,159 @@
+// Experiment E11 — micro-benchmarks (google-benchmark) of the primitives
+// every other experiment is built on: log-domain arithmetic, cost
+// evaluation, the exact solvers, and BigInt.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/clique.h"
+#include "graph/generators.h"
+#include "qo/optimizers.h"
+#include "qo/qoh.h"
+#include "qo/qon.h"
+#include "sat/cdcl.h"
+#include "sat/dpll.h"
+#include "sat/gen.h"
+#include "util/bigint.h"
+#include "util/log_double.h"
+#include "util/random.h"
+
+namespace aqo {
+namespace {
+
+void BM_LogDoubleAdd(benchmark::State& state) {
+  LogDouble a = LogDouble::FromLog2(1000.5);
+  LogDouble b = LogDouble::FromLog2(998.25);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a = a * LogDouble::FromLog2(-0.001) + b);
+  }
+}
+BENCHMARK(BM_LogDoubleAdd);
+
+QonInstance MakeQonInstance(int n, uint64_t seed) {
+  Rng rng(seed);
+  Graph g = Gnp(n, 0.5, &rng);
+  std::vector<LogDouble> sizes;
+  for (int i = 0; i < n; ++i) {
+    sizes.push_back(
+        LogDouble::FromLinear(static_cast<double>(rng.UniformInt(2, 100000))));
+  }
+  QonInstance inst(g, std::move(sizes));
+  for (const auto& [u, v] : g.Edges()) {
+    inst.SetSelectivity(u, v,
+                        LogDouble::FromLinear(rng.UniformReal(0.001, 1.0)));
+  }
+  return inst;
+}
+
+void BM_QonSequenceCost(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  QonInstance inst = MakeQonInstance(n, 42);
+  JoinSequence seq = IdentitySequence(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(QonSequenceCost(inst, seq));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_QonSequenceCost)->Arg(10)->Arg(30)->Arg(100)->Complexity();
+
+void BM_DpOptimizer(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  QonInstance inst = MakeQonInstance(n, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DpQonOptimizer(inst));
+  }
+}
+BENCHMARK(BM_DpOptimizer)->Arg(10)->Arg(14)->Arg(18)->Unit(benchmark::kMillisecond);
+
+void BM_GreedyOptimizer(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  QonInstance inst = MakeQonInstance(n, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GreedyQonOptimizer(inst));
+  }
+}
+BENCHMARK(BM_GreedyOptimizer)->Arg(20)->Arg(60)->Unit(benchmark::kMicrosecond);
+
+void BM_QohDecomposition(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  Graph g = Gnp(n, 0.6, &rng);
+  std::vector<LogDouble> sizes(static_cast<size_t>(n),
+                               LogDouble::FromLinear(4096.0));
+  QohInstance inst(g, std::move(sizes), 8192.0);
+  for (const auto& [u, v] : g.Edges()) {
+    inst.SetSelectivity(u, v, LogDouble::FromLinear(0.25));
+  }
+  JoinSequence seq = IdentitySequence(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OptimalDecomposition(inst, seq));
+  }
+}
+BENCHMARK(BM_QohDecomposition)->Arg(10)->Arg(30)->Unit(benchmark::kMicrosecond);
+
+void BM_MaxClique(benchmark::State& state) {
+  Rng rng(11);
+  Graph g = Gnp(static_cast<int>(state.range(0)), 0.5, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaxClique(g));
+  }
+}
+BENCHMARK(BM_MaxClique)->Arg(30)->Arg(50)->Unit(benchmark::kMicrosecond);
+
+void BM_Dpll(benchmark::State& state) {
+  Rng rng(13);
+  CnfFormula f = RandomThreeSat(static_cast<int>(state.range(0)),
+                                static_cast<int>(state.range(0) * 4), &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveDpll(f));
+  }
+}
+BENCHMARK(BM_Dpll)->Arg(20)->Arg(40)->Unit(benchmark::kMicrosecond);
+
+void BM_Cdcl(benchmark::State& state) {
+  Rng rng(13);
+  CnfFormula f = RandomThreeSat(static_cast<int>(state.range(0)),
+                                static_cast<int>(state.range(0) * 4), &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveCdcl(f));
+  }
+}
+BENCHMARK(BM_Cdcl)->Arg(20)->Arg(40)->Arg(80)->Unit(benchmark::kMicrosecond);
+
+void BM_CdclPigeonhole(benchmark::State& state) {
+  CnfFormula f = PigeonholeFormula(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveCdcl(f));
+  }
+}
+BENCHMARK(BM_CdclPigeonhole)->Arg(4)->Arg(6)->Unit(benchmark::kMicrosecond);
+
+void BM_BigIntMul(benchmark::State& state) {
+  Rng rng(17);
+  BigInt a = 1, b = 1;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    a = (a << 61) + BigInt::FromUint64(rng.Next());
+    b = (b << 61) + BigInt::FromUint64(rng.Next());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_BigIntMul)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_BigIntDivMod(benchmark::State& state) {
+  Rng rng(19);
+  BigInt a = 1, b = 1;
+  for (int i = 0; i < 32; ++i) a = (a << 61) + BigInt::FromUint64(rng.Next());
+  for (int i = 0; i < 8; ++i) b = (b << 61) + BigInt::FromUint64(rng.Next());
+  for (auto _ : state) {
+    BigInt q, r;
+    BigInt::DivMod(a, b, &q, &r);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_BigIntDivMod);
+
+}  // namespace
+}  // namespace aqo
+
+BENCHMARK_MAIN();

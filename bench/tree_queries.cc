@@ -1,0 +1,88 @@
+// Experiment E10 — the positive side the paper contrasts against
+// (Section 6.3, citing [1] and [6]): tree query graphs are optimizable in
+// polynomial time. Table 1 confirms IK/KBZ matches the exponential DP on
+// every random tree; Table 2 scales IK/KBZ to thousands of relations.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "graph/generators.h"
+#include "qo/ikkbz.h"
+#include "qo/optimizers.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace aqo {
+namespace {
+
+QonInstance RandomTreeInstance(int n, Rng* rng) {
+  Graph g = RandomTree(n, rng);
+  std::vector<LogDouble> sizes;
+  for (int i = 0; i < n; ++i) {
+    sizes.push_back(LogDouble::FromLinear(
+        static_cast<double>(rng->UniformInt(2, 1000000))));
+  }
+  QonInstance inst(g, std::move(sizes));
+  for (const auto& [u, v] : g.Edges()) {
+    inst.SetSelectivity(u, v,
+                        LogDouble::FromLinear(rng->UniformReal(0.0001, 1.0)));
+  }
+  return inst;
+}
+
+void Run(const bench::Flags& flags) {
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 10)));
+
+  TextTable exact;
+  exact.SetTitle("E10a: IK/KBZ vs exponential DP on random trees");
+  exact.SetHeader({"n", "trials", "optimal matches", "mean KBZ ms",
+                   "mean DP ms"});
+  int trials = flags.Quick() ? 10 : 40;
+  for (int n : {8, 12, 16}) {
+    int matches = 0;
+    StatAccumulator kbz_ms, dp_ms;
+    for (int t = 0; t < trials; ++t) {
+      QonInstance inst = RandomTreeInstance(n, &rng);
+      bench::WallTimer t1;
+      OptimizerResult kbz = IkkbzOptimizer(inst);
+      kbz_ms.Add(t1.Millis());
+      OptimizerOptions options;
+      options.forbid_cartesian = true;
+      bench::WallTimer t2;
+      OptimizerResult dp = DpQonOptimizer(inst, options);
+      dp_ms.Add(t2.Millis());
+      matches += kbz.cost.ApproxEquals(dp.cost, 1e-6);
+    }
+    exact.AddRow({std::to_string(n), std::to_string(trials),
+                  std::to_string(matches) + "/" + std::to_string(trials),
+                  FormatDouble(kbz_ms.mean(), 3),
+                  FormatDouble(dp_ms.mean(), 3)});
+  }
+  exact.Print(std::cout);
+  std::cout << "\n";
+
+  TextTable scale;
+  scale.SetTitle("E10b: IK/KBZ scaling (polynomial time on trees)");
+  scale.SetHeader({"n", "time ms", "lg cost"});
+  std::vector<int> ns = flags.Quick() ? std::vector<int>{100, 400}
+                                      : std::vector<int>{100, 400, 1000};
+  for (int n : ns) {
+    QonInstance inst = RandomTreeInstance(n, &rng);
+    bench::WallTimer t;
+    OptimizerResult kbz = IkkbzOptimizer(inst);
+    scale.AddRow({std::to_string(n), FormatDouble(t.Millis(), 4),
+                  FormatDouble(kbz.cost.Log2(), 5)});
+  }
+  scale.Print(std::cout);
+  std::cout << "Tree queries stay easy while (Section 6) adding Theta(m^tau)\n"
+               "non-tree edges already makes polylog approximation NP-hard.\n";
+}
+
+}  // namespace
+}  // namespace aqo
+
+int main(int argc, char** argv) {
+  aqo::bench::Flags flags(argc, argv);
+  aqo::Run(flags);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Hardness gap demo: runs the paper's full Theorem 9 chain on two 3SAT
+// formulas — one satisfiable, one not — and shows the resulting QO_N
+// instances' costs landing on opposite sides of the decision threshold.
+//
+//   ./build/examples/hardness_gap_demo
+
+#include <iostream>
+
+#include "qo/optimizers.h"
+#include "reductions/pipeline.h"
+#include "sat/cnf.h"
+#include "sat/gen.h"
+#include "util/random.h"
+
+int main() {
+  using namespace aqo;
+
+  SatToQonOptions options;
+  options.log2_alpha = 16.0;
+
+  // A satisfiable formula (planted model) ...
+  Rng rng(2024);
+  CnfFormula yes_formula = PlantedSatisfiableThreeSat(4, 12, &rng);
+
+  // ... and an unsatisfiable one with u* = 4 (four independent
+  // contradictions — the executable stand-in for a gap-3SAT NO instance).
+  CnfFormula no_formula(4);
+  for (int i = 1; i <= 4; ++i) {
+    no_formula.AddClause({i});
+    no_formula.AddClause({i});
+    no_formula.AddClause({-i});
+  }
+
+  std::cout << "=== Theorem 9: 3SAT -> CLIQUE -> QO_N ===\n\n";
+  for (const CnfFormula* formula : {&yes_formula, &no_formula}) {
+    SatToQonComposition out = ComposeSatToQon(*formula, options);
+    std::cout << (formula == &yes_formula ? "[YES formula]" : "[NO formula]")
+              << "  vars=" << formula->num_vars()
+              << " clauses=" << formula->NumClauses()
+              << " satisfiable=" << (out.satisfiable ? "yes" : "no")
+              << " min-unsat=" << out.min_unsat << "\n";
+    std::cout << "  query graph: " << out.gap.n << " relations, "
+              << out.gap.instance.graph().NumEdges() << " predicates\n";
+    std::cout << "  decision threshold  lg K = " << out.gap.KBound().Log2()
+              << "\n";
+    if (out.satisfiable) {
+      std::cout << "  witness join sequence costs lg C = "
+                << out.witness_cost.Log2() << "  (<= K: cheap plan exists)\n";
+    } else {
+      std::cout << "  certified floor for EVERY sequence lg C >= "
+                << out.certified_floor.Log2()
+                << "  (clears K by "
+                << (out.certified_floor.Log2() - out.gap.KBound().Log2()) /
+                       options.log2_alpha
+                << " powers of alpha)\n";
+    }
+    // What a real optimizer achieves:
+    Rng opt_rng(7);
+    OptimizerResult ii =
+        IterativeImprovementOptimizer(out.gap.instance, &opt_rng, 2);
+    std::cout << "  best plan found by local search: lg C = "
+              << ii.cost.Log2() << "\n\n";
+  }
+
+  std::cout
+      << "An optimizer that could approximate the cheapest join order\n"
+         "within any polylog-of-K factor would separate these two cases\n"
+         "in polynomial time — and so decide 3SAT. That is the paper's\n"
+         "Theorem 9.\n";
+  return 0;
+}

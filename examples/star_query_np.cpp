@@ -1,0 +1,68 @@
+// Star queries and the Appendix A/B NP-completeness: solve a PARTITION
+// instance by optimizing a star query. The reduction chain is
+// PARTITION -> SPPCS -> SQO-CP; the star-query optimizer's answer to
+// "is there a plan of cost <= M?" equals the partition answer.
+//
+//   ./build/examples/star_query_np
+
+#include <iostream>
+
+#include "sqo/partition.h"
+#include "sqo/sppcs.h"
+#include "sqo/star_query.h"
+
+int main() {
+  using namespace aqo;
+
+  // Can {5, 4, 3, 2, 2} be split into two halves of sum 8? (Yes: 5+3 = 4+2+2.)
+  PartitionInstance partition{{5, 4, 3, 2, 2}};
+  std::cout << "PARTITION instance {5, 4, 3, 2, 2}, half = "
+            << partition.Half() << "\n";
+
+  SppcsInstance sppcs = ReducePartitionToSppcs(partition);
+  std::cout << "SPPCS instance: " << sppcs.pairs.size()
+            << " pairs, L = " << sppcs.l_bound << "\n";
+  for (size_t i = 0; i < sppcs.pairs.size(); ++i) {
+    std::cout << "  pair " << i + 1 << ": p = " << sppcs.pairs[i].p
+              << ", c = " << sppcs.pairs[i].c << "\n";
+  }
+
+  SppcsToSqoCpResult star = ReduceSppcsToSqoCp(sppcs);
+  const SqoCpInstance& query = star.instance;
+  std::cout << "\nSQO-CP star query: central relation R0 plus "
+            << query.num_satellites << " satellites\n";
+  std::cout << "  |R0| = " << query.central_tuples << " tuples\n";
+  std::cout << "  budget M = " << query.budget << "\n";
+
+  SqoCpResult best = SolveSqoCpExact(query);
+  std::cout << "\noptimal star plan cost = " << best.best_cost << "\n";
+  std::cout << "within budget? " << (best.within_budget ? "YES" : "NO")
+            << "  => the partition " << (best.within_budget ? "exists" : "does not exist")
+            << "\n";
+
+  std::cout << "\noptimal plan: ";
+  for (size_t i = 0; i < best.best_plan.sequence.size(); ++i) {
+    int r = best.best_plan.sequence[i];
+    std::cout << "R" << r;
+    if (i + 1 < best.best_plan.sequence.size()) {
+      std::cout << (best.best_plan.methods[i] == JoinMethod::kNestedLoops
+                        ? " -NL-> "
+                        : " -SM-> ");
+    }
+  }
+  std::cout << "\n";
+  std::cout << "(nested-loops joins = items in the product subset A;\n"
+            << " sort-merge joins pay their c_i: the optimizer literally\n"
+            << " solves Subset-Product-Plus-Complement-Sum.)\n";
+
+  // Cross-check with the independent PARTITION solver.
+  auto subset = SolvePartitionDp(partition);
+  std::cout << "\nindependent DP check: partition "
+            << (subset.has_value() ? "exists" : "does not exist") << "\n";
+  if (subset) {
+    std::cout << "  one half:";
+    for (int i : *subset) std::cout << " " << partition.values[static_cast<size_t>(i)];
+    std::cout << "\n";
+  }
+  return 0;
+}

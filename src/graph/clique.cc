@@ -1,0 +1,150 @@
+#include "graph/clique.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace aqo {
+
+namespace {
+
+// Tomita-style MCQ: expand candidates in reverse greedy-coloring order and
+// prune with the color bound.
+class CliqueSearch {
+ public:
+  CliqueSearch(const Graph& g, uint64_t node_limit, int target)
+      : g_(g), node_limit_(node_limit), target_(target) {}
+
+  MaxCliqueResult Run() {
+    DynamicBitset all(g_.NumVertices());
+    all.SetAll();
+    current_.clear();
+    Expand(all);
+    MaxCliqueResult result;
+    result.clique = best_;
+    std::sort(result.clique.begin(), result.clique.end());
+    result.nodes_explored = nodes_;
+    result.exact = !stopped_;
+    return result;
+  }
+
+ private:
+  void Expand(const DynamicBitset& candidates) {
+    if (stopped_) return;
+    ++nodes_;
+    if (node_limit_ > 0 && nodes_ > node_limit_) {
+      stopped_ = true;
+      return;
+    }
+
+    // Greedy coloring of the candidate set; vertices of color class c can
+    // contribute at most c vertices to any clique inside `candidates`.
+    std::vector<int> order;
+    std::vector<int> color_bound;
+    DynamicBitset uncolored = candidates;
+    int color = 0;
+    while (uncolored.Any()) {
+      ++color;
+      DynamicBitset available = uncolored;
+      while (available.Any()) {
+        int v = available.FindFirst();
+        available.Reset(v);
+        uncolored.Reset(v);
+        // Neighbors of v cannot share its color class.
+        DynamicBitset blocked = g_.Neighbors(v);
+        // available &= ~blocked, word-wise via XOR trick: keep non-neighbors.
+        DynamicBitset keep = available;
+        keep &= blocked;
+        available ^= keep;
+        order.push_back(v);
+        color_bound.push_back(color);
+      }
+    }
+
+    DynamicBitset remaining = candidates;
+    for (size_t i = order.size(); i-- > 0;) {
+      if (static_cast<int>(current_.size()) + color_bound[i] <=
+          static_cast<int>(best_.size())) {
+        return;  // color bound prunes this and all earlier candidates
+      }
+      int v = order[i];
+      current_.push_back(v);
+      if (current_.size() > best_.size()) {
+        best_ = current_;
+        if (target_ > 0 && static_cast<int>(best_.size()) >= target_) {
+          stopped_by_target_ = true;
+        }
+      }
+      if (!stopped_by_target_) {
+        DynamicBitset next = remaining;
+        next &= g_.Neighbors(v);
+        if (next.Any()) Expand(next);
+      }
+      current_.pop_back();
+      if (stopped_ || stopped_by_target_) return;
+      remaining.Reset(v);
+    }
+  }
+
+  const Graph& g_;
+  uint64_t node_limit_;
+  int target_;
+  uint64_t nodes_ = 0;
+  bool stopped_ = false;
+  bool stopped_by_target_ = false;
+  std::vector<int> current_;
+  std::vector<int> best_;
+};
+
+}  // namespace
+
+MaxCliqueResult MaxClique(const Graph& g, uint64_t node_limit, int target) {
+  if (g.NumVertices() == 0) return MaxCliqueResult{};
+  CliqueSearch search(g, node_limit, target);
+  MaxCliqueResult result = search.Run();
+  AQO_CHECK(g.IsClique(result.clique));
+  return result;
+}
+
+bool HasCliqueOfSize(const Graph& g, int k, uint64_t node_limit) {
+  if (k <= 0) return true;
+  if (k > g.NumVertices()) return false;
+  MaxCliqueResult r = MaxClique(g, node_limit, k);
+  return static_cast<int>(r.clique.size()) >= k;
+}
+
+std::vector<int> GreedyClique(const Graph& g, Rng* rng, int restarts) {
+  AQO_CHECK(restarts >= 1);
+  int n = g.NumVertices();
+  std::vector<int> best;
+  for (int r = 0; r < restarts; ++r) {
+    // Random starting vertex; then repeatedly add the candidate with the
+    // most neighbors inside the shrinking candidate set.
+    if (n == 0) break;
+    std::vector<int> clique;
+    DynamicBitset candidates(n);
+    candidates.SetAll();
+    int v = static_cast<int>(rng->UniformInt(0, n - 1));
+    while (true) {
+      clique.push_back(v);
+      candidates &= g.Neighbors(v);
+      if (candidates.None()) break;
+      int best_v = -1;
+      int best_score = -1;
+      candidates.ForEachSetBit([&](int w) {
+        int score = g.Neighbors(w).AndCount(candidates);
+        if (score > best_score) {
+          best_score = score;
+          best_v = w;
+        }
+      });
+      v = best_v;
+    }
+    if (clique.size() > best.size()) best = std::move(clique);
+  }
+  std::sort(best.begin(), best.end());
+  AQO_CHECK(g.IsClique(best));
+  return best;
+}
+
+}  // namespace aqo

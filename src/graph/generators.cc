@@ -1,0 +1,178 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace aqo {
+
+Graph Gnp(int n, double p, Rng* rng) {
+  AQO_CHECK(0.0 <= p && p <= 1.0);
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng->Bernoulli(p)) g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph RandomWithEdgeCount(int n, int m, Rng* rng) {
+  int max_edges = n * (n - 1) / 2;
+  AQO_CHECK(0 <= m && m <= max_edges) << "m=" << m << " n=" << n;
+  // Sample m distinct edge indices and decode.
+  std::vector<int> picks = rng->SampleWithoutReplacement(max_edges, m);
+  Graph g(n);
+  for (int e : picks) {
+    // Decode edge index e into (u, v), u < v, row-major over u.
+    int u = 0;
+    int row = n - 1;
+    while (e >= row) {
+      e -= row;
+      ++u;
+      --row;
+    }
+    int v = u + 1 + e;
+    g.AddEdge(u, v);
+  }
+  return g;
+}
+
+Graph PlantedClique(int n, int k, double p, Rng* rng,
+                    std::vector<int>* planted_vertices) {
+  AQO_CHECK(0 <= k && k <= n);
+  Graph g = Gnp(n, p, rng);
+  std::vector<int> members = rng->SampleWithoutReplacement(n, k);
+  for (size_t i = 0; i < members.size(); ++i) {
+    for (size_t j = i + 1; j < members.size(); ++j) {
+      g.AddEdge(members[i], members[j]);
+    }
+  }
+  if (planted_vertices != nullptr) {
+    std::sort(members.begin(), members.end());
+    *planted_vertices = std::move(members);
+  }
+  return g;
+}
+
+Graph CliqueClassGraph(int n, int max_complement_degree, double density,
+                       int planted_clique_size, Rng* rng,
+                       std::vector<int>* planted_vertices) {
+  AQO_CHECK(max_complement_degree >= 0);
+  AQO_CHECK(0 <= planted_clique_size && planted_clique_size <= n);
+  AQO_CHECK(0.0 <= density && density <= 1.0);
+
+  std::vector<int> planted =
+      rng->SampleWithoutReplacement(n, planted_clique_size);
+  std::sort(planted.begin(), planted.end());
+  DynamicBitset in_planted(n);
+  for (int v : planted) in_planted.Set(v);
+
+  // Build the complement: random non-edges, respecting the max complement
+  // degree and avoiding pairs inside the planted set. `density` scales how
+  // close each vertex gets to the complement-degree cap.
+  Graph comp(n);
+  std::vector<int> degree(static_cast<size_t>(n), 0);
+  // Candidate pairs in random order.
+  std::vector<std::pair<int, int>> pairs;
+  pairs.reserve(static_cast<size_t>(n) * static_cast<size_t>(n) / 2);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) pairs.emplace_back(u, v);
+  }
+  rng->Shuffle(&pairs);
+  for (const auto& [u, v] : pairs) {
+    if (in_planted.Test(u) && in_planted.Test(v)) continue;
+    if (degree[static_cast<size_t>(u)] >= max_complement_degree ||
+        degree[static_cast<size_t>(v)] >= max_complement_degree) {
+      continue;
+    }
+    if (!rng->Bernoulli(density)) continue;
+    comp.AddEdge(u, v);
+    ++degree[static_cast<size_t>(u)];
+    ++degree[static_cast<size_t>(v)];
+  }
+
+  Graph g = comp.Complement();
+  AQO_CHECK(g.MinDegree() >= n - 1 - max_complement_degree);
+  if (planted_vertices != nullptr) *planted_vertices = std::move(planted);
+  return g;
+}
+
+Graph ConnectedWithEdgeBudget(int n, int m, Rng* rng) {
+  AQO_CHECK(n >= 1);
+  int max_edges = n * (n - 1) / 2;
+  AQO_CHECK(n - 1 <= m && m <= max_edges)
+      << "need n-1 <= m <= n(n-1)/2; n=" << n << " m=" << m;
+  Graph g = RandomTree(n, rng);
+  // Add random extra edges until the budget is met.
+  while (g.NumEdges() < m) {
+    int u = static_cast<int>(rng->UniformInt(0, n - 1));
+    int v = static_cast<int>(rng->UniformInt(0, n - 1));
+    if (u == v || g.HasEdge(u, v)) continue;
+    g.AddEdge(u, v);
+  }
+  return g;
+}
+
+Graph RandomTree(int n, Rng* rng) {
+  AQO_CHECK(n >= 1);
+  Graph g(n);
+  if (n == 1) return g;
+  if (n == 2) {
+    g.AddEdge(0, 1);
+    return g;
+  }
+  // Decode a random Prufer sequence.
+  std::vector<int> prufer(static_cast<size_t>(n - 2));
+  for (int& x : prufer) x = static_cast<int>(rng->UniformInt(0, n - 1));
+  std::vector<int> degree(static_cast<size_t>(n), 1);
+  for (int x : prufer) ++degree[static_cast<size_t>(x)];
+  // Repeatedly attach the smallest leaf to the next Prufer element.
+  DynamicBitset leaf(n);
+  for (int v = 0; v < n; ++v) {
+    if (degree[static_cast<size_t>(v)] == 1) leaf.Set(v);
+  }
+  for (int x : prufer) {
+    int v = leaf.FindFirst();
+    leaf.Reset(v);
+    g.AddEdge(v, x);
+    if (--degree[static_cast<size_t>(x)] == 1) leaf.Set(x);
+  }
+  int a = leaf.FindFirst();
+  int b = leaf.FindNext(a);
+  g.AddEdge(a, b);
+  return g;
+}
+
+Graph Chain(int n) {
+  Graph g(n);
+  for (int v = 0; v + 1 < n; ++v) g.AddEdge(v, v + 1);
+  return g;
+}
+
+Graph Star(int n) {
+  Graph g(n);
+  for (int v = 1; v < n; ++v) g.AddEdge(0, v);
+  return g;
+}
+
+Graph Cycle(int n) {
+  AQO_CHECK(n >= 3);
+  Graph g = Chain(n);
+  g.AddEdge(n - 1, 0);
+  return g;
+}
+
+Graph CompleteMultipartite(int n, int parts) {
+  AQO_CHECK(1 <= parts && parts <= n);
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (u % parts != v % parts) g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+}  // namespace aqo

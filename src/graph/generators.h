@@ -1,0 +1,62 @@
+#ifndef AQO_GRAPH_GENERATORS_H_
+#define AQO_GRAPH_GENERATORS_H_
+
+// Random and structured graph generators.
+//
+// The CLIQUE variants in the paper (Section 3) restrict instances to graphs
+// where every vertex has degree >= |V| - 14, i.e. the complement has maximum
+// degree <= 13. CliqueClassGraph generates exactly that family, optionally
+// with a planted clique (YES instances) or with the complement arranged so
+// that no large clique survives (NO instances rely on the caller checking
+// with the exact solver).
+
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace aqo {
+
+// Erdos-Renyi G(n, p).
+Graph Gnp(int n, double p, Rng* rng);
+
+// Uniform graph with exactly m edges.
+Graph RandomWithEdgeCount(int n, int m, Rng* rng);
+
+// G(n, p) with a clique planted on k random vertices. Out param
+// `planted_vertices` (optional) receives the clique members.
+Graph PlantedClique(int n, int k, double p, Rng* rng,
+                    std::vector<int>* planted_vertices = nullptr);
+
+// A graph in the paper's CLIQUE instance class: every vertex has degree
+// >= n - 1 - max_complement_degree (paper: max_complement_degree = 13).
+// The complement is a random graph with maximum degree <= that bound.
+// When planted_clique_size > 0, the complement avoids edges inside a random
+// vertex subset of that size, so the returned graph contains it as a clique
+// (recorded in `planted_vertices` when non-null).
+Graph CliqueClassGraph(int n, int max_complement_degree, double density,
+                       int planted_clique_size, Rng* rng,
+                       std::vector<int>* planted_vertices = nullptr);
+
+// Connected graph with exactly m edges (requires n-1 <= m <= n(n-1)/2):
+// a random spanning tree plus uniformly sampled extra edges.
+Graph ConnectedWithEdgeBudget(int n, int m, Rng* rng);
+
+// Uniform random labelled tree (Prufer sequence).
+Graph RandomTree(int n, Rng* rng);
+
+// Path 0-1-2-...-(n-1).
+Graph Chain(int n);
+
+// Star with center 0.
+Graph Star(int n);
+
+// Cycle 0-1-...-(n-1)-0.
+Graph Cycle(int n);
+
+// Balanced complete multipartite graph: vertices u, v are adjacent iff
+// u % parts != v % parts. Its maximum clique has size exactly `parts`
+// (one vertex per class) — the provably-omega NO instances of E1/E3/E7.
+Graph CompleteMultipartite(int n, int parts);
+
+}  // namespace aqo
+
+#endif  // AQO_GRAPH_GENERATORS_H_

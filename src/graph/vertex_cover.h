@@ -1,0 +1,24 @@
+#ifndef AQO_GRAPH_VERTEX_COVER_H_
+#define AQO_GRAPH_VERTEX_COVER_H_
+
+// Vertex cover solvers, used to validate the 3SAT -> VERTEX COVER gadget
+// reduction (Theorem 2 of the paper, via Garey & Johnson) that underlies
+// Lemmas 3 and 4.
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace aqo {
+
+// Exact minimum vertex cover size via branch & bound (branch on a
+// max-degree vertex: either it is in the cover, or all its neighbors are).
+// Exponential; intended for the small graphs in tests/benches.
+int MinVertexCoverSize(const Graph& g);
+
+// Maximal-matching 2-approximation; returns the cover vertices.
+std::vector<int> ApproxVertexCover(const Graph& g);
+
+}  // namespace aqo
+
+#endif  // AQO_GRAPH_VERTEX_COVER_H_

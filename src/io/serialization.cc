@@ -1,0 +1,260 @@
+#include "io/serialization.h"
+
+#include <cmath>
+#include <tuple>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace aqo {
+
+namespace {
+
+// Reads the next non-comment, non-empty line into `line`; returns false at
+// EOF.
+bool NextLine(std::istream& is, std::string* line) {
+  while (std::getline(is, *line)) {
+    size_t start = line->find_first_not_of(" \t\r");
+    if (start == std::string::npos) continue;
+    if ((*line)[start] == '#') continue;
+    if ((*line)[start] == 'c' && start + 1 < line->size() &&
+        ((*line)[start + 1] == ' ' || (*line)[start + 1] == '\t')) {
+      continue;  // DIMACS comment
+    }
+    return true;
+  }
+  return false;
+}
+
+// Writes a log2 value with enough digits to round-trip.
+void WriteLog2(std::ostream& os, LogDouble v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v.Log2());
+  os << buf;
+}
+
+}  // namespace
+
+void WriteGraph(const Graph& g, std::ostream& os) {
+  os << "graph " << g.NumVertices() << " " << g.NumEdges() << "\n";
+  for (const auto& [u, v] : g.Edges()) os << "e " << u << " " << v << "\n";
+}
+
+Graph ReadGraph(std::istream& is) {
+  std::string line;
+  AQO_CHECK(NextLine(is, &line)) << "missing graph header";
+  std::istringstream header(line);
+  std::string tag;
+  int n = -1, m = -1;
+  header >> tag >> n >> m;
+  AQO_CHECK(tag == "graph" && n >= 0 && m >= 0) << "bad graph header: " << line;
+  Graph g(n);
+  for (int i = 0; i < m; ++i) {
+    AQO_CHECK(NextLine(is, &line)) << "truncated graph edge list";
+    std::istringstream edge(line);
+    int u = -1, v = -1;
+    edge >> tag >> u >> v;
+    AQO_CHECK(tag == "e") << "bad edge line: " << line;
+    g.AddEdge(u, v);
+  }
+  AQO_CHECK_EQ(g.NumEdges(), m) << "duplicate edges in input";
+  return g;
+}
+
+void WriteDimacs(const CnfFormula& f, std::ostream& os) {
+  os << "p cnf " << f.num_vars() << " " << f.NumClauses() << "\n";
+  for (const Clause& c : f.clauses()) {
+    for (Lit l : c) os << l << " ";
+    os << "0\n";
+  }
+}
+
+CnfFormula ReadDimacs(std::istream& is) {
+  std::string line;
+  AQO_CHECK(NextLine(is, &line)) << "missing DIMACS header";
+  std::istringstream header(line);
+  std::string p, cnf;
+  int vars = -1, clauses = -1;
+  header >> p >> cnf >> vars >> clauses;
+  AQO_CHECK(p == "p" && cnf == "cnf" && vars >= 0 && clauses >= 0)
+      << "bad DIMACS header: " << line;
+  CnfFormula f(vars);
+  Clause current;
+  int read = 0;
+  while (read < clauses && NextLine(is, &line)) {
+    std::istringstream body(line);
+    Lit l;
+    while (body >> l) {
+      if (l == 0) {
+        f.AddClause(current);
+        current.clear();
+        ++read;
+      } else {
+        current.push_back(l);
+      }
+    }
+  }
+  AQO_CHECK_EQ(read, clauses) << "truncated DIMACS body";
+  return f;
+}
+
+void WriteQonInstance(const QonInstance& inst, std::ostream& os) {
+  int n = inst.NumRelations();
+  os << "qon " << n << "\n";
+  for (int i = 0; i < n; ++i) {
+    os << "rel " << i << " ";
+    WriteLog2(os, inst.size(i));
+    os << "\n";
+  }
+  for (const auto& [u, v] : inst.graph().Edges()) {
+    os << "edge " << u << " " << v << " ";
+    WriteLog2(os, inst.selectivity(u, v));
+    os << "\n";
+  }
+  // Only non-default access costs are emitted.
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      LogDouble def = inst.size(j) * inst.selectivity(i, j);
+      if (!inst.AccessCost(i, j).ApproxEquals(def, 1e-12)) {
+        os << "w " << i << " " << j << " ";
+        WriteLog2(os, inst.AccessCost(i, j));
+        os << "\n";
+      }
+    }
+  }
+}
+
+QonInstance ReadQonInstance(std::istream& is) {
+  std::string line;
+  AQO_CHECK(NextLine(is, &line)) << "missing qon header";
+  std::istringstream header(line);
+  std::string tag;
+  int n = -1;
+  header >> tag >> n;
+  AQO_CHECK(tag == "qon" && n >= 1) << "bad qon header: " << line;
+
+  std::vector<LogDouble> sizes(static_cast<size_t>(n), LogDouble::One());
+  std::vector<std::tuple<int, int, double>> edges;
+  std::vector<std::tuple<int, int, double>> costs;
+  while (NextLine(is, &line)) {
+    std::istringstream body(line);
+    body >> tag;
+    if (tag == "rel") {
+      int i;
+      double lg;
+      body >> i >> lg;
+      AQO_CHECK(0 <= i && i < n) << "bad rel line: " << line;
+      sizes[static_cast<size_t>(i)] = LogDouble::FromLog2(lg);
+    } else if (tag == "edge") {
+      int i, j;
+      double lg;
+      body >> i >> j >> lg;
+      edges.emplace_back(i, j, lg);
+    } else if (tag == "w") {
+      int i, j;
+      double lg;
+      body >> i >> j >> lg;
+      costs.emplace_back(i, j, lg);
+    } else {
+      AQO_CHECK(false) << "unknown qon line: " << line;
+    }
+  }
+  Graph g(n);
+  for (const auto& [i, j, lg] : edges) g.AddEdge(i, j);
+  QonInstance inst(std::move(g), std::move(sizes));
+  for (const auto& [i, j, lg] : edges) {
+    inst.SetSelectivity(i, j, LogDouble::FromLog2(lg));
+  }
+  for (const auto& [i, j, lg] : costs) {
+    inst.SetAccessCost(i, j, LogDouble::FromLog2(lg));
+  }
+  inst.Validate();
+  return inst;
+}
+
+void WriteQohInstance(const QohInstance& inst, std::ostream& os) {
+  int n = inst.NumRelations();
+  char memory[40];
+  std::snprintf(memory, sizeof(memory), "%.17g", inst.memory());
+  char eta[40];
+  std::snprintf(eta, sizeof(eta), "%.17g", inst.eta());
+  os << "qoh " << n << " " << memory << " " << eta << "\n";
+  for (int i = 0; i < n; ++i) {
+    os << "rel " << i << " ";
+    WriteLog2(os, inst.size(i));
+    os << "\n";
+  }
+  for (const auto& [u, v] : inst.graph().Edges()) {
+    os << "edge " << u << " " << v << " ";
+    WriteLog2(os, inst.selectivity(u, v));
+    os << "\n";
+  }
+}
+
+QohInstance ReadQohInstance(std::istream& is) {
+  std::string line;
+  AQO_CHECK(NextLine(is, &line)) << "missing qoh header";
+  std::istringstream header(line);
+  std::string tag;
+  int n = -1;
+  double memory = 0.0, eta = 0.5;
+  header >> tag >> n >> memory >> eta;
+  AQO_CHECK(tag == "qoh" && n >= 1) << "bad qoh header: " << line;
+
+  std::vector<LogDouble> sizes(static_cast<size_t>(n), LogDouble::One());
+  std::vector<std::tuple<int, int, double>> edges;
+  while (NextLine(is, &line)) {
+    std::istringstream body(line);
+    body >> tag;
+    if (tag == "rel") {
+      int i;
+      double lg;
+      body >> i >> lg;
+      AQO_CHECK(0 <= i && i < n) << "bad rel line: " << line;
+      sizes[static_cast<size_t>(i)] = LogDouble::FromLog2(lg);
+    } else if (tag == "edge") {
+      int i, j;
+      double lg;
+      body >> i >> j >> lg;
+      edges.emplace_back(i, j, lg);
+    } else {
+      AQO_CHECK(false) << "unknown qoh line: " << line;
+    }
+  }
+  Graph g(n);
+  for (const auto& [i, j, lg] : edges) g.AddEdge(i, j);
+  QohInstance inst(std::move(g), std::move(sizes), memory, eta);
+  for (const auto& [i, j, lg] : edges) {
+    inst.SetSelectivity(i, j, LogDouble::FromLog2(lg));
+  }
+  inst.Validate();
+  return inst;
+}
+
+std::string GraphToString(const Graph& g) {
+  std::ostringstream os;
+  WriteGraph(g, os);
+  return os.str();
+}
+
+Graph GraphFromString(const std::string& s) {
+  std::istringstream is(s);
+  return ReadGraph(is);
+}
+
+std::string QonToString(const QonInstance& inst) {
+  std::ostringstream os;
+  WriteQonInstance(inst, os);
+  return os.str();
+}
+
+QonInstance QonFromString(const std::string& s) {
+  std::istringstream is(s);
+  return ReadQonInstance(is);
+}
+
+}  // namespace aqo

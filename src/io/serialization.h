@@ -1,0 +1,51 @@
+#ifndef AQO_IO_SERIALIZATION_H_
+#define AQO_IO_SERIALIZATION_H_
+
+// Plain-text serialization for the library's instance types, so generated
+// hardness instances can be shipped to / consumed by external optimizers.
+//
+// Formats (line-oriented, '#' comments):
+//
+//   graph:      "graph <n> <m>" then m lines "e <u> <v>"
+//   cnf:        DIMACS: "p cnf <vars> <clauses>" then clauses, 0-terminated
+//   qon:        "qon <n>"
+//               "rel <i> <log2_size>"                      (n lines)
+//               "edge <i> <j> <log2_selectivity>"          (per predicate)
+//               "w <i> <j> <log2_cost>"                    (only overrides)
+//   qoh:        "qoh <n> <memory> <eta>" + rel/edge lines as above
+//
+// Sizes/selectivities/costs are written as log2 values: the gap instances
+// do not fit in any linear-domain notation.
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+#include "qo/qoh.h"
+#include "qo/qon.h"
+#include "sat/cnf.h"
+
+namespace aqo {
+
+void WriteGraph(const Graph& g, std::ostream& os);
+// Aborts on malformed input.
+Graph ReadGraph(std::istream& is);
+
+void WriteDimacs(const CnfFormula& f, std::ostream& os);
+CnfFormula ReadDimacs(std::istream& is);
+
+void WriteQonInstance(const QonInstance& inst, std::ostream& os);
+QonInstance ReadQonInstance(std::istream& is);
+
+void WriteQohInstance(const QohInstance& inst, std::ostream& os);
+QohInstance ReadQohInstance(std::istream& is);
+
+// Convenience string round-trips (used by tests and the CLI tools).
+std::string GraphToString(const Graph& g);
+Graph GraphFromString(const std::string& s);
+std::string QonToString(const QonInstance& inst);
+QonInstance QonFromString(const std::string& s);
+
+}  // namespace aqo
+
+#endif  // AQO_IO_SERIALIZATION_H_

@@ -1,0 +1,129 @@
+#include "qo/analysis.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace aqo {
+
+CostProfile ComputeCostProfile(const QonInstance& inst,
+                               const JoinSequence& seq) {
+  std::vector<LogDouble> h = QonJoinCosts(inst, seq);
+  AQO_CHECK(!h.empty());
+  CostProfile profile;
+  profile.log2_h.reserve(h.size());
+  LogDouble total = LogDouble::Zero();
+  for (size_t i = 0; i < h.size(); ++i) {
+    profile.log2_h.push_back(h[i].Log2());
+    total += h[i];
+    if (h[i] > h[static_cast<size_t>(profile.peak_index)]) {
+      profile.peak_index = static_cast<int>(i);
+    }
+  }
+  profile.log2_total = total.Log2();
+  profile.log2_sum_over_peak =
+      total.Log2() - profile.log2_h[static_cast<size_t>(profile.peak_index)];
+  for (size_t i = 1; i < profile.log2_h.size(); ++i) {
+    double step = profile.log2_h[i] - profile.log2_h[i - 1];
+    if (static_cast<int>(i) <= profile.peak_index) {
+      profile.max_rise_violation =
+          std::max(profile.max_rise_violation, -step);
+    } else {
+      profile.max_post_peak_rise =
+          std::max(profile.max_post_peak_rise, step);
+    }
+  }
+  return profile;
+}
+
+std::string PlanToString(const QonInstance& inst, const JoinSequence& seq,
+                         const std::vector<std::string>& names) {
+  AQO_CHECK(IsPermutation(seq, inst.NumRelations()));
+  auto name = [&names](int r) {
+    return static_cast<size_t>(r) < names.size() ? names[static_cast<size_t>(r)]
+                                                 : "R" + std::to_string(r);
+  };
+  std::vector<LogDouble> prefix = PrefixSizes(inst, seq);
+  std::vector<LogDouble> h = QonJoinCosts(inst, seq);
+  std::ostringstream os;
+  os << name(seq[0]) << "  (|" << name(seq[0]) << "| = " << inst.size(seq[0])
+     << ")\n";
+  for (size_t i = 1; i < seq.size(); ++i) {
+    os << std::string(2 * i, ' ') << "|x| " << name(seq[i])
+       << "   cost " << h[i - 1] << ", result " << prefix[i + 1] << "\n";
+  }
+  LogDouble total = LogDouble::Zero();
+  for (LogDouble x : h) total += x;
+  os << "total cost: " << total << "\n";
+  return os.str();
+}
+
+LogDouble CoutSequenceCost(const QonInstance& inst, const JoinSequence& seq) {
+  std::vector<LogDouble> prefix = PrefixSizes(inst, seq);
+  LogDouble total = LogDouble::Zero();
+  for (size_t k = 2; k < prefix.size(); ++k) total += prefix[k];
+  return total;
+}
+
+OptimizerResult CoutOptimalJoinOrder(const QonInstance& inst) {
+  int n = inst.NumRelations();
+  AQO_CHECK(n >= 2);
+  AQO_CHECK(n <= 24) << "subset DP is 2^n";
+  size_t full = (size_t{1} << n) - 1;
+
+  std::vector<LogDouble> subset_size(full + 1, LogDouble::One());
+  for (size_t mask = 1; mask <= full; ++mask) {
+    int j = std::countr_zero(mask);
+    size_t rest = mask & (mask - 1);
+    LogDouble v = subset_size[rest] * inst.size(j);
+    for (size_t m = rest; m != 0; m &= m - 1) {
+      int k = std::countr_zero(m);
+      if (inst.graph().HasEdge(k, j)) v *= inst.selectivity(k, j);
+    }
+    subset_size[mask] = v;
+  }
+
+  // C_out extension cost is N(S union {j}) = subset_size of the new set:
+  // dp[S] = min_j dp[S \ {j}] + N(S) for |S| >= 2.
+  std::vector<LogDouble> dp(full + 1);
+  std::vector<int8_t> last(full + 1, -1);
+  OptimizerResult result;
+  for (size_t mask = 1; mask <= full; ++mask) {
+    int bits = std::popcount(mask);
+    if (bits == 1) {
+      dp[mask] = LogDouble::Zero();
+      last[mask] = static_cast<int8_t>(std::countr_zero(mask));
+      continue;
+    }
+    bool first = true;
+    for (size_t m = mask; m != 0; m &= m - 1) {
+      int j = std::countr_zero(m);
+      LogDouble cand = dp[mask & ~(size_t{1} << j)];
+      ++result.evaluations;
+      if (first || cand < dp[mask]) {
+        dp[mask] = cand;
+        last[mask] = static_cast<int8_t>(j);
+        first = false;
+      }
+    }
+    dp[mask] += subset_size[mask];
+  }
+
+  result.feasible = true;
+  result.cost = dp[full];
+  JoinSequence seq;
+  size_t mask = full;
+  while (mask != 0) {
+    int j = last[mask];
+    seq.push_back(j);
+    mask &= ~(size_t{1} << j);
+  }
+  std::reverse(seq.begin(), seq.end());
+  result.sequence = seq;
+  AQO_CHECK(CoutSequenceCost(inst, seq).ApproxEquals(result.cost, 1e-6));
+  return result;
+}
+
+}  // namespace aqo

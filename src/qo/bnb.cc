@@ -1,0 +1,131 @@
+#include "qo/bnb.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace aqo {
+
+namespace {
+
+class BnbSearch {
+ public:
+  BnbSearch(const QonInstance& inst, uint64_t node_limit,
+            const OptimizerOptions& options)
+      : inst_(inst), node_limit_(node_limit), options_(options) {}
+
+  BnbResult Run() {
+    int n = inst_.NumRelations();
+    AQO_CHECK(n >= 2);
+    AQO_CHECK(n <= 62) << "mask-based search limited to 62 relations";
+
+    // Greedy incumbent.
+    OptimizerResult greedy = GreedyQonOptimizer(inst_, options_);
+    if (greedy.feasible) {
+      best_ = greedy;
+    }
+
+    std::vector<int> prefix;
+    for (int first = 0; first < n; ++first) {
+      prefix = {first};
+      Explore(uint64_t{1} << first, inst_.size(first), LogDouble::Zero(),
+              &prefix);
+      if (aborted_) break;
+    }
+
+    BnbResult out;
+    out.result = best_;
+    out.result.evaluations = nodes_;
+    out.nodes = nodes_;
+    out.proven_optimal = best_.feasible && !aborted_;
+    return out;
+  }
+
+ private:
+  void Explore(uint64_t mask, LogDouble intermediate, LogDouble cost,
+               std::vector<int>* prefix) {
+    if (aborted_) return;
+    ++nodes_;
+    if (node_limit_ > 0 && nodes_ > node_limit_) {
+      aborted_ = true;
+      return;
+    }
+    // Cost prune.
+    if (best_.feasible && cost >= best_.cost) return;
+    // Dominance prune on the relation set.
+    auto [it, inserted] = seen_.try_emplace(mask, cost);
+    if (!inserted) {
+      if (it->second <= cost) return;
+      it->second = cost;
+    }
+
+    int n = inst_.NumRelations();
+    if (static_cast<int>(prefix->size()) == n) {
+      if (!best_.feasible || cost < best_.cost) {
+        best_.feasible = true;
+        best_.cost = cost;
+        best_.sequence = *prefix;
+      }
+      return;
+    }
+
+    // Candidate extensions, cheapest next join first.
+    struct Extension {
+      int relation;
+      LogDouble join_cost;
+      LogDouble next_intermediate;
+    };
+    std::vector<Extension> extensions;
+    for (int j = 0; j < n; ++j) {
+      if (mask & (uint64_t{1} << j)) continue;
+      if (options_.forbid_cartesian) {
+        bool connected = false;
+        for (int k : *prefix) connected = connected || inst_.graph().HasEdge(k, j);
+        if (!connected) continue;
+      }
+      Extension e;
+      e.relation = j;
+      LogDouble min_w = inst_.size(j);
+      for (int k : *prefix) min_w = MinOf(min_w, inst_.AccessCost(k, j));
+      e.join_cost = intermediate * min_w;
+      LogDouble next = intermediate * inst_.size(j);
+      for (int k : *prefix) {
+        if (inst_.graph().HasEdge(k, j)) next *= inst_.selectivity(k, j);
+      }
+      e.next_intermediate = next;
+      extensions.push_back(e);
+    }
+    std::sort(extensions.begin(), extensions.end(),
+              [](const Extension& a, const Extension& b) {
+                return a.join_cost < b.join_cost;
+              });
+    for (const Extension& e : extensions) {
+      prefix->push_back(e.relation);
+      Explore(mask | (uint64_t{1} << e.relation), e.next_intermediate,
+              cost + e.join_cost, prefix);
+      prefix->pop_back();
+      if (aborted_) return;
+    }
+  }
+
+  const QonInstance& inst_;
+  uint64_t node_limit_;
+  OptimizerOptions options_;
+  OptimizerResult best_;
+  std::unordered_map<uint64_t, LogDouble> seen_;
+  uint64_t nodes_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+BnbResult BranchAndBoundQonOptimizer(const QonInstance& inst,
+                                     uint64_t node_limit,
+                                     const OptimizerOptions& options) {
+  BnbSearch search(inst, node_limit, options);
+  return search.Run();
+}
+
+}  // namespace aqo

@@ -1,0 +1,36 @@
+#ifndef AQO_QO_BNB_H_
+#define AQO_QO_BNB_H_
+
+// Branch & bound exact optimizer for QO_N.
+//
+// Depth-first search over left-deep prefixes with three prunes:
+//   * cost prune: partial cost already >= incumbent (all H_i are positive);
+//   * dominance prune: the same relation *set* was reached cheaper before
+//     (extension cost depends on the set only, as in the subset DP);
+//   * child ordering: extensions explored cheapest-next-join first, with a
+//     greedy incumbent up front.
+// Unlike the subset DP it does not materialize 2^n states — on benign
+// instances the dominance table stays small and instances well beyond the
+// DP's n <= 24 memory wall solve exactly. A node limit turns it into an
+// anytime heuristic (proven_optimal = false).
+
+#include <cstdint>
+
+#include "qo/optimizers.h"
+#include "qo/qon.h"
+
+namespace aqo {
+
+struct BnbResult {
+  OptimizerResult result;
+  bool proven_optimal = false;
+  uint64_t nodes = 0;
+};
+
+BnbResult BranchAndBoundQonOptimizer(const QonInstance& inst,
+                                     uint64_t node_limit = 0,
+                                     const OptimizerOptions& options = {});
+
+}  // namespace aqo
+
+#endif  // AQO_QO_BNB_H_

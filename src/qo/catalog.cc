@@ -1,0 +1,194 @@
+#include "qo/catalog.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace aqo {
+
+namespace {
+
+// Fraction of a histogram's mass falling inside [lo, hi] (equi-width over
+// the column's [min, max]); columns without histograms assume uniformity.
+double MassInRange(const ColumnStats& column, double lo, double hi) {
+  if (hi <= lo) return 0.0;
+  double span = column.max_value - column.min_value;
+  if (span <= 0.0) {
+    // Single-point domain: in or out.
+    return (lo <= column.min_value && column.min_value <= hi) ? 1.0 : 0.0;
+  }
+  lo = std::max(lo, column.min_value);
+  hi = std::min(hi, column.max_value);
+  if (hi <= lo) return 0.0;
+  if (column.histogram.empty()) return (hi - lo) / span;
+  double mass = 0.0;
+  double bucket_width = span / static_cast<double>(column.histogram.size());
+  for (size_t b = 0; b < column.histogram.size(); ++b) {
+    double b_lo = column.min_value + bucket_width * static_cast<double>(b);
+    double b_hi = b_lo + bucket_width;
+    double overlap = std::min(hi, b_hi) - std::max(lo, b_lo);
+    if (overlap > 0.0) mass += column.histogram[b] * overlap / bucket_width;
+  }
+  return mass;
+}
+
+}  // namespace
+
+void Catalog::AddTable(TableStats table) {
+  AQO_CHECK(!table.name.empty());
+  AQO_CHECK(table.rows >= 1);
+  for (const TableStats& existing : tables_) {
+    AQO_CHECK(existing.name != table.name)
+        << "duplicate table " << table.name;
+  }
+  for (const ColumnStats& column : table.columns) {
+    AQO_CHECK(column.ndv >= 1) << table.name << "." << column.name;
+    AQO_CHECK(column.max_value >= column.min_value);
+    if (!column.histogram.empty()) {
+      double total = 0.0;
+      for (double f : column.histogram) {
+        AQO_CHECK(f >= 0.0);
+        total += f;
+      }
+      AQO_CHECK(std::fabs(total - 1.0) < 1e-6)
+          << "histogram of " << table.name << "." << column.name
+          << " must sum to 1";
+    }
+  }
+  tables_.push_back(std::move(table));
+}
+
+const TableStats& Catalog::table(int index) const {
+  AQO_CHECK(0 <= index && index < NumTables());
+  return tables_[static_cast<size_t>(index)];
+}
+
+int Catalog::TableIndex(const std::string& name) const {
+  for (int i = 0; i < NumTables(); ++i) {
+    if (tables_[static_cast<size_t>(i)].name == name) return i;
+  }
+  AQO_CHECK(false) << "unknown table " << name;
+  return -1;
+}
+
+const ColumnStats& Catalog::Column(const std::string& table,
+                                   const std::string& column) const {
+  const TableStats& t = tables_[static_cast<size_t>(TableIndex(table))];
+  for (const ColumnStats& c : t.columns) {
+    if (c.name == column) return c;
+  }
+  AQO_CHECK(false) << "unknown column " << table << "." << column;
+  return t.columns.front();
+}
+
+double EstimateJoinSelectivity(const Catalog& catalog, const EquiJoin& join) {
+  const ColumnStats& a = catalog.Column(join.left_table, join.left_column);
+  const ColumnStats& b = catalog.Column(join.right_table, join.right_column);
+
+  // Overlapping value range.
+  double lo = std::max(a.min_value, b.min_value);
+  double hi = std::min(a.max_value, b.max_value);
+  double mass_a = MassInRange(a, lo, hi);
+  double mass_b = MassInRange(b, lo, hi);
+  if (mass_a <= 0.0 || mass_b <= 0.0) return kMinDerivedSelectivity;
+
+  // Distinct values present in the overlap, assuming ndv spreads with the
+  // range (floor of 1).
+  auto ndv_in = [lo, hi](const ColumnStats& c) {
+    double span = c.max_value - c.min_value;
+    double fraction = span > 0.0 ? (hi - lo) / span : 1.0;
+    return std::max(1.0, static_cast<double>(c.ndv) * fraction);
+  };
+  double sel = mass_a * mass_b / std::max(ndv_in(a), ndv_in(b));
+  return std::clamp(sel, kMinDerivedSelectivity, 1.0);
+}
+
+QonInstance BuildQonInstance(const Catalog& catalog,
+                             const std::vector<EquiJoin>& joins) {
+  int n = catalog.NumTables();
+  AQO_CHECK(n >= 1);
+  Graph g(n);
+  // Combined selectivity per table pair (independence across predicates).
+  std::vector<double> combined(static_cast<size_t>(n) * static_cast<size_t>(n),
+                               1.0);
+  for (const EquiJoin& join : joins) {
+    int a = catalog.TableIndex(join.left_table);
+    int b = catalog.TableIndex(join.right_table);
+    AQO_CHECK(a != b) << "self-joins are not modelled";
+    g.AddEdge(a, b);
+    double sel = EstimateJoinSelectivity(catalog, join);
+    combined[static_cast<size_t>(a) * static_cast<size_t>(n) +
+             static_cast<size_t>(b)] *= sel;
+    combined[static_cast<size_t>(b) * static_cast<size_t>(n) +
+             static_cast<size_t>(a)] *= sel;
+  }
+
+  std::vector<LogDouble> sizes;
+  sizes.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    sizes.push_back(
+        LogDouble::FromLinear(static_cast<double>(catalog.table(i).rows)));
+  }
+  QonInstance inst(g, std::move(sizes));
+  for (const auto& [u, v] : g.Edges()) {
+    double sel = std::clamp(
+        combined[static_cast<size_t>(u) * static_cast<size_t>(n) +
+                 static_cast<size_t>(v)],
+        kMinDerivedSelectivity, 1.0);
+    inst.SetSelectivity(u, v, LogDouble::FromLinear(sel));
+  }
+  inst.Validate();
+  return inst;
+}
+
+Catalog RandomStarSchema(int dimensions, int64_t fact_rows, Rng* rng,
+                         std::vector<EquiJoin>* joins) {
+  AQO_CHECK(dimensions >= 1);
+  AQO_CHECK(fact_rows >= 1);
+  AQO_CHECK(joins != nullptr);
+  joins->clear();
+
+  Catalog catalog;
+  TableStats fact;
+  fact.name = "fact";
+  fact.rows = fact_rows;
+  for (int d = 0; d < dimensions; ++d) {
+    int64_t dim_rows = rng->UniformInt(
+        10, std::max<int64_t>(10, fact_rows / 100));
+    ColumnStats fk;
+    fk.name = "dim" + std::to_string(d) + "_key";
+    fk.ndv = std::min(dim_rows, fact_rows);
+    fk.min_value = 0.0;
+    fk.max_value = static_cast<double>(dim_rows);
+    // A mildly skewed 8-bucket histogram.
+    std::vector<double> hist(8);
+    double total = 0.0;
+    for (double& h : hist) {
+      h = rng->UniformReal(0.5, 2.0);
+      total += h;
+    }
+    for (double& h : hist) h /= total;
+    fk.histogram = std::move(hist);
+    fact.columns.push_back(std::move(fk));
+
+    TableStats dim;
+    dim.name = "dim" + std::to_string(d);
+    dim.rows = dim_rows;
+    ColumnStats pk;
+    pk.name = "key";
+    pk.ndv = dim_rows;  // primary key
+    pk.min_value = 0.0;
+    pk.max_value = static_cast<double>(dim_rows);
+    dim.columns.push_back(std::move(pk));
+    catalog.AddTable(std::move(dim));
+
+    joins->push_back(EquiJoin{"fact", "dim" + std::to_string(d) + "_key",
+                              "dim" + std::to_string(d), "key"});
+  }
+  catalog.AddTable(std::move(fact));
+  return catalog;
+}
+
+}  // namespace aqo

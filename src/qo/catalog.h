@@ -1,0 +1,83 @@
+#ifndef AQO_QO_CATALOG_H_
+#define AQO_QO_CATALOG_H_
+
+// A miniature statistics catalog, so QO_N instances can be derived from
+// database-flavored metadata instead of hand-set selectivities — the front
+// end a downstream user of this library would actually feed.
+//
+// Selectivity derivation for equi-joins follows System R's containment
+// assumption, sel = 1 / max(ndv_a, ndv_b), refined by equi-width
+// histograms when both columns carry them: the estimate restricts to the
+// overlapping value range (fractions of each side's rows in the overlap,
+// distinct values scaled by range coverage).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qo/qon.h"
+#include "util/random.h"
+
+namespace aqo {
+
+struct ColumnStats {
+  std::string name;
+  int64_t ndv = 1;              // number of distinct values
+  double min_value = 0.0;       // value domain [min, max]
+  double max_value = 0.0;
+  // Optional equi-width histogram over [min_value, max_value]: fraction of
+  // rows per bucket (sums to ~1). Empty = no histogram.
+  std::vector<double> histogram;
+};
+
+struct TableStats {
+  std::string name;
+  int64_t rows = 1;
+  std::vector<ColumnStats> columns;
+};
+
+class Catalog {
+ public:
+  // Adds a table; names must be unique.
+  void AddTable(TableStats table);
+
+  int NumTables() const { return static_cast<int>(tables_.size()); }
+  const TableStats& table(int index) const;
+  // Aborts when the name is unknown.
+  int TableIndex(const std::string& name) const;
+  const ColumnStats& Column(const std::string& table,
+                            const std::string& column) const;
+
+ private:
+  std::vector<TableStats> tables_;
+};
+
+struct EquiJoin {
+  std::string left_table;
+  std::string left_column;
+  std::string right_table;
+  std::string right_column;
+};
+
+// Estimated selectivity of `join` under the containment assumption with
+// histogram-overlap refinement; clamped to [kMinDerivedSelectivity, 1].
+double EstimateJoinSelectivity(const Catalog& catalog, const EquiJoin& join);
+
+inline constexpr double kMinDerivedSelectivity = 1e-12;
+
+// Builds the QO_N instance for the catalog's tables joined by `joins`
+// (relation i = catalog table i). Multiple predicates between the same
+// table pair multiply (independence assumption).
+QonInstance BuildQonInstance(const Catalog& catalog,
+                             const std::vector<EquiJoin>& joins);
+
+// A synthetic star schema: one fact table (relation 0, `fact_rows` rows)
+// and `dimensions` dimension tables with log-uniform sizes, each joined to
+// the fact on a key column with plausible ndv/histograms. Returns the
+// catalog and fills `joins`.
+Catalog RandomStarSchema(int dimensions, int64_t fact_rows, Rng* rng,
+                         std::vector<EquiJoin>* joins);
+
+}  // namespace aqo
+
+#endif  // AQO_QO_CATALOG_H_

@@ -1,0 +1,117 @@
+#include "qo/genetic.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace aqo {
+
+namespace {
+
+struct Individual {
+  JoinSequence sequence;
+  LogDouble cost;
+  bool valid = false;  // meets the cartesian-product restriction
+};
+
+// OX1 order crossover: copy a random slice from parent a, fill the rest in
+// parent b's relative order.
+JoinSequence OrderCrossover(const JoinSequence& a, const JoinSequence& b,
+                            Rng* rng) {
+  size_t n = a.size();
+  size_t lo = static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(n) - 1));
+  size_t hi = static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(n) - 1));
+  if (lo > hi) std::swap(lo, hi);
+  JoinSequence child(n, -1);
+  std::vector<bool> used(n, false);
+  for (size_t i = lo; i <= hi; ++i) {
+    child[i] = a[i];
+    used[static_cast<size_t>(a[i])] = true;
+  }
+  size_t fill = (hi + 1) % n;
+  for (size_t k = 0; k < n; ++k) {
+    int v = b[(hi + 1 + k) % n];
+    if (used[static_cast<size_t>(v)]) continue;
+    child[fill] = v;
+    fill = (fill + 1) % n;
+    while (fill >= lo && fill <= hi) fill = (fill + 1) % n;
+  }
+  return child;
+}
+
+}  // namespace
+
+OptimizerResult GeneticOptimizer(const QonInstance& inst, Rng* rng,
+                                 const GeneticOptions& options) {
+  int n = inst.NumRelations();
+  AQO_CHECK(n >= 2);
+  AQO_CHECK(options.population >= 4);
+  AQO_CHECK(options.elites < options.population);
+
+  OptimizerResult result;
+  auto evaluate = [&](Individual* ind) {
+    ind->valid = !options.base.forbid_cartesian ||
+                 !HasCartesianProduct(inst.graph(), ind->sequence);
+    if (ind->valid) {
+      ind->cost = QonSequenceCost(inst, ind->sequence);
+      ++result.evaluations;
+      if (!result.feasible || ind->cost < result.cost) {
+        result.feasible = true;
+        result.cost = ind->cost;
+        result.sequence = ind->sequence;
+      }
+    }
+  };
+  // Infeasible individuals lose every comparison.
+  auto better = [](const Individual& x, const Individual& y) {
+    if (x.valid != y.valid) return x.valid;
+    return x.valid && x.cost < y.cost;
+  };
+
+  std::vector<Individual> population(static_cast<size_t>(options.population));
+  for (Individual& ind : population) {
+    ind.sequence = IdentitySequence(n);
+    rng->Shuffle(&ind.sequence);
+    evaluate(&ind);
+  }
+
+  for (int gen = 0; gen < options.generations; ++gen) {
+    std::sort(population.begin(), population.end(),
+              [&](const Individual& x, const Individual& y) {
+                return better(x, y);
+              });
+    std::vector<Individual> next(population.begin(),
+                                 population.begin() + options.elites);
+    auto tournament_pick = [&]() -> const Individual& {
+      const Individual* best = &population[static_cast<size_t>(
+          rng->UniformInt(0, options.population - 1))];
+      for (int t = 1; t < options.tournament; ++t) {
+        const Individual& cand = population[static_cast<size_t>(
+            rng->UniformInt(0, options.population - 1))];
+        if (better(cand, *best)) best = &cand;
+      }
+      return *best;
+    };
+    while (static_cast<int>(next.size()) < options.population) {
+      Individual child;
+      if (rng->Bernoulli(options.crossover_rate)) {
+        child.sequence =
+            OrderCrossover(tournament_pick().sequence,
+                           tournament_pick().sequence, rng);
+      } else {
+        child.sequence = tournament_pick().sequence;
+      }
+      if (rng->Bernoulli(options.mutation_rate)) {
+        size_t a = static_cast<size_t>(rng->UniformInt(0, n - 1));
+        size_t b = static_cast<size_t>(rng->UniformInt(0, n - 1));
+        std::swap(child.sequence[a], child.sequence[b]);
+      }
+      evaluate(&child);
+      next.push_back(std::move(child));
+    }
+    population = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace aqo

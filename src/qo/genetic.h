@@ -1,0 +1,30 @@
+#ifndef AQO_QO_GENETIC_H_
+#define AQO_QO_GENETIC_H_
+
+// Genetic join-order optimizer: the third classical metaheuristic family
+// (after iterative improvement and simulated annealing) used for
+// large-join-query optimization. Permutation-encoded individuals, order
+// crossover (OX1), swap mutation, tournament selection, elitism.
+
+#include "qo/optimizers.h"
+#include "qo/qon.h"
+#include "util/random.h"
+
+namespace aqo {
+
+struct GeneticOptions {
+  int population = 64;
+  int generations = 120;
+  double crossover_rate = 0.9;
+  double mutation_rate = 0.3;
+  int tournament = 3;
+  int elites = 2;
+  OptimizerOptions base;
+};
+
+OptimizerResult GeneticOptimizer(const QonInstance& inst, Rng* rng,
+                                 const GeneticOptions& options = {});
+
+}  // namespace aqo
+
+#endif  // AQO_QO_GENETIC_H_

@@ -1,0 +1,405 @@
+#include "qo/optimizers.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace aqo {
+
+namespace {
+
+// Minimum access cost of probing relation `j` from any relation in `prefix`.
+LogDouble MinAccessCost(const QonInstance& inst, const std::vector<int>& prefix,
+                        int j) {
+  AQO_CHECK(!prefix.empty());
+  LogDouble best = inst.AccessCost(prefix[0], j);
+  for (size_t i = 1; i < prefix.size(); ++i) {
+    best = MinOf(best, inst.AccessCost(prefix[i], j));
+  }
+  return best;
+}
+
+bool ConnectsToPrefix(const Graph& g, const std::vector<int>& prefix, int j) {
+  for (int k : prefix) {
+    if (g.HasEdge(k, j)) return true;
+  }
+  return false;
+}
+
+// Generates a uniformly random sequence; when `forbid_cartesian`, grows a
+// random connected order (falling back to an arbitrary vertex only when the
+// graph is disconnected, in which case no cartesian-free order exists and
+// the caller's feasibility check rejects).
+JoinSequence RandomSequence(const QonInstance& inst, Rng* rng,
+                            bool forbid_cartesian) {
+  int n = inst.NumRelations();
+  if (!forbid_cartesian) {
+    JoinSequence seq = IdentitySequence(n);
+    rng->Shuffle(&seq);
+    return seq;
+  }
+  JoinSequence seq;
+  DynamicBitset placed(n);
+  seq.push_back(static_cast<int>(rng->UniformInt(0, n - 1)));
+  placed.Set(seq[0]);
+  while (static_cast<int>(seq.size()) < n) {
+    std::vector<int> frontier;
+    for (int v = 0; v < n; ++v) {
+      if (!placed.Test(v) && inst.graph().Neighbors(v).Intersects(placed)) {
+        frontier.push_back(v);
+      }
+    }
+    int pick;
+    if (frontier.empty()) {
+      // Disconnected graph: forced cartesian product.
+      std::vector<int> rest;
+      for (int v = 0; v < n; ++v) {
+        if (!placed.Test(v)) rest.push_back(v);
+      }
+      pick = rest[static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(rest.size()) - 1))];
+    } else {
+      pick = frontier[static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(frontier.size()) - 1))];
+    }
+    seq.push_back(pick);
+    placed.Set(pick);
+  }
+  return seq;
+}
+
+bool SequenceAllowed(const QonInstance& inst, const JoinSequence& seq,
+                     const OptimizerOptions& options) {
+  return !options.forbid_cartesian || !HasCartesianProduct(inst.graph(), seq);
+}
+
+}  // namespace
+
+OptimizerResult ExhaustiveQonOptimizer(const QonInstance& inst,
+                                       const OptimizerOptions& options) {
+  int n = inst.NumRelations();
+  AQO_CHECK(n >= 2);
+  AQO_CHECK(n <= 10) << "exhaustive search is n! — use DpQonOptimizer";
+  OptimizerResult result;
+  JoinSequence seq = IdentitySequence(n);
+  do {
+    if (!SequenceAllowed(inst, seq, options)) continue;
+    LogDouble cost = QonSequenceCost(inst, seq);
+    ++result.evaluations;
+    if (!result.feasible || cost < result.cost) {
+      result.feasible = true;
+      result.cost = cost;
+      result.sequence = seq;
+    }
+  } while (std::next_permutation(seq.begin(), seq.end()));
+  return result;
+}
+
+OptimizerResult DpQonOptimizer(const QonInstance& inst,
+                               const OptimizerOptions& options) {
+  int n = inst.NumRelations();
+  AQO_CHECK(n >= 2);
+  AQO_CHECK(n <= 24) << "subset DP is 2^n — instance too large";
+  size_t full = (static_cast<size_t>(1) << n) - 1;
+
+  // N[mask]: intermediate size of the relation set `mask`.
+  std::vector<LogDouble> subset_size(full + 1, LogDouble::One());
+  for (size_t mask = 1; mask <= full; ++mask) {
+    int j = std::countr_zero(mask);
+    size_t rest = mask & (mask - 1);
+    LogDouble v = subset_size[rest] * inst.size(j);
+    for (size_t m = rest; m != 0; m &= m - 1) {
+      int k = std::countr_zero(m);
+      if (inst.graph().HasEdge(k, j)) v *= inst.selectivity(k, j);
+    }
+    subset_size[mask] = v;
+  }
+
+  constexpr int kNoParent = -1;
+  std::vector<LogDouble> dp(full + 1);
+  std::vector<int8_t> last(full + 1, kNoParent);  // last relation joined
+  std::vector<bool> reachable(full + 1, false);
+  for (int i = 0; i < n; ++i) {
+    size_t mask = static_cast<size_t>(1) << i;
+    reachable[mask] = true;
+    dp[mask] = LogDouble::Zero();
+    last[mask] = static_cast<int8_t>(i);
+  }
+
+  uint64_t evaluations = 0;
+  for (size_t mask = 1; mask <= full; ++mask) {
+    if (!reachable[mask] || std::popcount(mask) < 1) continue;
+    for (int j = 0; j < n; ++j) {
+      size_t bit = static_cast<size_t>(1) << j;
+      if (mask & bit) continue;
+      if (options.forbid_cartesian) {
+        bool connected = false;
+        for (size_t m = mask; m != 0 && !connected; m &= m - 1) {
+          connected = inst.graph().HasEdge(std::countr_zero(m), j);
+        }
+        if (!connected) continue;
+      }
+      LogDouble min_w = inst.size(j);  // upper bound; refined below
+      for (size_t m = mask; m != 0; m &= m - 1) {
+        min_w = MinOf(min_w, inst.AccessCost(std::countr_zero(m), j));
+      }
+      LogDouble candidate = dp[mask] + subset_size[mask] * min_w;
+      ++evaluations;
+      size_t next = mask | bit;
+      if (!reachable[next] || candidate < dp[next]) {
+        reachable[next] = true;
+        dp[next] = candidate;
+        last[next] = static_cast<int8_t>(j);
+      }
+    }
+  }
+
+  OptimizerResult result;
+  result.evaluations = evaluations;
+  if (!reachable[full]) return result;
+  result.feasible = true;
+  result.cost = dp[full];
+  // Reconstruct by peeling the recorded last relation. The predecessor
+  // state is unique given `last`, but its own `last` may have been
+  // overwritten by a different path; recompute by re-deriving costs.
+  JoinSequence seq;
+  size_t mask = full;
+  while (mask != 0) {
+    int j = last[mask];
+    AQO_CHECK(j != kNoParent);
+    seq.push_back(j);
+    mask &= ~(static_cast<size_t>(1) << j);
+  }
+  std::reverse(seq.begin(), seq.end());
+  result.sequence = seq;
+  AQO_CHECK(QonSequenceCost(inst, seq).ApproxEquals(result.cost, 1e-6));
+  return result;
+}
+
+OptimizerResult GreedyQonOptimizer(const QonInstance& inst,
+                                   const OptimizerOptions& options) {
+  int n = inst.NumRelations();
+  AQO_CHECK(n >= 2);
+  OptimizerResult result;
+  for (int start = 0; start < n; ++start) {
+    std::vector<int> prefix = {start};
+    DynamicBitset placed(n);
+    placed.Set(start);
+    LogDouble intermediate = inst.size(start);
+    LogDouble cost = LogDouble::Zero();
+    bool dead = false;
+    while (static_cast<int>(prefix.size()) < n && !dead) {
+      int best_j = -1;
+      LogDouble best_h;
+      bool must_connect = options.forbid_cartesian;
+      // Two passes: prefer connected candidates when required.
+      for (int pass = 0; pass < 2 && best_j < 0; ++pass) {
+        for (int j = 0; j < n; ++j) {
+          if (placed.Test(j)) continue;
+          if (pass == 0 && !ConnectsToPrefix(inst.graph(), prefix, j)) continue;
+          LogDouble h = intermediate * MinAccessCost(inst, prefix, j);
+          ++result.evaluations;
+          if (best_j < 0 || h < best_h) {
+            best_j = j;
+            best_h = h;
+          }
+        }
+        if (must_connect) break;  // do not fall back to cartesian products
+      }
+      if (best_j < 0) {
+        dead = true;  // no connected extension exists
+        break;
+      }
+      cost += best_h;
+      // Update the intermediate size.
+      LogDouble next = intermediate * inst.size(best_j);
+      for (int k : prefix) {
+        if (inst.graph().HasEdge(k, best_j))
+          next *= inst.selectivity(k, best_j);
+      }
+      intermediate = next;
+      prefix.push_back(best_j);
+      placed.Set(best_j);
+    }
+    if (dead) continue;
+    if (!result.feasible || cost < result.cost) {
+      result.feasible = true;
+      result.cost = cost;
+      result.sequence = prefix;
+    }
+  }
+  return result;
+}
+
+OptimizerResult RandomSamplingOptimizer(const QonInstance& inst, Rng* rng,
+                                        int samples,
+                                        const OptimizerOptions& options) {
+  AQO_CHECK(samples >= 1);
+  OptimizerResult result;
+  for (int s = 0; s < samples; ++s) {
+    JoinSequence seq = RandomSequence(inst, rng, options.forbid_cartesian);
+    if (!SequenceAllowed(inst, seq, options)) continue;
+    LogDouble cost = QonSequenceCost(inst, seq);
+    ++result.evaluations;
+    if (!result.feasible || cost < result.cost) {
+      result.feasible = true;
+      result.cost = cost;
+      result.sequence = std::move(seq);
+    }
+  }
+  return result;
+}
+
+OptimizerResult SimulatedAnnealingOptimizer(const QonInstance& inst, Rng* rng,
+                                            const AnnealingOptions& options) {
+  int n = inst.NumRelations();
+  AQO_CHECK(n >= 2);
+  OptimizerResult result;
+  for (int restart = 0; restart < options.restarts; ++restart) {
+    JoinSequence current = RandomSequence(inst, rng, options.base.forbid_cartesian);
+    if (!SequenceAllowed(inst, current, options.base)) continue;
+    LogDouble current_cost = QonSequenceCost(inst, current);
+    ++result.evaluations;
+    if (!result.feasible || current_cost < result.cost) {
+      result.feasible = true;
+      result.cost = current_cost;
+      result.sequence = current;
+    }
+    double temperature = options.initial_temperature;
+    for (int it = 0; it < options.iterations; ++it) {
+      JoinSequence candidate = current;
+      if (rng->Bernoulli(0.5)) {
+        // Swap two positions.
+        size_t a = static_cast<size_t>(rng->UniformInt(0, n - 1));
+        size_t b = static_cast<size_t>(rng->UniformInt(0, n - 1));
+        std::swap(candidate[a], candidate[b]);
+      } else {
+        // Relocate one relation.
+        size_t from = static_cast<size_t>(rng->UniformInt(0, n - 1));
+        size_t to = static_cast<size_t>(rng->UniformInt(0, n - 1));
+        int v = candidate[from];
+        candidate.erase(candidate.begin() + static_cast<int64_t>(from));
+        candidate.insert(candidate.begin() + static_cast<int64_t>(to), v);
+      }
+      temperature *= options.cooling;
+      if (!SequenceAllowed(inst, candidate, options.base)) continue;
+      LogDouble candidate_cost = QonSequenceCost(inst, candidate);
+      ++result.evaluations;
+      // Energy is log2 cost; accept uphill moves with the Boltzmann rule.
+      double delta = candidate_cost.Log2() - current_cost.Log2();
+      if (delta <= 0.0 ||
+          rng->UniformReal() < std::exp(-delta / std::max(temperature, 1e-9))) {
+        current = std::move(candidate);
+        current_cost = candidate_cost;
+        if (current_cost < result.cost) {
+          result.cost = current_cost;
+          result.sequence = current;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+OptimizerResult IterativeImprovementOptimizer(const QonInstance& inst,
+                                              Rng* rng, int restarts,
+                                              const OptimizerOptions& options) {
+  int n = inst.NumRelations();
+  AQO_CHECK(n >= 2);
+  OptimizerResult result;
+  for (int restart = 0; restart < restarts; ++restart) {
+    JoinSequence current = RandomSequence(inst, rng, options.forbid_cartesian);
+    if (!SequenceAllowed(inst, current, options)) continue;
+    LogDouble current_cost = QonSequenceCost(inst, current);
+    ++result.evaluations;
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (size_t a = 0; a < current.size() && !improved; ++a) {
+        for (size_t b = a + 1; b < current.size() && !improved; ++b) {
+          std::swap(current[a], current[b]);
+          bool ok = SequenceAllowed(inst, current, options);
+          if (ok) {
+            LogDouble cost = QonSequenceCost(inst, current);
+            ++result.evaluations;
+            if (cost < current_cost) {
+              current_cost = cost;
+              improved = true;
+              break;
+            }
+          }
+          if (!improved) std::swap(current[a], current[b]);  // undo
+        }
+      }
+    }
+    if (!result.feasible || current_cost < result.cost) {
+      result.feasible = true;
+      result.cost = current_cost;
+      result.sequence = current;
+    }
+  }
+  return result;
+}
+
+QohOptimizerResult ExhaustiveQohOptimizer(const QohInstance& inst) {
+  int n = inst.NumRelations();
+  AQO_CHECK(n >= 2);
+  AQO_CHECK(n <= 9) << "exhaustive QO_H search is n! * n^2";
+  QohOptimizerResult result;
+  JoinSequence seq = IdentitySequence(n);
+  do {
+    QohPlan plan = OptimalDecomposition(inst, seq);
+    ++result.evaluations;
+    if (plan.feasible && (!result.feasible || plan.cost < result.cost)) {
+      result.feasible = true;
+      result.cost = plan.cost;
+      result.sequence = seq;
+      result.decomposition = plan.decomposition;
+    }
+  } while (std::next_permutation(seq.begin(), seq.end()));
+  return result;
+}
+
+QohOptimizerResult GreedyQohOptimizer(const QohInstance& inst) {
+  int n = inst.NumRelations();
+  AQO_CHECK(n >= 2);
+  QohOptimizerResult result;
+  for (int start = 0; start < n; ++start) {
+    JoinSequence seq = {start};
+    DynamicBitset placed(n);
+    placed.Set(start);
+    LogDouble intermediate = inst.size(start);
+    while (static_cast<int>(seq.size()) < n) {
+      int best_j = -1;
+      LogDouble best_size;
+      for (int j = 0; j < n; ++j) {
+        if (placed.Test(j)) continue;
+        LogDouble next = intermediate * inst.size(j);
+        for (int k : seq) {
+          if (inst.graph().HasEdge(k, j)) next *= inst.selectivity(k, j);
+        }
+        if (best_j < 0 || next < best_size) {
+          best_j = j;
+          best_size = next;
+        }
+      }
+      seq.push_back(best_j);
+      placed.Set(best_j);
+      intermediate = best_size;
+    }
+    QohPlan plan = OptimalDecomposition(inst, seq);
+    ++result.evaluations;
+    if (plan.feasible && (!result.feasible || plan.cost < result.cost)) {
+      result.feasible = true;
+      result.cost = plan.cost;
+      result.sequence = seq;
+      result.decomposition = plan.decomposition;
+    }
+  }
+  return result;
+}
+
+}  // namespace aqo

@@ -1,0 +1,92 @@
+#ifndef AQO_QO_OPTIMIZERS_H_
+#define AQO_QO_OPTIMIZERS_H_
+
+// Join-order optimizers for QO_N instances, and an exhaustive optimizer for
+// QO_H. These are the algorithms the hardness theorems speak about: exact
+// ones (exponential) establish ground truth on small instances; the
+// polynomial heuristics are the "approximation algorithms" whose
+// competitive ratio the paper proves cannot be polylogarithmic.
+
+#include <cstdint>
+
+#include "qo/qoh.h"
+#include "qo/qon.h"
+#include "util/random.h"
+
+namespace aqo {
+
+struct OptimizerResult {
+  bool feasible = false;    // false when constraints rule out every sequence
+  JoinSequence sequence;
+  LogDouble cost;
+  uint64_t evaluations = 0;  // sequences (or DP states) costed
+};
+
+struct OptimizerOptions {
+  // Disallow cartesian products (every non-first relation must connect to
+  // the prefix). The paper notes (end of Section 4) the gap persists under
+  // this restriction.
+  bool forbid_cartesian = false;
+};
+
+// Tries all n! permutations. Guarded to n <= 10.
+OptimizerResult ExhaustiveQonOptimizer(const QonInstance& inst,
+                                       const OptimizerOptions& options = {});
+
+// Exact left-deep optimum by dynamic programming over relation subsets.
+// Correct because the QO_N extension cost depends on the prefix only
+// through its *set*: N(X) and min_{k in X} AccessCost(k, j) are
+// order-independent. O(2^n * n^2); guarded to n <= 24.
+OptimizerResult DpQonOptimizer(const QonInstance& inst,
+                               const OptimizerOptions& options = {});
+
+// Greedy: tries every relation as the first, then repeatedly appends the
+// relation with the cheapest next join. O(n^3). Polynomial baseline.
+OptimizerResult GreedyQonOptimizer(const QonInstance& inst,
+                                   const OptimizerOptions& options = {});
+
+// Best of `samples` uniformly random (feasible) sequences.
+OptimizerResult RandomSamplingOptimizer(const QonInstance& inst, Rng* rng,
+                                        int samples,
+                                        const OptimizerOptions& options = {});
+
+struct AnnealingOptions {
+  int iterations = 20000;
+  double initial_temperature = 5.0;  // in log2-cost units
+  double cooling = 0.999;
+  int restarts = 3;
+  OptimizerOptions base;
+};
+
+// Simulated annealing over permutations (swap + relocate moves), with the
+// standard accept rule applied to log2-cost differences.
+OptimizerResult SimulatedAnnealingOptimizer(const QonInstance& inst, Rng* rng,
+                                            const AnnealingOptions& options = {});
+
+// Iterative improvement (first-improvement local search over swap moves)
+// from random starts until a local optimum; keeps the best of `restarts`.
+OptimizerResult IterativeImprovementOptimizer(
+    const QonInstance& inst, Rng* rng, int restarts = 8,
+    const OptimizerOptions& options = {});
+
+// --- QO_H ---
+
+struct QohOptimizerResult {
+  bool feasible = false;
+  JoinSequence sequence;
+  PipelineDecomposition decomposition;
+  LogDouble cost;
+  uint64_t evaluations = 0;
+};
+
+// Exhaustive over permutations, each costed with its optimal decomposition.
+// Guarded to n <= 9.
+QohOptimizerResult ExhaustiveQohOptimizer(const QohInstance& inst);
+
+// Greedy sequence construction for QO_H (min next intermediate size), then
+// optimal decomposition. Polynomial baseline.
+QohOptimizerResult GreedyQohOptimizer(const QohInstance& inst);
+
+}  // namespace aqo
+
+#endif  // AQO_QO_OPTIMIZERS_H_

@@ -1,0 +1,140 @@
+#ifndef AQO_QO_QOH_H_
+#define AQO_QO_QOH_H_
+
+// The QO_H problem (paper Section 2.2): join sequences executed as a chain
+// of pipelined hash joins under a global memory budget M.
+//
+// Execution model. A join sequence Z is split into contiguous fragments
+// (pipelines). Within a pipeline, each join builds a hash table on its
+// *inner* base relation R_{z_{j+1}} and probes it with the stream arriving
+// from the previous join; the fragment's input is read from disk and its
+// output is materialized to disk.
+//
+// Cost model. The I/O cost of one hash join with outer size b_R, inner size
+// b_S, and memory m is
+//     h(m, b_R, b_S) = (b_R + b_S) * g(m, b_S) + b_S,    m >= hjmin(b_S),
+// where hjmin(b) = ceil(b^eta) (eta in (0,1), paper: Theta(b^eta)) and g is
+// the concrete instantiation
+//     g(m, b) = (b - m) / (b - hjmin(b))   clamped to [0, 1]
+// which satisfies the paper's axioms: linear decreasing on [hjmin, b], zero
+// for m >= b, continuous, and g(hjmin, b) = 1 = Theta(1).
+//
+// The cost of executing pipeline P(Z, i, k) under a memory allocation is
+//     N_{i-1}(Z) + sum_{j=i..k} h(m_j, N_{j-1}(Z), t_{z_{j+1}}) + N_k(Z),
+// subject to sum_j m_j <= M and m_j >= hjmin(t_{z_{j+1}}).
+//
+// Numeric split. Intermediate sizes N_j are astronomically large and are
+// carried as LogDouble. Memory amounts are *linear* doubles: the optimal
+// allocator must distinguish budgets that differ by a single hjmin(t),
+// which log-domain arithmetic cannot. Any relation whose hash table would
+// need to fit in memory must therefore have size <= 2^52 pages; relations
+// larger than that (like the paper's sentinel R_0 with t_0 = (n t)^12) can
+// never be an inner relation of a feasible pipeline — which is exactly the
+// role the construction gives them.
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "qo/join_sequence.h"
+#include "util/log_double.h"
+
+namespace aqo {
+
+class QohInstance {
+ public:
+  QohInstance() = default;
+
+  // `memory` is the budget M in pages; `eta` parameterizes hjmin.
+  QohInstance(Graph graph, std::vector<LogDouble> sizes, double memory,
+              double eta = 0.5);
+
+  int NumRelations() const { return graph_.NumVertices(); }
+  const Graph& graph() const { return graph_; }
+
+  LogDouble size(int i) const { return sizes_[static_cast<size_t>(i)]; }
+  LogDouble selectivity(int i, int j) const { return sel_[Index(i, j)]; }
+  // Requires an edge and 0 < s <= 1.
+  void SetSelectivity(int i, int j, LogDouble s);
+
+  double memory() const { return memory_; }
+  void SetMemory(double m);
+  double eta() const { return eta_; }
+
+  // hjmin(b) = ceil(b^eta).
+  LogDouble HashJoinMinMemory(LogDouble pages) const;
+
+  void Validate() const;
+
+ private:
+  size_t Index(int i, int j) const {
+    AQO_DCHECK(0 <= i && i < NumRelations());
+    AQO_DCHECK(0 <= j && j < NumRelations());
+    return static_cast<size_t>(i) * static_cast<size_t>(NumRelations()) +
+           static_cast<size_t>(j);
+  }
+
+  Graph graph_;
+  std::vector<LogDouble> sizes_;
+  std::vector<LogDouble> sel_;
+  double memory_ = 0.0;
+  double eta_ = 0.5;
+};
+
+// N(prefix) for prefix lengths 0..n (entry 0 is 1), with the QO_H
+// selectivity semantics (same formula as QO_N).
+std::vector<LogDouble> QohPrefixSizes(const QohInstance& inst,
+                                      const JoinSequence& seq);
+
+// A pipeline decomposition of the n-1 joins of a sequence: fragment f
+// covers joins [starts[f], starts[f+1]-1] in 1-based join indices;
+// starts[0] == 1 and an implicit end at n-1.
+struct PipelineDecomposition {
+  std::vector<int> starts;  // increasing, first element 1
+
+  int NumFragments() const { return static_cast<int>(starts.size()); }
+  // [first_join, last_join] of fragment f, 1-based, given total join count.
+  std::pair<int, int> Fragment(int f, int total_joins) const;
+};
+
+struct PipelineCostResult {
+  bool feasible = false;
+  LogDouble cost;  // meaningful only when feasible
+  // Memory given to each join of the pipeline, aligned with join order.
+  std::vector<double> allocation;
+};
+
+// Cost of executing joins [first_join, last_join] (1-based) of `seq` as one
+// pipeline under the *optimal* memory allocation (continuous greedy, which
+// is exact because each join's cost is linear in its memory grant).
+// Infeasible when the minimum memory requirements alone exceed M or some
+// inner hash table cannot be built at all.
+PipelineCostResult OptimalPipelineCost(const QohInstance& inst,
+                                       const JoinSequence& seq, int first_join,
+                                       int last_join);
+
+// Total cost of a given decomposition (sum of fragment costs), with
+// optimal memory allocation inside every fragment.
+PipelineCostResult DecompositionCost(const QohInstance& inst,
+                                     const JoinSequence& seq,
+                                     const PipelineDecomposition& decomp);
+
+struct QohPlan {
+  bool feasible = false;
+  LogDouble cost;
+  PipelineDecomposition decomposition;
+};
+
+// Optimal pipeline decomposition of `seq` by dynamic programming over
+// break points (O(n^2) pipeline evaluations).
+QohPlan OptimalDecomposition(const QohInstance& inst, const JoinSequence& seq);
+
+// Convenience: cost of the best decomposition of `seq`; infeasible plans
+// yield feasible=false.
+inline QohPlan QohSequenceCost(const QohInstance& inst, const JoinSequence& seq) {
+  return OptimalDecomposition(inst, seq);
+}
+
+}  // namespace aqo
+
+#endif  // AQO_QO_QOH_H_

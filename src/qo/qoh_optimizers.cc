@@ -1,0 +1,150 @@
+#include "qo/qoh_optimizers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace aqo {
+
+namespace {
+
+JoinSequence RandomQohSequence(int n, Rng* rng, int sentinel_first) {
+  JoinSequence seq;
+  if (sentinel_first >= 0) {
+    seq.push_back(sentinel_first);
+    for (int v = 0; v < n; ++v) {
+      if (v != sentinel_first) seq.push_back(v);
+    }
+    // Shuffle the tail only.
+    for (size_t i = seq.size() - 1; i > 1; --i) {
+      size_t j = static_cast<size_t>(rng->UniformInt(1, static_cast<int64_t>(i)));
+      std::swap(seq[i], seq[j]);
+    }
+  } else {
+    seq = IdentitySequence(n);
+    rng->Shuffle(&seq);
+  }
+  return seq;
+}
+
+void Consider(const QohInstance& inst, const JoinSequence& seq,
+              QohOptimizerResult* best) {
+  QohPlan plan = OptimalDecomposition(inst, seq);
+  ++best->evaluations;
+  if (plan.feasible && (!best->feasible || plan.cost < best->cost)) {
+    best->feasible = true;
+    best->cost = plan.cost;
+    best->sequence = seq;
+    best->decomposition = plan.decomposition;
+  }
+}
+
+// Positions eligible for moves: everything when sentinel_first < 0,
+// otherwise positions 1..n-1.
+size_t FirstMovable(int sentinel_first) { return sentinel_first >= 0 ? 1 : 0; }
+
+}  // namespace
+
+QohOptimizerResult RandomSamplingQohOptimizer(const QohInstance& inst,
+                                              Rng* rng, int samples,
+                                              int sentinel_first) {
+  AQO_CHECK(samples >= 1);
+  int n = inst.NumRelations();
+  QohOptimizerResult best;
+  for (int s = 0; s < samples; ++s) {
+    Consider(inst, RandomQohSequence(n, rng, sentinel_first), &best);
+  }
+  return best;
+}
+
+QohOptimizerResult IterativeImprovementQohOptimizer(const QohInstance& inst,
+                                                    Rng* rng, int restarts,
+                                                    int sentinel_first) {
+  AQO_CHECK(restarts >= 1);
+  int n = inst.NumRelations();
+  QohOptimizerResult best;
+  for (int r = 0; r < restarts; ++r) {
+    JoinSequence current = RandomQohSequence(n, rng, sentinel_first);
+    QohPlan plan = OptimalDecomposition(inst, current);
+    ++best.evaluations;
+    if (!plan.feasible) continue;
+    LogDouble current_cost = plan.cost;
+    if (!best.feasible || current_cost < best.cost) {
+      best.feasible = true;
+      best.cost = current_cost;
+      best.sequence = current;
+      best.decomposition = plan.decomposition;
+    }
+    bool improved = true;
+    size_t lo = FirstMovable(sentinel_first);
+    while (improved) {
+      improved = false;
+      for (size_t a = lo; a + 1 < current.size() && !improved; ++a) {
+        std::swap(current[a], current[a + 1]);
+        QohPlan candidate = OptimalDecomposition(inst, current);
+        ++best.evaluations;
+        if (candidate.feasible && candidate.cost < current_cost) {
+          current_cost = candidate.cost;
+          improved = true;
+          if (current_cost < best.cost) {
+            best.cost = current_cost;
+            best.sequence = current;
+            best.decomposition = candidate.decomposition;
+          }
+        } else {
+          std::swap(current[a], current[a + 1]);  // undo
+        }
+      }
+    }
+  }
+  return best;
+}
+
+QohOptimizerResult SimulatedAnnealingQohOptimizer(
+    const QohInstance& inst, Rng* rng, const QohAnnealingOptions& options) {
+  int n = inst.NumRelations();
+  QohOptimizerResult best;
+  size_t lo = FirstMovable(options.sentinel_first);
+  for (int r = 0; r < options.restarts; ++r) {
+    JoinSequence current = RandomQohSequence(n, rng, options.sentinel_first);
+    QohPlan plan = OptimalDecomposition(inst, current);
+    ++best.evaluations;
+    if (!plan.feasible) continue;
+    LogDouble current_cost = plan.cost;
+    if (!best.feasible || current_cost < best.cost) {
+      best.feasible = true;
+      best.cost = current_cost;
+      best.sequence = current;
+      best.decomposition = plan.decomposition;
+    }
+    double temperature = options.initial_temperature;
+    for (int it = 0; it < options.iterations; ++it) {
+      temperature *= options.cooling;
+      JoinSequence candidate = current;
+      if (static_cast<size_t>(n) - lo < 2) break;
+      size_t a = static_cast<size_t>(
+          rng->UniformInt(static_cast<int64_t>(lo), n - 1));
+      size_t b = static_cast<size_t>(
+          rng->UniformInt(static_cast<int64_t>(lo), n - 1));
+      std::swap(candidate[a], candidate[b]);
+      QohPlan next = OptimalDecomposition(inst, candidate);
+      ++best.evaluations;
+      if (!next.feasible) continue;
+      double delta = next.cost.Log2() - current_cost.Log2();
+      if (delta <= 0.0 ||
+          rng->UniformReal() < std::exp(-delta / std::max(temperature, 1e-9))) {
+        current = std::move(candidate);
+        current_cost = next.cost;
+        if (current_cost < best.cost) {
+          best.cost = current_cost;
+          best.sequence = current;
+          best.decomposition = next.decomposition;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace aqo

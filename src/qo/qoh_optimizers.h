@@ -1,0 +1,44 @@
+#ifndef AQO_QO_QOH_OPTIMIZERS_H_
+#define AQO_QO_QOH_OPTIMIZERS_H_
+
+// Heuristic optimizers for QO_H (sequence search on top of the optimal
+// pipeline-decomposition DP). The exhaustive and greedy baselines live in
+// optimizers.h; these add the sampling / local-search / annealing family,
+// each costing candidate sequences with OptimalDecomposition — so every
+// result is a *complete* executable plan (sequence + decomposition +
+// memory allocation).
+
+#include "qo/optimizers.h"
+#include "qo/qoh.h"
+#include "util/random.h"
+
+namespace aqo {
+
+// Best of `samples` random sequences. Sequences start from a random
+// relation; when `sentinel_first` >= 0 every sample starts with that
+// relation (the f_H instances admit nothing else).
+QohOptimizerResult RandomSamplingQohOptimizer(const QohInstance& inst,
+                                              Rng* rng, int samples,
+                                              int sentinel_first = -1);
+
+// First-improvement local search over adjacent transpositions and random
+// relocations, from `restarts` random starts.
+QohOptimizerResult IterativeImprovementQohOptimizer(const QohInstance& inst,
+                                                    Rng* rng,
+                                                    int restarts = 4,
+                                                    int sentinel_first = -1);
+
+struct QohAnnealingOptions {
+  int iterations = 3000;
+  double initial_temperature = 5.0;  // log2-cost units
+  double cooling = 0.998;
+  int restarts = 2;
+  int sentinel_first = -1;
+};
+
+QohOptimizerResult SimulatedAnnealingQohOptimizer(
+    const QohInstance& inst, Rng* rng, const QohAnnealingOptions& options = {});
+
+}  // namespace aqo
+
+#endif  // AQO_QO_QOH_OPTIMIZERS_H_

@@ -1,0 +1,112 @@
+#include "qo/qon.h"
+
+namespace aqo {
+
+QonInstance::QonInstance(Graph graph, std::vector<LogDouble> sizes)
+    : graph_(std::move(graph)), sizes_(std::move(sizes)) {
+  int n = graph_.NumVertices();
+  AQO_CHECK_EQ(static_cast<int>(sizes_.size()), n);
+  for (LogDouble t : sizes_) AQO_CHECK(t > LogDouble::Zero());
+  sel_.assign(static_cast<size_t>(n) * static_cast<size_t>(n), LogDouble::One());
+  w_.assign(static_cast<size_t>(n) * static_cast<size_t>(n), LogDouble::One());
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      if (k != j) ResetDefaultAccessCost(k, j);
+    }
+  }
+}
+
+void QonInstance::SetSize(int i, LogDouble t) {
+  AQO_CHECK(t > LogDouble::Zero());
+  sizes_[static_cast<size_t>(i)] = t;
+  for (int k = 0; k < NumRelations(); ++k) {
+    if (k != i) {
+      ResetDefaultAccessCost(k, i);
+      ResetDefaultAccessCost(i, k);
+    }
+  }
+}
+
+void QonInstance::SetSelectivity(int i, int j, LogDouble s) {
+  AQO_CHECK(graph_.HasEdge(i, j)) << "selectivity on non-edge " << i << "," << j;
+  AQO_CHECK(s > LogDouble::Zero() && s <= LogDouble::One());
+  sel_[Index(i, j)] = s;
+  sel_[Index(j, i)] = s;
+  ResetDefaultAccessCost(i, j);
+  ResetDefaultAccessCost(j, i);
+}
+
+void QonInstance::ResetDefaultAccessCost(int k, int j) {
+  // Default: perfect index when a predicate exists (expected matching
+  // tuples, the lower bound), full scan otherwise.
+  w_[Index(k, j)] = sizes_[static_cast<size_t>(j)] * sel_[Index(k, j)];
+}
+
+void QonInstance::SetAccessCost(int k, int j, LogDouble w) {
+  AQO_CHECK(k != j);
+  LogDouble lo = sizes_[static_cast<size_t>(j)] * sel_[Index(k, j)];
+  LogDouble hi = sizes_[static_cast<size_t>(j)];
+  AQO_CHECK(lo <= w && w <= hi)
+      << "access cost out of [t_j s, t_j]: w=" << w << " lo=" << lo
+      << " hi=" << hi;
+  w_[Index(k, j)] = w;
+}
+
+void QonInstance::Validate() const {
+  int n = NumRelations();
+  for (int i = 0; i < n; ++i) {
+    AQO_CHECK(sizes_[static_cast<size_t>(i)] > LogDouble::Zero());
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      AQO_CHECK(sel_[Index(i, j)] == sel_[Index(j, i)]) << "asymmetric S";
+      if (!graph_.HasEdge(i, j)) {
+        AQO_CHECK(sel_[Index(i, j)] == LogDouble::One())
+            << "selectivity != 1 on non-edge";
+      }
+      LogDouble lo = sizes_[static_cast<size_t>(j)] * sel_[Index(i, j)];
+      LogDouble hi = sizes_[static_cast<size_t>(j)];
+      AQO_CHECK(lo <= w_[Index(i, j)] && w_[Index(i, j)] <= hi)
+          << "W out of range at (" << i << "," << j << ")";
+    }
+  }
+}
+
+std::vector<LogDouble> PrefixSizes(const QonInstance& inst,
+                                   const JoinSequence& seq) {
+  AQO_CHECK(IsPermutation(seq, inst.NumRelations()));
+  std::vector<LogDouble> sizes(seq.size() + 1);
+  sizes[0] = LogDouble::One();
+  for (size_t i = 0; i < seq.size(); ++i) {
+    int v = seq[i];
+    LogDouble next = sizes[i] * inst.size(v);
+    for (size_t j = 0; j < i; ++j) {
+      if (inst.graph().HasEdge(seq[j], v)) next *= inst.selectivity(seq[j], v);
+    }
+    sizes[i + 1] = next;
+  }
+  return sizes;
+}
+
+std::vector<LogDouble> QonJoinCosts(const QonInstance& inst,
+                                    const JoinSequence& seq) {
+  std::vector<LogDouble> prefix = PrefixSizes(inst, seq);
+  std::vector<LogDouble> costs;
+  costs.reserve(seq.size() - 1);
+  for (size_t i = 1; i < seq.size(); ++i) {
+    int next = seq[i];
+    LogDouble min_w = inst.AccessCost(seq[0], next);
+    for (size_t j = 1; j < i; ++j) {
+      min_w = MinOf(min_w, inst.AccessCost(seq[j], next));
+    }
+    costs.push_back(prefix[i] * min_w);
+  }
+  return costs;
+}
+
+LogDouble QonSequenceCost(const QonInstance& inst, const JoinSequence& seq) {
+  LogDouble total = LogDouble::Zero();
+  for (LogDouble h : QonJoinCosts(inst, seq)) total += h;
+  return total;
+}
+
+}  // namespace aqo

@@ -1,0 +1,78 @@
+#ifndef AQO_REDUCTIONS_CLIQUE_TO_QOH_H_
+#define AQO_REDUCTIONS_CLIQUE_TO_QOH_H_
+
+// The reduction f_H of Section 5: (2/3)CLIQUE -> QO_H.
+//
+// Given a graph G on n vertices (n divisible by 3), the QO_H instance adds
+// a sentinel relation R_0 joined to every vertex:
+//   * relations in V have t = alpha^{(n-1)/2} tuples; R_0 has
+//     t_0 = (n t)^{12} tuples, so large that hjmin(t_0) > M — no feasible
+//     plan can hash R_0, forcing every feasible sequence to start with it;
+//   * selectivities: 1/alpha on E, 1/2 on the R_0 spokes;
+//   * memory M = (n/3 - 1) t + 2 hjmin(t): a pipeline of n/3 - 1 joins runs
+//     fully in memory, one of n/3 (or n/3 + 1) joins must starve one (two)
+//     hash tables down to hjmin, re-reading their outer streams.
+//
+// Bounds (with L(alpha,n) = t_0 alpha^{n^2/9}):
+//   * Lemma 12 (YES): omega(G) >= 2n/3 gives a 5-pipeline plan of cost
+//     O(L(alpha, n)) — the clique prefix keeps every materialized
+//     intermediate (N_1, N_{n/3}, N_{2n/3}, N_{n-1}, N_n) small;
+//   * Lemmas 13/14 (NO): omega(G) <= (2-eps)n/3 forces joins
+//     J_{n/3+1} .. J_{2n/3+1} — all with Omega(G(alpha,n)) outputs, where
+//     G(alpha,n) = L * alpha^{n eps/3 - 1} — into one pipeline that cannot
+//     be fed enough memory, costing Omega(G(alpha, n)).
+//
+// Numeric constraint: t is an *inner* hash-table size and must be exact in
+// linear double arithmetic, so log2(alpha) * (n-1)/2 <= 52 is enforced
+// (pick alpha accordingly; the gap is alpha^{Theta(n)} for every alpha >= 4).
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "qo/qoh.h"
+#include "util/log_double.h"
+
+namespace aqo {
+
+struct QohGapParams {
+  double log2_alpha = 2.0;   // alpha = 2^log2_alpha >= 4
+  double eta = 0.5;          // hjmin(b) = ceil(b^eta)
+  double t0_exponent = 12.0; // t_0 = (n t)^{t0_exponent}
+};
+
+struct QohGapInstance {
+  QohInstance instance;  // n+1 relations; relation 0 is the sentinel R_0
+  QohGapParams params;
+  int n = 0;             // |V(G)|; instance has n+1 relations
+  LogDouble t;
+  LogDouble t0;
+  LogDouble alpha;
+
+  // L(alpha, n) = t_0 * alpha^{n^2/9}.
+  LogDouble LBound() const;
+  // G(alpha, n) = L * alpha^{n*epsilon/3 - 1}, the NO-side floor when
+  // omega(G) <= (2 - epsilon) n / 3.
+  LogDouble GBound(double epsilon) const;
+
+  // Maps a vertex of the source graph to its relation index (v + 1).
+  int RelationOf(int source_vertex) const { return source_vertex + 1; }
+};
+
+// Applies f_H. Requires n >= 9, n % 3 == 0, and the double-exactness
+// constraint above; validates hjmin(t_0) > M.
+QohGapInstance ReduceTwoThirdsCliqueToQoh(const Graph& g,
+                                          const QohGapParams& params);
+
+struct QohWitnessPlan {
+  JoinSequence sequence;
+  PipelineDecomposition decomposition;
+};
+
+// Lemma 12's witness: R_0, then the 2n/3 clique vertices, then the rest;
+// pipelines P(1,1), P(2,n/3), P(n/3+1,2n/3), P(2n/3+1,n-1), P(n,n).
+QohWitnessPlan QohYesWitness(const QohGapInstance& gap,
+                             const std::vector<int>& clique_in_source);
+
+}  // namespace aqo
+
+#endif  // AQO_REDUCTIONS_CLIQUE_TO_QOH_H_

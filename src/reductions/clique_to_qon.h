@@ -1,0 +1,82 @@
+#ifndef AQO_REDUCTIONS_CLIQUE_TO_QON_H_
+#define AQO_REDUCTIONS_CLIQUE_TO_QON_H_
+
+// The reduction f_N of Section 4: CLIQUE -> QO_N.
+//
+// Given a graph G with n vertices and parameters (c, d, alpha) with
+// alpha >= 4, the QO_N instance is:
+//   * query graph Q = G;
+//   * selectivity 1/alpha on every edge;
+//   * every relation size t = alpha^{(c - d/2) n};
+//   * access costs w = t/alpha on edges and t on non-edges (the defaults).
+//
+// With p = (c - d/2) n, define K_{c,d}(alpha, n) = w * alpha^{p(p+1)/2 + 1}.
+// The paper proves:
+//   * Lemma 6 (YES): if omega(G) >= c n, the clique-first sequence costs
+//     at most K_{c,d}(alpha, n);
+//   * Lemma 8 (NO): if omega(G) <= (c-d) n, every sequence costs at least
+//     K_{c,d}(alpha, n) * alpha^{(d/2) n - 1}.
+// Composed with Lemma 3 this yields Theorem 9: approximating QO_N within
+// 2^{log^{1-delta} K} is NP-hard (set alpha = 4^{n^{1/delta}}).
+//
+// alpha is passed as log2(alpha): the paper's asymptotic setting makes it
+// astronomically large, and every derived quantity lives in LogDouble.
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "qo/qon.h"
+#include "util/log_double.h"
+
+namespace aqo {
+
+struct QonGapParams {
+  double c = 0.75;          // YES threshold: omega >= c*n
+  double d = 0.25;          // NO promise: omega <= (c-d)*n
+  double log2_alpha = 8.0;  // alpha = 2^log2_alpha; must give alpha >= 4
+};
+
+struct QonGapInstance {
+  QonInstance instance;
+  QonGapParams params;
+  int n = 0;     // number of relations / vertices
+  LogDouble t;   // relation size
+  LogDouble w;   // edge access cost t/alpha
+  LogDouble alpha;
+
+  // p = (c - d/2) n, the position where H_i peaks along a clique prefix.
+  double PeakPosition() const;
+
+  // K_{c,d}(alpha, n) = w * alpha^{p(p+1)/2 + 1}.
+  LogDouble KBound() const;
+
+  // The paper's NO-side bound K * alpha^{(d/2) n - 1} (Lemma 8).
+  LogDouble NoSideBound() const;
+
+  // A certified lower bound on C(Z) over *all* join sequences given an
+  // upper bound on omega(G): max over positions i of
+  //   w * alpha^{p*i - Dmax(i)},    Dmax(i) = i(i-1)/2 - i + min(omega, i)
+  // (Lemma 7 bounds the edges of any i-vertex induced subgraph). This is
+  // the inequality chain of Lemma 8 evaluated exactly.
+  LogDouble CertifiedLowerBound(int omega_upper) const;
+};
+
+// Applies f_N. Aborts when log2_alpha < 2 (alpha >= 4 is needed by the
+// geometric-sum argument of Lemma 6).
+QonGapInstance ReduceCliqueToQon(const Graph& g, const QonGapParams& params);
+
+// Lemma 6's witness: `clique` first (any order), then the remaining
+// vertices in a connectivity-greedy order (no cartesian products whenever
+// the graph is connected).
+JoinSequence CliqueFirstWitness(const Graph& g, const std::vector<int>& clique);
+
+// Cost-aware variant: same clique prefix, but the tail appends whichever
+// relation has the cheapest next join. Still a valid Lemma 6 witness, and
+// much tighter on instances whose tail degrees are irregular (e.g. the
+// composed Theorem 9 instances at small n).
+JoinSequence CliqueFirstWitnessGreedy(const QonInstance& inst,
+                                      const std::vector<int>& clique);
+
+}  // namespace aqo
+
+#endif  // AQO_REDUCTIONS_CLIQUE_TO_QON_H_

@@ -1,0 +1,74 @@
+#ifndef AQO_REDUCTIONS_PIPELINE_H_
+#define AQO_REDUCTIONS_PIPELINE_H_
+
+// End-to-end composition of the paper's reduction chains:
+//
+//   Theorem 9:  3SAT --(Lemma 3)--> CLIQUE --(f_N)--> QO_N
+//   Theorem 15: 3SAT --(Lemma 4)--> (2/3)CLIQUE --(f_H)--> QO_H
+//
+// The composed functions also produce *certificates* on both sides:
+// satisfiable formulas yield an explicit witness plan whose cost is checked
+// against K (resp. L); formulas with u* > 0 minimum unsatisfied clauses
+// yield omega(G) = YesCliqueSize - u* and hence a certified cost floor.
+// (The PCP amplification of Theorem 1 — which manufactures the constant
+// gap in u* — is the one non-implementable ingredient; the ground truth u*
+// here comes from exact solvers on small formulas instead.)
+
+#include <optional>
+
+#include "reductions/clique_to_qoh.h"
+#include "reductions/clique_to_qon.h"
+#include "reductions/sat_to_clique.h"
+#include "sat/cnf.h"
+
+namespace aqo {
+
+struct SatToQonComposition {
+  bool satisfiable = false;
+  int min_unsat = -1;  // u*; exact when computed, -1 when skipped
+  SatToCliqueResult clique_reduction;
+  QonGapInstance gap;
+  // YES side (satisfiable only): Lemma 6 witness and its exact cost.
+  std::optional<JoinSequence> witness;
+  LogDouble witness_cost;
+  // NO side (unsatisfiable with known u* only): certified floor on C(Z).
+  LogDouble certified_floor;
+};
+
+struct SatToQonOptions {
+  double log2_alpha = 8.0;
+  // Gap promise used to fix (c, d) at construction time: NO instances are
+  // assumed to leave at least theta * m clauses unsatisfied.
+  double theta = 0.05;
+  // Compute u* exactly via branch & bound MaxSAT (exponential in v).
+  bool exact_maxsat = true;
+};
+
+// Runs the full Theorem 9 chain on `formula` (must be 3CNF).
+SatToQonComposition ComposeSatToQon(const CnfFormula& formula,
+                                    const SatToQonOptions& options);
+
+struct SatToQohComposition {
+  bool satisfiable = false;
+  int min_unsat = -1;
+  SatToCliqueResult clique_reduction;
+  QohGapInstance gap;
+  std::optional<QohWitnessPlan> witness;
+  LogDouble witness_cost;   // exact cost of the witness plan (YES side)
+  LogDouble l_bound;        // L(alpha, n)
+  LogDouble no_floor;       // G(alpha, n) at the instance's epsilon (NO side)
+};
+
+struct SatToQohOptions {
+  double log2_alpha = 2.0;
+  double eta = 0.5;
+  bool exact_maxsat = true;
+};
+
+// Runs the full Theorem 15 chain on `formula` (must be 3CNF).
+SatToQohComposition ComposeSatToQoh(const CnfFormula& formula,
+                                    const SatToQohOptions& options);
+
+}  // namespace aqo
+
+#endif  // AQO_REDUCTIONS_PIPELINE_H_

@@ -1,0 +1,69 @@
+#ifndef AQO_REDUCTIONS_SAT_TO_CLIQUE_H_
+#define AQO_REDUCTIONS_SAT_TO_CLIQUE_H_
+
+// Lemmas 3 and 4 of the paper: gap-preserving reductions 3SAT -> CLIQUE
+// and 3SAT -> (2/3)CLIQUE.
+//
+// Both start from the Garey-Johnson VERTEX COVER gadget graph G on
+// n0 = 2v + 3m vertices (min-VC = v + 2m + u*, u* = min unsatisfied
+// clauses), take its complement G^c (max clique = independent set of G =
+// n0 - minVC = v + m - u*), and pad with a set of *universal* vertices
+// (complete among themselves and adjacent to everything) to position the
+// clique threshold:
+//
+//   * Lemma 3 (CLIQUE):        add 4v + 3m universal vertices.
+//       |V| = 6v + 6m, omega = 5v + 4m - u*.
+//   * Lemma 4 ((2/3)CLIQUE):   add v + 3m universal vertices.
+//       |V| = 3v + 6m = 3(v + 2m), omega = 2v + 4m - u* = (2/3)|V| - u*.
+//
+// Satisfiable formulas (u* = 0) hit the YES threshold exactly;
+// gap-3SAT NO formulas (u* >= theta*m) fall short by Theta(m) = Theta(|V|).
+//
+// The universal padding keeps the complement's maximum degree equal to the
+// gadget graph's maximum degree, which for 3SAT(13) sources is at most 14
+// (one variable-gadget edge plus <= 13 clause occurrences) — the "degree
+// >= |V| - O(1)" CLIQUE instance class of Section 3.
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "reductions/sat_to_vc.h"
+#include "sat/cnf.h"
+
+namespace aqo {
+
+struct SatToCliqueResult {
+  Graph graph;
+  int num_vars = 0;
+  int num_clauses = 0;
+  int num_universal = 0;  // padding vertices (the last ids)
+  // omega(graph) when u_star clauses must remain unsatisfied.
+  int CliqueSizeForUnsat(int u_star) const;
+  // The YES-side threshold (u_star = 0). For Lemma 4 this is
+  // (2/3)|V| exactly.
+  int YesCliqueSize() const { return CliqueSizeForUnsat(0); }
+
+  // A clique witness of size YesCliqueSize() from a satisfying assignment:
+  // the universal vertices plus the complement of the assignment's cover.
+  std::vector<int> CliqueFromAssignment(const CnfFormula& formula,
+                                        const Assignment& a) const;
+
+  // Effective constants of the instance: c = YesCliqueSize()/|V| and, given
+  // the gap-3SAT promise "u* >= theta*m on NO instances",
+  // (c - d) = (YesCliqueSize() - theta*m)/|V|.
+  double EffectiveC() const;
+  double EffectiveCMinusD(double theta) const;
+
+  // The embedded VERTEX COVER reduction (exposed for inspection/tests).
+  SatToVcResult vc;
+};
+
+// Lemma 3.
+SatToCliqueResult ReduceSatToClique(const CnfFormula& formula);
+
+// Lemma 4.
+SatToCliqueResult ReduceSatToTwoThirdsClique(const CnfFormula& formula);
+
+}  // namespace aqo
+
+#endif  // AQO_REDUCTIONS_SAT_TO_CLIQUE_H_

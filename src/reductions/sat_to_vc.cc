@@ -1,0 +1,79 @@
+#include "reductions/sat_to_vc.h"
+
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace aqo {
+
+namespace {
+
+// Pads a clause to exactly three literals by repeating its last literal.
+Clause PadToThree(const Clause& c) {
+  AQO_CHECK(!c.empty() && c.size() <= 3) << "clause size " << c.size();
+  Clause padded = c;
+  while (padded.size() < 3) padded.push_back(padded.back());
+  return padded;
+}
+
+}  // namespace
+
+SatToVcResult ReduceSatToVertexCover(const CnfFormula& formula) {
+  SatToVcResult result;
+  result.num_vars = formula.num_vars();
+  result.num_clauses = formula.NumClauses();
+  int n = 2 * result.num_vars + 3 * result.num_clauses;
+  Graph g(n);
+
+  for (int var = 1; var <= result.num_vars; ++var) {
+    g.AddEdge(result.PositiveLiteralVertex(var),
+              result.NegativeLiteralVertex(var));
+  }
+  for (int c = 0; c < result.num_clauses; ++c) {
+    Clause clause = PadToThree(formula.clause(c));
+    // Triangle.
+    g.AddEdge(result.ClauseVertex(c, 0), result.ClauseVertex(c, 1));
+    g.AddEdge(result.ClauseVertex(c, 1), result.ClauseVertex(c, 2));
+    g.AddEdge(result.ClauseVertex(c, 0), result.ClauseVertex(c, 2));
+    // Slot-to-literal wiring.
+    for (int s = 0; s < 3; ++s) {
+      Lit l = clause[static_cast<size_t>(s)];
+      int lit_vertex = l > 0 ? result.PositiveLiteralVertex(l)
+                             : result.NegativeLiteralVertex(-l);
+      g.AddEdge(result.ClauseVertex(c, s), lit_vertex);
+    }
+  }
+  result.graph = std::move(g);
+  return result;
+}
+
+std::vector<int> SatToVcResult::CoverFromAssignment(const CnfFormula& formula,
+                                                    const Assignment& a) const {
+  AQO_CHECK_EQ(static_cast<int>(a.size()), num_vars);
+  std::vector<int> cover;
+  for (int var = 1; var <= num_vars; ++var) {
+    cover.push_back(a[static_cast<size_t>(var - 1)]
+                        ? PositiveLiteralVertex(var)
+                        : NegativeLiteralVertex(var));
+  }
+  for (int c = 0; c < num_clauses; ++c) {
+    Clause clause = PadToThree(formula.clause(c));
+    // Keep one satisfied slot (if any) out of the cover; the other two (or
+    // all three if the clause is unsatisfied) go in.
+    int satisfied_slot = -1;
+    for (int s = 0; s < 3; ++s) {
+      Lit l = clause[static_cast<size_t>(s)];
+      bool value = a[static_cast<size_t>(std::abs(l) - 1)];
+      if ((l > 0) == value) {
+        satisfied_slot = s;
+        break;
+      }
+    }
+    for (int s = 0; s < 3; ++s) {
+      if (s != satisfied_slot) cover.push_back(ClauseVertex(c, s));
+    }
+  }
+  return cover;
+}
+
+}  // namespace aqo

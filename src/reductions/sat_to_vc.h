@@ -1,0 +1,56 @@
+#ifndef AQO_REDUCTIONS_SAT_TO_VC_H_
+#define AQO_REDUCTIONS_SAT_TO_VC_H_
+
+// The classical Garey-Johnson gadget reduction 3SAT -> VERTEX COVER
+// (paper Theorem 2, citing [5]), the first hop of the reduction chain:
+//
+//   * per variable x: vertices <x> and <!x> joined by an edge
+//     (any cover takes at least one);
+//   * per clause: a triangle on three slot vertices
+//     (any cover takes at least two);
+//   * each clause slot is wired to the literal vertex it carries.
+//
+// For a formula with v variables and m clauses the graph has 2v + 3m
+// vertices and v + 3m + 3m edges, and:
+//     min-VC = v + 2m + u*,
+// where u* is the minimum number of clauses any assignment leaves
+// unsatisfied (0 iff satisfiable). Clauses with fewer than three literals
+// are padded by repeating a literal (the triangle argument is unaffected).
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "sat/cnf.h"
+
+namespace aqo {
+
+struct SatToVcResult {
+  Graph graph;
+  int num_vars = 0;
+  int num_clauses = 0;
+  // Vertex ids: PositiveLiteralVertex/NegativeLiteralVertex give the
+  // variable-gadget endpoints; clause slot s of clause c is
+  // ClauseVertex(c, s).
+  int PositiveLiteralVertex(int var) const { return 2 * (var - 1); }
+  int NegativeLiteralVertex(int var) const { return 2 * (var - 1) + 1; }
+  int ClauseVertex(int clause, int slot) const {
+    return 2 * num_vars + 3 * clause + slot;
+  }
+  // min-VC when u_star clauses must stay unsatisfied.
+  int CoverSizeForUnsat(int u_star) const {
+    return num_vars + 2 * num_clauses + u_star;
+  }
+
+  // The cover induced by an assignment: true literals' vertices plus, per
+  // clause, the slots not certifying satisfaction (all three for
+  // unsatisfied clauses).
+  std::vector<int> CoverFromAssignment(const CnfFormula& formula,
+                                       const Assignment& a) const;
+};
+
+// Builds the gadget graph; formula clauses must have 1..3 literals.
+SatToVcResult ReduceSatToVertexCover(const CnfFormula& formula);
+
+}  // namespace aqo
+
+#endif  // AQO_REDUCTIONS_SAT_TO_VC_H_

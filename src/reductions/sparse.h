@@ -1,0 +1,96 @@
+#ifndef AQO_REDUCTIONS_SPARSE_H_
+#define AQO_REDUCTIONS_SPARSE_H_
+
+// Section 6: the reductions f_{N,e} and f_{H,e} that re-prove the QO_N and
+// QO_H gaps for query graphs with a *prescribed* edge count e(m),
+// m + Theta(m^tau) <= e(m) <= m(m-1)/2 - Theta(m^tau).
+//
+// Both reductions embed the dense source construction into a larger query
+// graph: the n source vertices V1 keep the Section 4/5 construction; an
+// auxiliary *connected* graph G2 on m - n (resp. m - n - 1) fresh vertices
+// absorbs the edge budget, and a single bridge edge {v1, v2} connects the
+// two parts. Relations in V2 are tiny (u = beta^n resp. 2^n) and their
+// selectivities mild (1/beta resp. 1/2), so — provided alpha is large
+// enough relative to beta^{m} — everything V2 contributes to any join
+// sequence's cost is a factor alpha^{o(1)}: the gap survives untouched.
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "reductions/clique_to_qoh.h"
+#include "reductions/clique_to_qon.h"
+#include "util/random.h"
+
+namespace aqo {
+
+// Edge budgets for query graphs on m vertices at sparsity exponent tau.
+// Sparse end: m + ceil(m^tau); dense end: m(m-1)/2 - ceil(m^tau).
+int64_t SparseEdgeBudget(int64_t m, double tau);
+int64_t DenseEdgeBudget(int64_t m, double tau);
+
+struct SparseQonParams {
+  QonGapParams base;        // c, d, log2_alpha for the embedded f_N
+  double log2_beta = 2.0;   // beta = 4 (paper)
+  int k = 3;                // blow-up: m = n^k  (k = Theta(2/tau))
+  int64_t edge_budget = 0;  // e(m); must fit [m-1 + |E1|.., complete]
+};
+
+struct SparseQonGapInstance {
+  QonInstance instance;  // m relations; source vertex v is relation v
+  SparseQonParams params;
+  int n = 0;  // source vertices (V1 = relations 0..n-1)
+  int m = 0;  // total relations
+  LogDouble t, u, alpha, beta;
+
+  // Bounds are those of the embedded f_N (Theorem 16 statements).
+  LogDouble KBound() const;
+  LogDouble NoSideBound() const;
+  // The slack factor alpha^{o(1)} contributed by V2: an upper bound on
+  // the product of all V2 relation sizes (beta^{n(m-n)}) used to budget
+  // witness-cost comparisons.
+  LogDouble AuxiliarySlack() const;
+};
+
+// f_{N,e}. The auxiliary graph is randomized (its exact shape is
+// irrelevant to the bounds); pass the source CLIQUE-class graph as g1.
+SparseQonGapInstance ReduceCliqueToSparseQon(const Graph& g1,
+                                             const SparseQonParams& params,
+                                             Rng* rng);
+
+// Witness for the YES side: clique-first inside V1, then the rest of V1,
+// then the bridge and a connected traversal of V2.
+JoinSequence SparseQonWitness(const SparseQonGapInstance& gap,
+                              const Graph& g1,
+                              const std::vector<int>& clique);
+
+struct SparseQohParams {
+  QohGapParams base;       // log2_alpha, eta, t0_exponent
+  int k = 3;               // m = n^k
+  int64_t edge_budget = 0; // e(m)
+};
+
+struct SparseQohGapInstance {
+  QohInstance instance;  // m relations; 0 = R_0, 1..n = V1, rest = V2
+  SparseQohParams params;
+  int n = 0;
+  int m = 0;
+  LogDouble t, t0, alpha;
+
+  LogDouble LBound() const;
+  LogDouble GBound(double epsilon) const;
+  int RelationOf(int source_vertex) const { return source_vertex + 1; }
+};
+
+// f_{H,e}.
+SparseQohGapInstance ReduceTwoThirdsCliqueToSparseQoh(
+    const Graph& g1, const SparseQohParams& params, Rng* rng);
+
+// Witness: R_0, clique (2n/3), rest of V1, bridge + V2 traversal; the five
+// Lemma 12 pipelines followed by one pipeline per n/3-sized chunk of V2.
+QohWitnessPlan SparseQohWitness(const SparseQohGapInstance& gap,
+                                const Graph& g1,
+                                const std::vector<int>& clique);
+
+}  // namespace aqo
+
+#endif  // AQO_REDUCTIONS_SPARSE_H_

@@ -1,0 +1,350 @@
+#include "sat/cdcl.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "util/check.h"
+
+namespace aqo {
+
+namespace {
+
+// Literal encoding: variable v (1-based), positive -> 2v, negative -> 2v+1.
+int LitIndex(Lit l) {
+  return 2 * std::abs(l) + (l > 0 ? 0 : 1);
+}
+
+Lit Negate(Lit l) { return -l; }
+
+constexpr int kUndef = -1;
+
+class CdclSolver {
+ public:
+  CdclSolver(const CnfFormula& formula, uint64_t conflict_limit)
+      : formula_(formula),
+        num_vars_(formula.num_vars()),
+        conflict_limit_(conflict_limit),
+        value_(static_cast<size_t>(num_vars_) + 1, 0),
+        level_(static_cast<size_t>(num_vars_) + 1, 0),
+        reason_(static_cast<size_t>(num_vars_) + 1, kUndef),
+        activity_(static_cast<size_t>(num_vars_) + 1, 0.0),
+        phase_(static_cast<size_t>(num_vars_) + 1, false),
+        seen_(static_cast<size_t>(num_vars_) + 1, 0),
+        watches_(2 * static_cast<size_t>(num_vars_) + 2) {}
+
+  CdclResult Solve() {
+    CdclResult result;
+    // Load the problem clauses; unit clauses enqueue directly, empty or
+    // conflicting units mean UNSAT immediately.
+    for (const Clause& c : formula_.clauses()) {
+      Clause clause = c;
+      // Remove duplicate literals; detect tautologies. Sorting by
+      // (variable, sign) puts x and -x adjacent.
+      std::sort(clause.begin(), clause.end(), [](Lit a, Lit b) {
+        int va = std::abs(a), vb = std::abs(b);
+        return va != vb ? va < vb : a < b;
+      });
+      clause.erase(std::unique(clause.begin(), clause.end()), clause.end());
+      bool tautology = false;
+      for (size_t i = 0; i + 1 < clause.size(); ++i) {
+        if (clause[i] == -clause[i + 1]) tautology = true;
+      }
+      if (tautology) continue;
+      if (clause.size() == 1) {
+        Lit unit = clause[0];
+        int8_t v = LitValue(unit);
+        if (v == -1) return Finish(&result, false);  // conflicting units
+        if (v == 0) Enqueue(unit, kUndef);
+        continue;
+      }
+      AddClause(std::move(clause));
+    }
+
+    if (Propagate() != kUndef) return Finish(&result, false);
+
+    uint64_t luby_index = 1;
+    uint64_t restart_limit = 32 * Luby(luby_index);
+    uint64_t conflicts_at_restart = 0;
+
+    while (true) {
+      int conflict = Propagate();
+      if (conflict != kUndef) {
+        ++conflicts_;
+        if (conflict_limit_ > 0 && conflicts_ > conflict_limit_) {
+          result.complete = false;
+          return Finish(&result, false);
+        }
+        if (DecisionLevel() == 0) return Finish(&result, false);  // UNSAT
+        Clause learned;
+        int back_level = Analyze(conflict, &learned);
+        Backtrack(back_level);
+        if (learned.size() == 1) {
+          Enqueue(learned[0], kUndef);
+        } else {
+          int id = AddClause(learned);
+          Enqueue(learned[0], id);
+        }
+        ++learned_count_;
+        DecayActivities();
+        ++conflicts_at_restart;
+        if (conflicts_at_restart >= restart_limit) {
+          conflicts_at_restart = 0;
+          restart_limit = 32 * Luby(++luby_index);
+          Backtrack(0);
+        }
+      } else {
+        Lit branch = PickBranch();
+        if (branch == 0) return Finish(&result, true);  // all assigned: SAT
+        ++decisions_;
+        trail_lim_.push_back(trail_.size());
+        Enqueue(branch, kUndef);
+      }
+    }
+  }
+
+ private:
+  // --- clause storage & watches ---
+
+  int AddClause(Clause clause) {
+    AQO_CHECK(clause.size() >= 2);
+    int id = static_cast<int>(clauses_.size());
+    // Watch the first two literals.
+    watches_[static_cast<size_t>(LitIndex(clause[0]))].push_back(id);
+    watches_[static_cast<size_t>(LitIndex(clause[1]))].push_back(id);
+    clauses_.push_back(std::move(clause));
+    return id;
+  }
+
+  int8_t LitValue(Lit l) const {
+    int8_t v = value_[static_cast<size_t>(std::abs(l))];
+    return l > 0 ? v : static_cast<int8_t>(-v);
+  }
+
+  void Enqueue(Lit l, int reason) {
+    AQO_DCHECK(LitValue(l) == 0);
+    int var = std::abs(l);
+    value_[static_cast<size_t>(var)] = l > 0 ? 1 : -1;
+    level_[static_cast<size_t>(var)] = DecisionLevel();
+    reason_[static_cast<size_t>(var)] = reason;
+    phase_[static_cast<size_t>(var)] = l > 0;
+    trail_.push_back(l);
+  }
+
+  int DecisionLevel() const { return static_cast<int>(trail_lim_.size()); }
+
+  // Two-watched-literal unit propagation; returns the conflicting clause
+  // id, or kUndef.
+  int Propagate() {
+    while (head_ < trail_.size()) {
+      Lit assigned = trail_[head_++];
+      ++propagations_;
+      Lit falsified = Negate(assigned);
+      std::vector<int>& watch_list =
+          watches_[static_cast<size_t>(LitIndex(falsified))];
+      size_t keep = 0;
+      for (size_t wi = 0; wi < watch_list.size(); ++wi) {
+        int id = watch_list[wi];
+        Clause& c = clauses_[static_cast<size_t>(id)];
+        // Normalize: the falsified literal sits at c[1].
+        if (c[0] == falsified) std::swap(c[0], c[1]);
+        AQO_DCHECK(c[1] == falsified);
+        // Satisfied already?
+        if (LitValue(c[0]) == 1) {
+          watch_list[keep++] = id;
+          continue;
+        }
+        // Find a replacement watch.
+        bool moved = false;
+        for (size_t k = 2; k < c.size(); ++k) {
+          if (LitValue(c[k]) != -1) {
+            std::swap(c[1], c[k]);
+            watches_[static_cast<size_t>(LitIndex(c[1]))].push_back(id);
+            moved = true;
+            break;
+          }
+        }
+        if (moved) continue;  // dropped from this watch list
+        // Unit or conflict.
+        watch_list[keep++] = id;
+        if (LitValue(c[0]) == -1) {
+          // Conflict: restore untouched tail of the watch list.
+          for (size_t rest = wi + 1; rest < watch_list.size(); ++rest) {
+            watch_list[keep++] = watch_list[rest];
+          }
+          watch_list.resize(keep);
+          head_ = trail_.size();
+          return id;
+        }
+        Enqueue(c[0], id);
+      }
+      watch_list.resize(keep);
+    }
+    return kUndef;
+  }
+
+  // First-UIP conflict analysis. Fills `learned` (asserting literal first)
+  // and returns the backtrack level.
+  int Analyze(int conflict, Clause* learned) {
+    learned->clear();
+    learned->push_back(0);  // placeholder for the asserting literal
+    int counter = 0;        // literals of the current level still to resolve
+    Lit uip = 0;
+    size_t trail_index = trail_.size();
+    int id = conflict;
+
+    while (true) {
+      const Clause& c = clauses_[static_cast<size_t>(id)];
+      // Skip c[0] on reason clauses: it is the propagated literal itself.
+      size_t start = id == conflict ? 0 : 1;
+      for (size_t k = start; k < c.size(); ++k) {
+        Lit q = c[k];
+        int var = std::abs(q);
+        if (seen_[static_cast<size_t>(var)] ||
+            level_[static_cast<size_t>(var)] == 0) {
+          continue;
+        }
+        seen_[static_cast<size_t>(var)] = 1;
+        BumpActivity(var);
+        if (level_[static_cast<size_t>(var)] == DecisionLevel()) {
+          ++counter;
+        } else {
+          learned->push_back(q);
+        }
+      }
+      // Walk the trail back to the next marked literal of this level.
+      do {
+        --trail_index;
+        uip = trail_[trail_index];
+      } while (!seen_[static_cast<size_t>(std::abs(uip))]);
+      seen_[static_cast<size_t>(std::abs(uip))] = 0;
+      --counter;
+      if (counter == 0) break;
+      id = reason_[static_cast<size_t>(std::abs(uip))];
+      AQO_DCHECK(id != kUndef);
+    }
+    (*learned)[0] = Negate(uip);
+
+    // Backtrack level: the second-highest level in the learned clause.
+    int back = 0;
+    size_t second = 1;
+    for (size_t k = 1; k < learned->size(); ++k) {
+      int lvl = level_[static_cast<size_t>(std::abs((*learned)[k]))];
+      if (lvl > back) {
+        back = lvl;
+        second = k;
+      }
+    }
+    if (learned->size() > 1) {
+      std::swap((*learned)[1], (*learned)[second]);  // watch a top literal
+    }
+    // Clear remaining marks.
+    for (size_t k = 1; k < learned->size(); ++k) {
+      seen_[static_cast<size_t>(std::abs((*learned)[k]))] = 0;
+    }
+    return back;
+  }
+
+  void Backtrack(int target_level) {
+    if (DecisionLevel() <= target_level) return;
+    size_t keep = trail_lim_[static_cast<size_t>(target_level)];
+    for (size_t i = trail_.size(); i-- > keep;) {
+      int var = std::abs(trail_[i]);
+      value_[static_cast<size_t>(var)] = 0;
+      reason_[static_cast<size_t>(var)] = kUndef;
+    }
+    trail_.resize(keep);
+    trail_lim_.resize(static_cast<size_t>(target_level));
+    head_ = keep;
+  }
+
+  // --- branching ---
+
+  void BumpActivity(int var) {
+    activity_[static_cast<size_t>(var)] += activity_inc_;
+    if (activity_[static_cast<size_t>(var)] > 1e100) {
+      for (double& a : activity_) a *= 1e-100;
+      activity_inc_ *= 1e-100;
+    }
+  }
+
+  void DecayActivities() { activity_inc_ /= 0.95; }
+
+  Lit PickBranch() {
+    int best = 0;
+    double best_activity = -1.0;
+    for (int v = 1; v <= num_vars_; ++v) {
+      if (value_[static_cast<size_t>(v)] == 0 &&
+          activity_[static_cast<size_t>(v)] > best_activity) {
+        best_activity = activity_[static_cast<size_t>(v)];
+        best = v;
+      }
+    }
+    if (best == 0) return 0;
+    return phase_[static_cast<size_t>(best)] ? best : -best;  // phase saving
+  }
+
+  // The Luby sequence 1 1 2 1 1 2 4 1 1 2 ... (1-based):
+  // luby(2^k - 1) = 2^{k-1}; otherwise recurse on i - (2^{k-1} - 1) where
+  // k is minimal with 2^k - 1 >= i.
+  static uint64_t Luby(uint64_t i) {
+    AQO_DCHECK(i >= 1);
+    uint64_t k = 1;
+    while ((uint64_t{1} << k) - 1 < i) ++k;
+    while ((uint64_t{1} << k) - 1 != i) {
+      i -= (uint64_t{1} << (k - 1)) - 1;
+      k = 1;
+      while ((uint64_t{1} << k) - 1 < i) ++k;
+    }
+    return uint64_t{1} << (k - 1);
+  }
+
+  CdclResult Finish(CdclResult* result, bool sat) {
+    result->conflicts = conflicts_;
+    result->decisions = decisions_;
+    result->propagations = propagations_;
+    result->learned_clauses = learned_count_;
+    if (sat) {
+      Assignment a(static_cast<size_t>(num_vars_));
+      for (int v = 1; v <= num_vars_; ++v) {
+        a[static_cast<size_t>(v - 1)] = value_[static_cast<size_t>(v)] == 1;
+      }
+      AQO_CHECK(formula_.IsSatisfiedBy(a)) << "CDCL model fails verification";
+      result->assignment = std::move(a);
+    }
+    return *result;
+  }
+
+  const CnfFormula& formula_;
+  int num_vars_;
+  uint64_t conflict_limit_;
+
+  std::vector<Clause> clauses_;  // problem + learned
+  std::vector<int8_t> value_;    // per var: 0 unassigned, +1 true, -1 false
+  std::vector<int> level_;
+  std::vector<int> reason_;
+  std::vector<double> activity_;
+  std::vector<bool> phase_;
+  std::vector<uint8_t> seen_;
+  std::vector<std::vector<int>> watches_;  // per literal index
+
+  std::vector<Lit> trail_;
+  std::vector<size_t> trail_lim_;
+  size_t head_ = 0;
+
+  double activity_inc_ = 1.0;
+  uint64_t conflicts_ = 0;
+  uint64_t decisions_ = 0;
+  uint64_t propagations_ = 0;
+  uint64_t learned_count_ = 0;
+};
+
+}  // namespace
+
+CdclResult SolveCdcl(const CnfFormula& formula, uint64_t conflict_limit) {
+  CdclSolver solver(formula, conflict_limit);
+  return solver.Solve();
+}
+
+}  // namespace aqo

@@ -1,0 +1,34 @@
+#ifndef AQO_SAT_CDCL_H_
+#define AQO_SAT_CDCL_H_
+
+// CDCL satisfiability solver: two-watched-literal propagation, first-UIP
+// conflict analysis with clause learning, VSIDS-style activity branching
+// with phase saving, and Luby restarts. The modern counterpart to the
+// DPLL solver in dpll.h — same interface, orders of magnitude faster on
+// structured instances (and the solver of choice for labelling the larger
+// composed-reduction sources).
+
+#include <cstdint>
+#include <optional>
+
+#include "sat/cnf.h"
+
+namespace aqo {
+
+struct CdclResult {
+  // Engaged iff satisfiable; holds a verified satisfying assignment.
+  std::optional<Assignment> assignment;
+  uint64_t conflicts = 0;
+  uint64_t decisions = 0;
+  uint64_t propagations = 0;
+  uint64_t learned_clauses = 0;
+  bool complete = true;  // false when the conflict limit stopped the search
+};
+
+// Decides satisfiability. When `conflict_limit` > 0 the search gives up
+// after that many conflicts (complete = false).
+CdclResult SolveCdcl(const CnfFormula& formula, uint64_t conflict_limit = 0);
+
+}  // namespace aqo
+
+#endif  // AQO_SAT_CDCL_H_

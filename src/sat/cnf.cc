@@ -1,0 +1,60 @@
+#include "sat/cnf.h"
+
+#include <algorithm>
+
+namespace aqo {
+
+void CnfFormula::AddClause(Clause clause) {
+  AQO_CHECK(!clause.empty()) << "empty clause";
+  for (Lit l : clause) {
+    AQO_CHECK(l != 0);
+    AQO_CHECK(std::abs(l) <= num_vars_)
+        << "literal " << l << " out of range for " << num_vars_ << " vars";
+  }
+  clauses_.push_back(std::move(clause));
+}
+
+bool CnfFormula::ClauseSatisfied(const Clause& clause, const Assignment& a) const {
+  AQO_CHECK(static_cast<int>(a.size()) == num_vars_);
+  for (Lit l : clause) {
+    bool value = a[static_cast<size_t>(std::abs(l) - 1)];
+    if ((l > 0) == value) return true;
+  }
+  return false;
+}
+
+int CnfFormula::CountSatisfied(const Assignment& a) const {
+  int count = 0;
+  for (const Clause& c : clauses_) {
+    if (ClauseSatisfied(c, a)) ++count;
+  }
+  return count;
+}
+
+bool CnfFormula::IsThreeCnf() const {
+  return std::all_of(clauses_.begin(), clauses_.end(),
+                     [](const Clause& c) { return c.size() <= 3; });
+}
+
+std::vector<int> CnfFormula::VariableOccurrences() const {
+  std::vector<int> occ(static_cast<size_t>(num_vars_), 0);
+  std::vector<bool> seen(static_cast<size_t>(num_vars_), false);
+  for (const Clause& c : clauses_) {
+    for (Lit l : c) seen[static_cast<size_t>(std::abs(l) - 1)] = false;
+    for (Lit l : c) {
+      size_t v = static_cast<size_t>(std::abs(l) - 1);
+      if (!seen[v]) {
+        seen[v] = true;
+        ++occ[v];
+      }
+    }
+  }
+  return occ;
+}
+
+int CnfFormula::MaxVariableOccurrence() const {
+  std::vector<int> occ = VariableOccurrences();
+  return occ.empty() ? 0 : *std::max_element(occ.begin(), occ.end());
+}
+
+}  // namespace aqo

@@ -1,0 +1,68 @@
+#ifndef AQO_SAT_CNF_H_
+#define AQO_SAT_CNF_H_
+
+// CNF formulas. Literals use the DIMACS convention: a literal is a nonzero
+// int, +v meaning variable v is true and -v meaning it is false; variables
+// are numbered 1..num_vars. The reduction chain of the paper starts from
+// 3SAT(13): 3CNF formulas in which every variable occurs in at most 13
+// clauses (Section 3).
+
+#include <cstdlib>
+#include <vector>
+
+#include "util/check.h"
+
+namespace aqo {
+
+using Lit = int;
+using Clause = std::vector<Lit>;
+
+// An assignment maps variable v (1-based) to values[v - 1].
+using Assignment = std::vector<bool>;
+
+class CnfFormula {
+ public:
+  CnfFormula() = default;
+  explicit CnfFormula(int num_vars) : num_vars_(num_vars) {
+    AQO_CHECK(num_vars >= 0);
+  }
+
+  int num_vars() const { return num_vars_; }
+  int NumClauses() const { return static_cast<int>(clauses_.size()); }
+  const std::vector<Clause>& clauses() const { return clauses_; }
+  const Clause& clause(int i) const { return clauses_[static_cast<size_t>(i)]; }
+
+  // Adds a clause; literals must reference variables in [1, num_vars].
+  // Duplicate literals within a clause are allowed (and harmless).
+  void AddClause(Clause clause);
+
+  // Convenience for 3-literal clauses.
+  void AddClause3(Lit a, Lit b, Lit c) { AddClause({a, b, c}); }
+
+  bool ClauseSatisfied(const Clause& clause, const Assignment& a) const;
+
+  // Number of clauses satisfied by `a`.
+  int CountSatisfied(const Assignment& a) const;
+
+  bool IsSatisfiedBy(const Assignment& a) const {
+    return CountSatisfied(a) == NumClauses();
+  }
+
+  // True when every clause has at most 3 literals.
+  bool IsThreeCnf() const;
+
+  // Number of clauses the most frequent variable occurs in (counting each
+  // clause once even if the variable appears twice in it).
+  int MaxVariableOccurrence() const;
+
+  // Per-variable clause-occurrence counts, index v-1.
+  std::vector<int> VariableOccurrences() const;
+
+ private:
+  int num_vars_ = 0;
+  std::vector<Clause> clauses_;
+};
+
+}  // namespace aqo
+
+#endif  // AQO_SAT_CNF_H_

@@ -1,0 +1,272 @@
+#include "sat/dpll.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "util/check.h"
+
+namespace aqo {
+
+namespace {
+
+constexpr int8_t kUnassigned = 0;
+constexpr int8_t kTrue = 1;
+constexpr int8_t kFalse = -1;
+
+class DpllSolver {
+ public:
+  DpllSolver(const CnfFormula& formula, uint64_t decision_limit)
+      : formula_(formula),
+        decision_limit_(decision_limit),
+        values_(static_cast<size_t>(formula.num_vars()), kUnassigned) {}
+
+  DpllResult Solve() {
+    DpllResult result;
+    bool sat = Search();
+    result.decisions = decisions_;
+    result.complete = !aborted_;
+    if (sat) {
+      Assignment a(static_cast<size_t>(formula_.num_vars()));
+      for (int v = 1; v <= formula_.num_vars(); ++v) {
+        a[static_cast<size_t>(v - 1)] = values_[static_cast<size_t>(v - 1)] == kTrue;
+      }
+      AQO_CHECK(formula_.IsSatisfiedBy(a));
+      result.assignment = std::move(a);
+    }
+    return result;
+  }
+
+ private:
+  int8_t LitValue(Lit l) const {
+    int8_t v = values_[static_cast<size_t>(std::abs(l) - 1)];
+    return l > 0 ? v : static_cast<int8_t>(-v);
+  }
+
+  void Assign(Lit l, std::vector<Lit>* trail) {
+    values_[static_cast<size_t>(std::abs(l) - 1)] = l > 0 ? kTrue : kFalse;
+    trail->push_back(l);
+  }
+
+  void Undo(const std::vector<Lit>& trail) {
+    for (Lit l : trail) values_[static_cast<size_t>(std::abs(l) - 1)] = kUnassigned;
+  }
+
+  // Unit propagation over all clauses until fixpoint. Returns false on
+  // conflict. Assignments are recorded on `trail`.
+  bool Propagate(std::vector<Lit>* trail) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Clause& c : formula_.clauses()) {
+        Lit unit = 0;
+        int unassigned = 0;
+        bool satisfied = false;
+        for (Lit l : c) {
+          int8_t v = LitValue(l);
+          if (v == kTrue) {
+            satisfied = true;
+            break;
+          }
+          if (v == kUnassigned) {
+            ++unassigned;
+            unit = l;
+          }
+        }
+        if (satisfied) continue;
+        if (unassigned == 0) return false;  // conflict
+        if (unassigned == 1) {
+          Assign(unit, trail);
+          changed = true;
+        }
+      }
+    }
+    return true;
+  }
+
+  // Pure-literal elimination: assigns literals whose negation never occurs
+  // in an unsatisfied clause.
+  void AssignPureLiterals(std::vector<Lit>* trail) {
+    int n = formula_.num_vars();
+    std::vector<uint8_t> pos(static_cast<size_t>(n), 0), neg(static_cast<size_t>(n), 0);
+    for (const Clause& c : formula_.clauses()) {
+      bool satisfied = false;
+      for (Lit l : c) {
+        if (LitValue(l) == kTrue) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied) continue;
+      for (Lit l : c) {
+        if (LitValue(l) == kUnassigned) {
+          (l > 0 ? pos : neg)[static_cast<size_t>(std::abs(l) - 1)] = 1;
+        }
+      }
+    }
+    for (int v = 1; v <= n; ++v) {
+      size_t i = static_cast<size_t>(v - 1);
+      if (values_[i] != kUnassigned) continue;
+      if (pos[i] != 0 && neg[i] == 0) Assign(v, trail);
+      if (neg[i] != 0 && pos[i] == 0) Assign(-v, trail);
+    }
+  }
+
+  // MOMS: pick the literal occurring most often among the shortest
+  // unsatisfied clauses. Returns 0 when every clause is satisfied.
+  Lit PickBranchLiteral() const {
+    size_t shortest = SIZE_MAX;
+    for (const Clause& c : formula_.clauses()) {
+      size_t open = 0;
+      bool satisfied = false;
+      for (Lit l : c) {
+        int8_t v = LitValue(l);
+        if (v == kTrue) {
+          satisfied = true;
+          break;
+        }
+        if (v == kUnassigned) ++open;
+      }
+      if (!satisfied && open > 0) shortest = std::min(shortest, open);
+    }
+    if (shortest == SIZE_MAX) return 0;
+
+    std::vector<int> score(2 * static_cast<size_t>(formula_.num_vars()) + 2, 0);
+    auto index = [](Lit l) {
+      return static_cast<size_t>(2 * std::abs(l)) + (l > 0 ? 0 : 1);
+    };
+    for (const Clause& c : formula_.clauses()) {
+      size_t open = 0;
+      bool satisfied = false;
+      for (Lit l : c) {
+        int8_t v = LitValue(l);
+        if (v == kTrue) {
+          satisfied = true;
+          break;
+        }
+        if (v == kUnassigned) ++open;
+      }
+      if (satisfied || open != shortest) continue;
+      for (Lit l : c) {
+        if (LitValue(l) == kUnassigned) ++score[index(l)];
+      }
+    }
+    Lit best = 0;
+    int best_score = -1;
+    for (int v = 1; v <= formula_.num_vars(); ++v) {
+      for (Lit l : {v, -v}) {
+        if (values_[static_cast<size_t>(v - 1)] == kUnassigned &&
+            score[index(l)] > best_score) {
+          best_score = score[index(l)];
+          best = l;
+        }
+      }
+    }
+    return best;
+  }
+
+  bool Search() {
+    if (aborted_) return false;
+    std::vector<Lit> trail;
+    if (!Propagate(&trail)) {
+      Undo(trail);
+      return false;
+    }
+    AssignPureLiterals(&trail);
+    if (!Propagate(&trail)) {
+      Undo(trail);
+      return false;
+    }
+    Lit branch = PickBranchLiteral();
+    if (branch == 0) return true;  // all clauses satisfied
+
+    ++decisions_;
+    if (decision_limit_ > 0 && decisions_ > decision_limit_) {
+      aborted_ = true;
+      Undo(trail);
+      return false;
+    }
+
+    for (Lit l : {branch, -branch}) {
+      std::vector<Lit> branch_trail;
+      Assign(l, &branch_trail);
+      if (Search()) return true;
+      Undo(branch_trail);
+      if (aborted_) break;
+    }
+    Undo(trail);
+    return false;
+  }
+
+  const CnfFormula& formula_;
+  uint64_t decision_limit_;
+  std::vector<int8_t> values_;
+  uint64_t decisions_ = 0;
+  bool aborted_ = false;
+};
+
+// Branch & bound for MaxSAT: branch on variables in order; bound by the
+// number of clauses already falsified.
+class MaxSatSolver {
+ public:
+  explicit MaxSatSolver(const CnfFormula& formula)
+      : formula_(formula),
+        values_(static_cast<size_t>(formula.num_vars()), kUnassigned) {}
+
+  int Solve() {
+    best_falsified_ = formula_.NumClauses();
+    Search(1, 0);
+    return formula_.NumClauses() - best_falsified_;
+  }
+
+ private:
+  // A clause is decided-false when all its literals are assigned false.
+  int CountFalsified() const {
+    int falsified = 0;
+    for (const Clause& c : formula_.clauses()) {
+      bool maybe = false;
+      for (Lit l : c) {
+        int8_t v = values_[static_cast<size_t>(std::abs(l) - 1)];
+        int8_t lv = l > 0 ? v : static_cast<int8_t>(-v);
+        if (lv != kFalse) {
+          maybe = true;
+          break;
+        }
+      }
+      if (!maybe) ++falsified;
+    }
+    return falsified;
+  }
+
+  void Search(int var, int falsified_lb) {
+    if (falsified_lb >= best_falsified_) return;
+    if (var > formula_.num_vars()) {
+      best_falsified_ = std::min(best_falsified_, falsified_lb);
+      return;
+    }
+    for (int8_t value : {kTrue, kFalse}) {
+      values_[static_cast<size_t>(var - 1)] = value;
+      Search(var + 1, CountFalsified());
+      values_[static_cast<size_t>(var - 1)] = kUnassigned;
+    }
+  }
+
+  const CnfFormula& formula_;
+  std::vector<int8_t> values_;
+  int best_falsified_ = 0;
+};
+
+}  // namespace
+
+DpllResult SolveDpll(const CnfFormula& formula, uint64_t decision_limit) {
+  DpllSolver solver(formula, decision_limit);
+  return solver.Solve();
+}
+
+int MaxSatisfiableClauses(const CnfFormula& formula) {
+  if (formula.NumClauses() == 0) return 0;
+  MaxSatSolver solver(formula);
+  return solver.Solve();
+}
+
+}  // namespace aqo

@@ -1,0 +1,33 @@
+#ifndef AQO_SAT_DPLL_H_
+#define AQO_SAT_DPLL_H_
+
+// DPLL satisfiability solver with unit propagation, pure-literal
+// elimination, and a MOMS-style branching heuristic. It decides the small
+// 3SAT(13) instances at the head of the reduction pipeline, labelling them
+// YES/NO so the end-to-end gap experiments know the ground truth.
+
+#include <cstdint>
+#include <optional>
+
+#include "sat/cnf.h"
+
+namespace aqo {
+
+struct DpllResult {
+  // Engaged iff the formula is satisfiable; holds a satisfying assignment.
+  std::optional<Assignment> assignment;
+  uint64_t decisions = 0;  // branching nodes explored
+  bool complete = true;    // false when the decision limit stopped the search
+};
+
+// Decides satisfiability. When `decision_limit` > 0 the search gives up
+// after that many branching decisions (complete=false, assignment empty).
+DpllResult SolveDpll(const CnfFormula& formula, uint64_t decision_limit = 0);
+
+// Exact maximum number of simultaneously satisfiable clauses, by branch &
+// bound over assignments. Exponential; use on small formulas only.
+int MaxSatisfiableClauses(const CnfFormula& formula);
+
+}  // namespace aqo
+
+#endif  // AQO_SAT_DPLL_H_

@@ -1,0 +1,160 @@
+#include "sat/gen.h"
+
+#include <cstdlib>
+#include <vector>
+
+#include "util/check.h"
+
+namespace aqo {
+
+CnfFormula RandomThreeSat(int num_vars, int num_clauses, Rng* rng) {
+  AQO_CHECK(num_vars >= 3);
+  CnfFormula f(num_vars);
+  for (int c = 0; c < num_clauses; ++c) {
+    std::vector<int> vars = rng->SampleWithoutReplacement(num_vars, 3);
+    Clause clause;
+    for (int v : vars) {
+      Lit l = v + 1;
+      clause.push_back(rng->Bernoulli(0.5) ? l : -l);
+    }
+    f.AddClause(std::move(clause));
+  }
+  return f;
+}
+
+CnfFormula PlantedSatisfiableThreeSat(int num_vars, int num_clauses, Rng* rng,
+                                      Assignment* hidden) {
+  AQO_CHECK(num_vars >= 3);
+  Assignment a(static_cast<size_t>(num_vars));
+  for (int v = 0; v < num_vars; ++v) a[static_cast<size_t>(v)] = rng->Bernoulli(0.5);
+
+  CnfFormula f(num_vars);
+  for (int c = 0; c < num_clauses; ++c) {
+    std::vector<int> vars = rng->SampleWithoutReplacement(num_vars, 3);
+    Clause clause;
+    bool satisfied = false;
+    for (int v : vars) {
+      bool polarity = rng->Bernoulli(0.5);
+      if (polarity == a[static_cast<size_t>(v)]) satisfied = true;
+      clause.push_back(polarity ? v + 1 : -(v + 1));
+    }
+    if (!satisfied) {
+      // Force one literal to agree with the hidden assignment.
+      size_t i = static_cast<size_t>(rng->UniformInt(0, 2));
+      int v = vars[i];
+      clause[i] = a[static_cast<size_t>(v)] ? v + 1 : -(v + 1);
+    }
+    f.AddClause(std::move(clause));
+  }
+  AQO_CHECK(f.IsSatisfiedBy(a));
+  if (hidden != nullptr) *hidden = std::move(a);
+  return f;
+}
+
+CnfFormula PigeonholeFormula(int holes) {
+  AQO_CHECK(holes >= 1);
+  int pigeons = holes + 1;
+  auto var = [holes](int p, int h) { return p * holes + h + 1; };
+  CnfFormula f(pigeons * holes);
+  // Every pigeon sits somewhere.
+  for (int p = 0; p < pigeons; ++p) {
+    Clause c;
+    for (int h = 0; h < holes; ++h) c.push_back(var(p, h));
+    f.AddClause(std::move(c));
+  }
+  // No two pigeons share a hole.
+  for (int h = 0; h < holes; ++h) {
+    for (int p = 0; p < pigeons; ++p) {
+      for (int q = p + 1; q < pigeons; ++q) {
+        f.AddClause({-var(p, h), -var(q, h)});
+      }
+    }
+  }
+  return f;
+}
+
+CnfFormula XorChainFormula(int k, bool parity) {
+  AQO_CHECK(k >= 2);
+  // Variables 1..k are the chain inputs; k-1 auxiliaries t_i encode
+  // prefix parities: t_1 = x_1 xor x_2, t_i = t_{i-1} xor x_{i+1}; the
+  // last auxiliary is constrained to `parity`.
+  int aux_base = k;
+  CnfFormula f(k + (k - 1));
+  auto emit_xor = [&f](int a, int b, int out) {
+    // out <-> a xor b.
+    f.AddClause({-a, -b, -out});
+    f.AddClause({a, b, -out});
+    f.AddClause({a, -b, out});
+    f.AddClause({-a, b, out});
+  };
+  emit_xor(1, 2, aux_base + 1);
+  for (int i = 2; i < k; ++i) {
+    emit_xor(aux_base + i - 1, i + 1, aux_base + i);
+  }
+  int last = aux_base + k - 1;
+  f.AddClause({parity ? last : -last});
+  return f;
+}
+
+CnfFormula BoundOccurrences(const CnfFormula& formula, int max_occurrence) {
+  AQO_CHECK(max_occurrence >= 3);
+  std::vector<int> occ = formula.VariableOccurrences();
+
+  // Assign new variable ids: split variables get one copy per occurrence.
+  int next_var = 1;
+  std::vector<int> first_copy(static_cast<size_t>(formula.num_vars()) + 1, 0);
+  std::vector<int> num_copies(static_cast<size_t>(formula.num_vars()) + 1, 0);
+  for (int v = 1; v <= formula.num_vars(); ++v) {
+    int k = occ[static_cast<size_t>(v - 1)];
+    int copies = k > max_occurrence ? k : 1;
+    first_copy[static_cast<size_t>(v)] = next_var;
+    num_copies[static_cast<size_t>(v)] = copies;
+    next_var += copies;
+  }
+
+  CnfFormula out(next_var - 1);
+  // Rewrite clauses, consuming one copy per occurrence of a split variable.
+  std::vector<int> used(static_cast<size_t>(formula.num_vars()) + 1, 0);
+  for (const Clause& c : formula.clauses()) {
+    Clause rewritten;
+    // A clause counts as a single occurrence even if the variable appears
+    // twice in it; track which variables were consumed in this clause.
+    std::vector<int> consumed_this_clause;
+    for (Lit l : c) {
+      int v = std::abs(l);
+      int copy_index = 0;
+      if (num_copies[static_cast<size_t>(v)] > 1) {
+        bool already = false;
+        for (int seen : consumed_this_clause) already = already || seen == v;
+        if (!already) {
+          consumed_this_clause.push_back(v);
+          ++used[static_cast<size_t>(v)];
+        }
+        copy_index = used[static_cast<size_t>(v)] - 1;
+      }
+      int new_var = first_copy[static_cast<size_t>(v)] + copy_index;
+      rewritten.push_back(l > 0 ? new_var : -new_var);
+    }
+    out.AddClause(std::move(rewritten));
+  }
+
+  // Equality cycles: (!x_i v x_{i+1}) for i = 1..k (indices mod k) force all
+  // copies of a split variable to take the same value.
+  for (int v = 1; v <= formula.num_vars(); ++v) {
+    int k = num_copies[static_cast<size_t>(v)];
+    if (k <= 1) continue;
+    AQO_CHECK_EQ(used[static_cast<size_t>(v)], k);
+    int base = first_copy[static_cast<size_t>(v)];
+    for (int i = 0; i < k; ++i) {
+      int from = base + i;
+      int to = base + (i + 1) % k;
+      out.AddClause({-from, to});
+    }
+  }
+
+  AQO_CHECK(out.MaxVariableOccurrence() <= max_occurrence);
+  AQO_CHECK(out.IsThreeCnf() || !formula.IsThreeCnf());
+  return out;
+}
+
+}  // namespace aqo

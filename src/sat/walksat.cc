@@ -1,0 +1,77 @@
+#include "sat/walksat.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "util/check.h"
+
+namespace aqo {
+
+WalkSatResult RunWalkSat(const CnfFormula& formula, Rng* rng,
+                         uint64_t max_flips, double noise, int restarts) {
+  AQO_CHECK(restarts >= 1);
+  int num_vars = formula.num_vars();
+  int num_clauses = formula.NumClauses();
+  WalkSatResult best;
+  best.assignment.assign(static_cast<size_t>(num_vars), false);
+  best.satisfied = -1;
+
+  uint64_t flips_per_restart = std::max<uint64_t>(1, max_flips / static_cast<uint64_t>(restarts));
+  for (int r = 0; r < restarts && !best.found_model; ++r) {
+    Assignment a(static_cast<size_t>(num_vars));
+    for (int v = 0; v < num_vars; ++v) a[static_cast<size_t>(v)] = rng->Bernoulli(0.5);
+
+    auto satisfied_count = [&]() { return formula.CountSatisfied(a); };
+    int current = satisfied_count();
+    if (current > best.satisfied) {
+      best.satisfied = current;
+      best.assignment = a;
+    }
+
+    for (uint64_t flip = 0; flip < flips_per_restart; ++flip) {
+      if (current == num_clauses) break;
+      // Pick a random unsatisfied clause.
+      std::vector<int> unsat;
+      for (int i = 0; i < num_clauses; ++i) {
+        if (!formula.ClauseSatisfied(formula.clause(i), a)) unsat.push_back(i);
+      }
+      AQO_CHECK(!unsat.empty());
+      const Clause& c = formula.clause(
+          unsat[static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(unsat.size()) - 1))]);
+
+      int flip_var;
+      if (rng->Bernoulli(noise)) {
+        Lit l = c[static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(c.size()) - 1))];
+        flip_var = std::abs(l);
+      } else {
+        // Greedy: flip the clause variable giving the highest resulting
+        // satisfied count.
+        flip_var = std::abs(c[0]);
+        int best_after = -1;
+        for (Lit l : c) {
+          int v = std::abs(l);
+          a[static_cast<size_t>(v - 1)] = !a[static_cast<size_t>(v - 1)];
+          int after = satisfied_count();
+          a[static_cast<size_t>(v - 1)] = !a[static_cast<size_t>(v - 1)];
+          if (after > best_after) {
+            best_after = after;
+            flip_var = v;
+          }
+        }
+      }
+      a[static_cast<size_t>(flip_var - 1)] = !a[static_cast<size_t>(flip_var - 1)];
+      current = satisfied_count();
+      ++best.flips;
+      if (current > best.satisfied) {
+        best.satisfied = current;
+        best.assignment = a;
+      }
+    }
+    if (best.satisfied == num_clauses) best.found_model = true;
+  }
+  if (best.satisfied < 0) best.satisfied = formula.CountSatisfied(best.assignment);
+  return best;
+}
+
+}  // namespace aqo

@@ -1,0 +1,29 @@
+#ifndef AQO_SAT_WALKSAT_H_
+#define AQO_SAT_WALKSAT_H_
+
+// WalkSAT local search: an incomplete solver used as a cheap baseline and
+// to find near-satisfying assignments of NO-side gap formulas.
+
+#include <cstdint>
+
+#include "sat/cnf.h"
+#include "util/random.h"
+
+namespace aqo {
+
+struct WalkSatResult {
+  Assignment assignment;   // best assignment encountered
+  int satisfied = 0;       // clauses satisfied by `assignment`
+  bool found_model = false;  // true when all clauses were satisfied
+  uint64_t flips = 0;
+};
+
+// Runs WalkSAT with noise probability `noise` for at most `max_flips` flips
+// (split over `restarts` random restarts).
+WalkSatResult RunWalkSat(const CnfFormula& formula, Rng* rng,
+                         uint64_t max_flips = 100000, double noise = 0.5,
+                         int restarts = 4);
+
+}  // namespace aqo
+
+#endif  // AQO_SAT_WALKSAT_H_

@@ -1,0 +1,117 @@
+#include "sqo/partition.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace aqo {
+
+int64_t PartitionInstance::Total() const {
+  int64_t sum = 0;
+  for (int64_t v : values) {
+    AQO_CHECK(v >= 0);
+    sum += v;
+  }
+  return sum;
+}
+
+std::optional<std::vector<int>> SolvePartitionDp(const PartitionInstance& inst) {
+  int64_t total = inst.Total();
+  AQO_CHECK(total % 2 == 0) << "PARTITION variant requires an even total";
+  int64_t half = total / 2;
+  AQO_CHECK(half <= (int64_t{1} << 26)) << "DP table too large";
+  int n = static_cast<int>(inst.values.size());
+
+  // reach[s] = index of the last value used to first reach sum s, or -1.
+  std::vector<int> reach(static_cast<size_t>(half) + 1, -1);
+  std::vector<int> reached_at(static_cast<size_t>(half) + 1, -1);
+  reach[0] = n;  // sentinel: sum 0 needs nothing
+  for (int i = 0; i < n; ++i) {
+    int64_t v = inst.values[static_cast<size_t>(i)];
+    if (v > half) continue;
+    for (int64_t s = half; s >= v; --s) {
+      if (reach[static_cast<size_t>(s)] < 0 &&
+          reach[static_cast<size_t>(s - v)] >= 0 &&
+          reached_at[static_cast<size_t>(s - v)] < i) {
+        reach[static_cast<size_t>(s)] = i;
+        reached_at[static_cast<size_t>(s)] = i;
+      }
+    }
+  }
+  if (reach[static_cast<size_t>(half)] < 0) return std::nullopt;
+
+  std::vector<int> subset;
+  int64_t s = half;
+  while (s > 0) {
+    int i = reach[static_cast<size_t>(s)];
+    AQO_CHECK(0 <= i && i < n);
+    subset.push_back(i);
+    s -= inst.values[static_cast<size_t>(i)];
+  }
+  std::sort(subset.begin(), subset.end());
+  return subset;
+}
+
+std::optional<std::vector<int>> SolvePartitionBrute(
+    const PartitionInstance& inst) {
+  int n = static_cast<int>(inst.values.size());
+  AQO_CHECK(n <= 24);
+  int64_t total = inst.Total();
+  AQO_CHECK(total % 2 == 0);
+  int64_t half = total / 2;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    int64_t s = 0;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1u << i)) s += inst.values[static_cast<size_t>(i)];
+    }
+    if (s == half) {
+      std::vector<int> subset;
+      for (int i = 0; i < n; ++i) {
+        if (mask & (1u << i)) subset.push_back(i);
+      }
+      return subset;
+    }
+  }
+  return std::nullopt;
+}
+
+PartitionInstance RandomPartitionInstance(int n, int64_t max_value,
+                                          bool force_yes, Rng* rng) {
+  AQO_CHECK(n >= 2);
+  PartitionInstance inst;
+  if (force_yes) {
+    // Build two halves of equal sum: draw pairs (v, v) and then split some
+    // pairs asymmetrically while preserving balance.
+    int64_t left = 0, right = 0;
+    for (int i = 0; i < n - 2; ++i) {
+      int64_t v = rng->UniformInt(0, max_value);
+      inst.values.push_back(v);
+      if (left <= right) {
+        left += v;
+      } else {
+        right += v;
+      }
+    }
+    // Two closing values equalize the sides.
+    int64_t diff = left > right ? left - right : right - left;
+    int64_t extra = rng->UniformInt(0, max_value);
+    if (left <= right) {
+      inst.values.push_back(diff + extra);
+      inst.values.push_back(extra);
+    } else {
+      inst.values.push_back(extra);
+      inst.values.push_back(diff + extra);
+    }
+  } else {
+    for (int i = 0; i < n; ++i) {
+      inst.values.push_back(rng->UniformInt(0, max_value));
+    }
+    if (inst.Total() % 2 != 0) {
+      inst.values.back() += 1;  // make the total even
+    }
+  }
+  AQO_CHECK(inst.Total() % 2 == 0);
+  return inst;
+}
+
+}  // namespace aqo

@@ -1,0 +1,40 @@
+#ifndef AQO_SQO_PARTITION_H_
+#define AQO_SQO_PARTITION_H_
+
+// PARTITION, in the variant the paper uses (Appendix A.4): a multiset of
+// non-negative integers with an even sum; the question is whether some
+// subset sums to exactly half the total. (The paper notes the standard
+// PARTITION reduces to this variant by doubling every value.)
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/random.h"
+
+namespace aqo {
+
+struct PartitionInstance {
+  std::vector<int64_t> values;  // non-negative; sum must be even
+
+  int64_t Total() const;
+  int64_t Half() const { return Total() / 2; }
+};
+
+// Pseudo-polynomial subset-sum DP. Returns an index subset summing to half
+// the total, or nullopt. O(n * Total).
+std::optional<std::vector<int>> SolvePartitionDp(const PartitionInstance& inst);
+
+// Exhaustive 2^n solver (for cross-checks); n <= 24.
+std::optional<std::vector<int>> SolvePartitionBrute(
+    const PartitionInstance& inst);
+
+// Random instance with n values in [0, max_value]. When `force_yes`, the
+// values are drawn so that a balanced split exists by construction; the
+// final value is adjusted so the total is even in all cases.
+PartitionInstance RandomPartitionInstance(int n, int64_t max_value,
+                                          bool force_yes, Rng* rng);
+
+}  // namespace aqo
+
+#endif  // AQO_SQO_PARTITION_H_

@@ -1,0 +1,68 @@
+#include "sqo/sppcs.h"
+
+#include "util/check.h"
+
+namespace aqo {
+
+BigInt SppcsValue(const SppcsInstance& inst, const std::vector<bool>& in_a) {
+  AQO_CHECK_EQ(in_a.size(), inst.pairs.size());
+  BigInt product = 1;
+  BigInt sum = 0;
+  for (size_t i = 0; i < inst.pairs.size(); ++i) {
+    if (in_a[i]) {
+      product *= inst.pairs[i].p;
+    } else {
+      sum += inst.pairs[i].c;
+    }
+  }
+  return product + sum;
+}
+
+SppcsSolution SolveSppcsBrute(const SppcsInstance& inst) {
+  size_t m = inst.pairs.size();
+  AQO_CHECK(m <= 22);
+  SppcsSolution best;
+  std::vector<bool> in_a(m, false);
+  for (uint64_t mask = 0; mask < (uint64_t{1} << m); ++mask) {
+    for (size_t i = 0; i < m; ++i) in_a[i] = (mask >> i) & 1;
+    BigInt value = SppcsValue(inst, in_a);
+    if (mask == 0 || value < best.best_value) {
+      best.best_value = value;
+      best.subset = in_a;
+    }
+  }
+  best.yes = best.best_value <= inst.l_bound;
+  return best;
+}
+
+SppcsInstance ReducePartitionToSppcs(const PartitionInstance& partition) {
+  int64_t total = partition.Total();
+  AQO_CHECK(total % 2 == 0);
+  AQO_CHECK(total >= 4) << "need K >= 2 for the strict minimum";
+  uint64_t k = static_cast<uint64_t>(total / 2);
+
+  BigInt s = BigInt(3) * (BigInt(1) << static_cast<int>(k - 2));
+  SppcsInstance inst;
+  for (int64_t b : partition.values) {
+    SppcsInstance::Pair pair;
+    pair.p = BigInt(1) << static_cast<int>(b);
+    pair.c = s * BigInt(b);
+    inst.pairs.push_back(std::move(pair));
+  }
+  inst.l_bound = (BigInt(1) << static_cast<int>(k)) + s * BigInt::FromUint64(k);
+  return inst;
+}
+
+std::vector<bool> SppcsWitnessFromPartition(const PartitionInstance& partition,
+                                            const std::vector<int>& subset) {
+  std::vector<bool> in_a(partition.values.size(), false);
+  int64_t sum = 0;
+  for (int i : subset) {
+    in_a[static_cast<size_t>(i)] = true;
+    sum += partition.values[static_cast<size_t>(i)];
+  }
+  AQO_CHECK_EQ(sum, partition.Half());
+  return in_a;
+}
+
+}  // namespace aqo

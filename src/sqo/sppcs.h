@@ -1,0 +1,69 @@
+#ifndef AQO_SQO_SPPCS_H_
+#define AQO_SQO_SPPCS_H_
+
+// SPPCS — Subset Product Plus Complement Sum (paper Appendix A.4):
+// given pairs (p_1, c_1) ... (p_m, c_m) of non-negative integers and L, is
+// there A subset of {1..m} with
+//     prod_{i in A} p_i  +  sum_{j not in A} c_j  <=  L ?
+// (The empty product is 1.)
+//
+// The paper proves SPPCS NP-complete by reduction from PARTITION
+// (Appendix A.5); the detailed constants live in an unavailable internal
+// technical report [7] and are corrupted in the surviving abstract, so
+// this library ships a *reconstructed* reduction with the same structure —
+// subset products standing in for subset sums through exponentiation —
+// whose many-one property is proved below and verified exhaustively in the
+// test suite:
+//
+//   Given b_1..b_n with even total 2K, emit pairs
+//       p_i = 2^{b_i},   c_i = S * b_i,   with S = 3 * 2^{K-2} (K >= 2),
+//   and L = 2^K + S*K. For any A, the objective equals
+//       F(s_A) = 2^{s_A} + S (2K - s_A),        s_A = sum_{i in A} b_i,
+//   and F(s+1) - F(s) = 2^s - S is negative exactly for s < K and positive
+//   exactly for s >= K (because 2^{K-1} < S < 2^K), so F has a strict
+//   integer minimum at s = K of value L. Hence SPPCS-yes iff some subset
+//   sums to K iff PARTITION-yes.
+//
+// The construction writes numbers of Theta(K) bits (pseudo-polynomial
+// rather than the paper's q-bit-rounded polynomial encoding); BigInt makes
+// that immaterial for the executable artifact.
+
+#include <vector>
+
+#include "sqo/partition.h"
+#include "util/bigint.h"
+
+namespace aqo {
+
+struct SppcsInstance {
+  struct Pair {
+    BigInt p;
+    BigInt c;
+  };
+  std::vector<Pair> pairs;
+  BigInt l_bound;  // L
+};
+
+// Objective value of a chosen subset (indicator per pair).
+BigInt SppcsValue(const SppcsInstance& inst, const std::vector<bool>& in_a);
+
+struct SppcsSolution {
+  bool yes = false;
+  std::vector<bool> subset;  // a witness when yes (indicator)
+  BigInt best_value;         // minimum objective over all subsets
+};
+
+// Exhaustive 2^m solver; m <= 22.
+SppcsSolution SolveSppcsBrute(const SppcsInstance& inst);
+
+// The reconstructed PARTITION -> SPPCS reduction described above.
+// Requires an even total >= 4 (K >= 2).
+SppcsInstance ReducePartitionToSppcs(const PartitionInstance& partition);
+
+// Maps a PARTITION witness (indices summing to half) to an SPPCS witness.
+std::vector<bool> SppcsWitnessFromPartition(const PartitionInstance& partition,
+                                            const std::vector<int>& subset);
+
+}  // namespace aqo
+
+#endif  // AQO_SQO_SPPCS_H_

@@ -1,0 +1,140 @@
+#ifndef AQO_SQO_STAR_QUERY_H_
+#define AQO_SQO_STAR_QUERY_H_
+
+// SQO-CP (paper Appendix A): join-order optimization for *star* queries
+// with cartesian products forbidden and two join methods — nested loops and
+// sort-merge — available per join. Appendix B reduces SPPCS to SQO-CP,
+// establishing NP-completeness (a question posed by Ibaraki & Kameda [1]).
+//
+// Model (Appendix A.2). Relations R_0 (central), R_1..R_s (satellites);
+// every predicate links R_0 with one satellite. A feasible sequence starts
+// with R_0, or with one satellite immediately followed by R_0. Each of the
+// joins is executed by nested loops (N) or sort-merge (S):
+//   * first join, outer R_r, adding X:
+//       N: b_r + w' * n_r   (w' = w_X for X a satellite, w_{0,r} for R_0)
+//       S: A_r + A_X        (two disk-resident sorts)
+//   * later join, intermediate W, adding satellite X:
+//       N: n(W) * w_X
+//       S: b(W) * (ks - 1) + A_X   (stream sort of W + disk sort of X)
+// Intermediate sizes: n(W) multiplies by match_i = n_i * s_i when satellite
+// i joins (exact integers by construction); output tuples are one page, so
+// b(W) = n(W) for |W| >= 2.
+//
+// All arithmetic is exact (BigInt): the Appendix B constants make costs
+// astronomically large and the decision boundary C(Z) <= M razor thin.
+
+#include <cstdint>
+#include <vector>
+
+#include "sqo/sppcs.h"
+#include "util/bigint.h"
+
+namespace aqo {
+
+struct SqoCpInstance {
+  int num_satellites = 0;
+  int64_t ks = 4;  // 2-pass sort read+write factor
+
+  BigInt central_tuples;  // n_0
+  BigInt central_pages;   // b_0
+
+  // Per satellite i (index i-1): tuples n_i, pages b_i, the exact join
+  // factor match_i = n_i * s_i, nested-loops unit cost w_i, and the cost
+  // w_{0,i} of nested-loops access to R_0 given a tuple of R_i.
+  std::vector<BigInt> tuples;
+  std::vector<BigInt> pages;
+  std::vector<BigInt> match;
+  std::vector<BigInt> w;
+  std::vector<BigInt> w0;
+
+  BigInt budget;  // decision bound M
+
+  BigInt SortCost(int relation) const {  // A_r; relation 0 = central
+    return (relation == 0 ? central_pages
+                          : pages[static_cast<size_t>(relation) - 1]) *
+           BigInt(ks);
+  }
+
+  void Validate() const;
+
+  // Appendix B's side condition: with sort memory mem = n_0 / 2 pages,
+  // every base relation satisfies mem < b <= mem^2, so a 2-pass sort (the
+  // constant ks) is exactly right for all of them. True for instances
+  // produced by ReduceSppcsToSqoCp.
+  bool InTwoPassSortRegime() const;
+};
+
+enum class JoinMethod { kNestedLoops, kSortMerge };
+
+struct SqoCpPlan {
+  // Feasible relation order: starts with 0, or with a satellite followed
+  // immediately by 0.
+  std::vector<int> sequence;
+  // methods[j] executes the join adding sequence[j+1].
+  std::vector<JoinMethod> methods;
+};
+
+// Exact cost of a fully specified plan.
+BigInt SqoCpPlanCost(const SqoCpInstance& inst, const SqoCpPlan& plan);
+
+struct SqoCpResult {
+  BigInt best_cost;
+  SqoCpPlan best_plan;
+  bool within_budget = false;  // best_cost <= budget
+};
+
+// Exact optimum by subset DP (per start relation): the marginal cost of a
+// join depends on the joined *set* only. O((s+1) * 2^s * s); s <= 18.
+SqoCpResult SolveSqoCpExact(const SqoCpInstance& inst);
+
+// Exhaustive over sequences (methods chosen greedily per join, which is
+// optimal since methods do not affect sizes); s <= 7. Cross-check.
+SqoCpResult SolveSqoCpBrute(const SqoCpInstance& inst);
+
+// --- The polynomial contrast (Ibaraki & Kameda [1]) ---
+//
+// With joins restricted to nested loops, star-query optimization is
+// polynomial: starting from R_0 the cost is
+//     b_0 + n_0 * (w_{z1} + f_{z1} w_{z2} + f_{z1} f_{z2} w_{z3} + ...),
+// an ASI objective over the satellites (f = match factors), minimized by
+// sorting on rank_i = (match_i - 1) / w_i; satellite-first starts are
+// checked the same way. It is exactly the *choice* between nested loops
+// and sort-merge that Appendix B proves NP-complete.
+
+// Exact optimal nested-loops-only plan in O(s^2 log s) (per-start rank
+// sort). The returned plan has every method set to kNestedLoops.
+SqoCpResult SolveSqoNlOnly(const SqoCpInstance& inst);
+
+// --- Appendix B reduction ---
+
+struct SppcsToSqoCpResult {
+  SqoCpInstance instance;
+  BigInt j_term;  // J
+  BigInt u_term;  // U
+  // Satellite ids: SPPCS pair i -> satellite i+1; the amplifier relation
+  // R_{m+1} is satellite m+1.
+  int AmplifierSatellite() const { return instance.num_satellites; }
+};
+
+// Builds the SQO-CP instance from an SPPCS instance (requires p_i >= 2,
+// c_i >= 1 for all pairs, the paper's WLOG normalization):
+//   J = (4 ks prod p_i)^2,  U = sum c_i + prod p_i + 1,  n_0 = b_0 = 5J^3U,
+//   satellites i = 1..m:  b_i = n_0 J^2 c_i, n_i = (m+1) b_i,
+//                         match_i = p_i, w_i = J ks p_i, w_{0,i} = n_0,
+//   amplifier m+1:        b = n_0 J^2 U, n = (m+1) b, match = J,
+//                         w = J^2 ks, w_0 = n_0,
+//   M = n_0 J^2 ks (L+1) - 1.
+// Intended optimal plans put the SPPCS subset A (nested loops, factors
+// p_i) before the amplifier — whose nested-loops join contributes
+// n_0 J^2 ks * prod_{i in A} p_i, the subset-product term — and sort-merge
+// the rest, paying n_0 J^2 ks * c_j each: cost tracks n_0 J^2 ks (V(A)+1).
+SppcsToSqoCpResult ReduceSppcsToSqoCp(const SppcsInstance& sppcs);
+
+// The canonical witness plan for subset A: R_0, A ascending (nested
+// loops), the amplifier (nested loops), then the rest (sort-merge).
+SqoCpPlan SqoCpWitnessPlan(const SppcsToSqoCpResult& reduction,
+                           const std::vector<bool>& in_a);
+
+}  // namespace aqo
+
+#endif  // AQO_SQO_STAR_QUERY_H_

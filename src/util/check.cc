@@ -1,0 +1,15 @@
+#include "util/check.h"
+
+#include <cstdio>
+
+namespace aqo::internal {
+
+void CheckFail(const char* expr, const char* file, int line,
+               const std::string& message) {
+  std::fprintf(stderr, "%s:%d: check failed: %s %s\n", file, line, expr,
+               message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace aqo::internal

@@ -1,0 +1,15 @@
+#include "util/log_double.h"
+
+#include <cmath>
+#include <ostream>
+
+namespace aqo {
+
+std::ostream& operator<<(std::ostream& os, LogDouble v) {
+  if (v.IsZero()) return os << "0";
+  double l = v.Log2();
+  if (std::fabs(l) <= 40.0) return os << v.ToLinear();
+  return os << "2^" << l;
+}
+
+}  // namespace aqo

@@ -1,0 +1,79 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace aqo {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t s = seed;
+  for (uint64_t& word : state_) word = SplitMix64(&s);
+  // xoshiro must not start in the all-zero state.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 1;
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  AQO_CHECK(lo <= hi);
+  uint64_t range = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  uint64_t limit = ~0ULL - ~0ULL % range;
+  uint64_t r;
+  do {
+    r = Next();
+  } while (r >= limit);
+  return lo + static_cast<int64_t>(r % range);
+}
+
+double Rng::UniformReal() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformReal(double lo, double hi) {
+  return lo + (hi - lo) * UniformReal();
+}
+
+bool Rng::Bernoulli(double p) { return UniformReal() < p; }
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  AQO_CHECK(0 <= k && k <= n);
+  // Partial Fisher-Yates over an index vector; O(n) space, fine for the
+  // graph sizes this library handles.
+  std::vector<int> idx(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) idx[static_cast<size_t>(i)] = i;
+  for (int i = 0; i < k; ++i) {
+    int j = static_cast<int>(UniformInt(i, n - 1));
+    std::swap(idx[static_cast<size_t>(i)], idx[static_cast<size_t>(j)]);
+  }
+  idx.resize(static_cast<size_t>(k));
+  return idx;
+}
+
+}  // namespace aqo

@@ -1,0 +1,63 @@
+#ifndef AQO_UTIL_RANDOM_H_
+#define AQO_UTIL_RANDOM_H_
+
+// Deterministic pseudo-random generation for instance generators, local
+// search optimizers, and property tests.
+//
+// Rng wraps xoshiro256** seeded through SplitMix64 and satisfies
+// std::uniform_random_bit_generator, so it plugs into <random> and
+// std::shuffle. All generators in this library take an explicit Rng so every
+// experiment is reproducible from its seed.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace aqo {
+
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return Next(); }
+
+  uint64_t Next();
+
+  // Uniform in [lo, hi] inclusive; requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform in [0, 1).
+  double UniformReal();
+
+  // Uniform in [lo, hi).
+  double UniformReal(double lo, double hi);
+
+  bool Bernoulli(double p);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  // k distinct values from {0, ..., n-1}, in random order.
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace aqo
+
+#endif  // AQO_UTIL_RANDOM_H_

@@ -1,0 +1,58 @@
+#ifndef AQO_UTIL_STATS_H_
+#define AQO_UTIL_STATS_H_
+
+// Small statistics helpers used by the benchmark harness: streaming
+// mean/variance accumulation, percentiles over retained samples, and a
+// least-squares line fit used to estimate empirical growth exponents.
+
+#include <cstddef>
+#include <vector>
+
+namespace aqo {
+
+// Streaming accumulator (Welford) for count/mean/stddev/min/max.
+class StatAccumulator {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double Variance() const;
+  double Stddev() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Retains samples; supports exact percentiles.
+class SampleSet {
+ public:
+  void Add(double x) { samples_.push_back(x); }
+  size_t size() const { return samples_.size(); }
+  // p in [0, 100]; linear interpolation between order statistics.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+// Ordinary least squares y = slope*x + intercept. Requires >= 2 points.
+LineFit FitLine(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace aqo
+
+#endif  // AQO_UTIL_STATS_H_

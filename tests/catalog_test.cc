@@ -1,0 +1,147 @@
+// Tests for the statistics catalog and selectivity derivation.
+
+#include "qo/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "qo/optimizers.h"
+#include "util/random.h"
+
+namespace aqo {
+namespace {
+
+Catalog TwoTableCatalog(int64_t ndv_a, int64_t ndv_b, double a_min = 0,
+                        double a_max = 1000, double b_min = 0,
+                        double b_max = 1000) {
+  Catalog catalog;
+  TableStats a;
+  a.name = "a";
+  a.rows = 10000;
+  a.columns.push_back({"x", ndv_a, a_min, a_max, {}});
+  catalog.AddTable(std::move(a));
+  TableStats b;
+  b.name = "b";
+  b.rows = 50000;
+  b.columns.push_back({"y", ndv_b, b_min, b_max, {}});
+  catalog.AddTable(std::move(b));
+  return catalog;
+}
+
+TEST(Catalog, LookupAndValidation) {
+  Catalog c = TwoTableCatalog(10, 20);
+  EXPECT_EQ(c.NumTables(), 2);
+  EXPECT_EQ(c.TableIndex("a"), 0);
+  EXPECT_EQ(c.TableIndex("b"), 1);
+  EXPECT_EQ(c.Column("a", "x").ndv, 10);
+  EXPECT_EQ(c.table(1).rows, 50000);
+}
+
+TEST(Selectivity, ContainmentAssumptionWithoutHistograms) {
+  Catalog c = TwoTableCatalog(100, 400);
+  double sel = EstimateJoinSelectivity(c, {"a", "x", "b", "y"});
+  EXPECT_NEAR(sel, 1.0 / 400.0, 1e-12);
+  // Symmetric.
+  EXPECT_NEAR(EstimateJoinSelectivity(c, {"b", "y", "a", "x"}), sel, 1e-15);
+}
+
+TEST(Selectivity, DisjointRangesCollapse) {
+  Catalog c = TwoTableCatalog(100, 100, 0, 10, 20, 30);
+  EXPECT_EQ(EstimateJoinSelectivity(c, {"a", "x", "b", "y"}),
+            kMinDerivedSelectivity);
+}
+
+TEST(Selectivity, PartialOverlapScalesMassAndNdv) {
+  // a: [0, 100], b: [50, 150]; overlap [50, 100] = half of each range.
+  Catalog c = TwoTableCatalog(100, 100, 0, 100, 50, 150);
+  double sel = EstimateJoinSelectivity(c, {"a", "x", "b", "y"});
+  // mass = 0.5 each; ndv in overlap = 50 -> sel = 0.25 / 50.
+  EXPECT_NEAR(sel, 0.25 / 50.0, 1e-12);
+}
+
+TEST(Selectivity, HistogramSkewMatters) {
+  Catalog skewed;
+  TableStats a;
+  a.name = "a";
+  a.rows = 1000;
+  // All of a's mass in the first half of [0, 100].
+  a.columns.push_back({"x", 100, 0, 100, {0.5, 0.5, 0.0, 0.0}});
+  skewed.AddTable(std::move(a));
+  TableStats b;
+  b.name = "b";
+  b.rows = 1000;
+  b.columns.push_back({"y", 100, 50, 150, {}});
+  skewed.AddTable(std::move(b));
+  // Overlap [50, 100]: a has zero mass there -> floor selectivity.
+  EXPECT_EQ(EstimateJoinSelectivity(skewed, {"a", "x", "b", "y"}),
+            kMinDerivedSelectivity);
+}
+
+TEST(Selectivity, AlwaysInUnitInterval) {
+  Rng rng(201);
+  for (int trial = 0; trial < 50; ++trial) {
+    Catalog c = TwoTableCatalog(rng.UniformInt(1, 1000), rng.UniformInt(1, 1000),
+                                rng.UniformReal(0, 100), rng.UniformReal(100, 200),
+                                rng.UniformReal(0, 100), rng.UniformReal(100, 200));
+    double sel = EstimateJoinSelectivity(c, {"a", "x", "b", "y"});
+    EXPECT_GE(sel, kMinDerivedSelectivity);
+    EXPECT_LE(sel, 1.0);
+  }
+}
+
+TEST(BuildQonInstance, StarSchemaOptimizes) {
+  Rng rng(202);
+  std::vector<EquiJoin> joins;
+  Catalog catalog = RandomStarSchema(6, 1000000, &rng, &joins);
+  EXPECT_EQ(catalog.NumTables(), 7);
+  EXPECT_EQ(joins.size(), 6u);
+  QonInstance inst = BuildQonInstance(catalog, joins);
+  EXPECT_EQ(inst.NumRelations(), 7);
+  // Star shape: the fact table (last index) touches all dimensions.
+  int fact = catalog.TableIndex("fact");
+  EXPECT_EQ(inst.graph().Degree(fact), 6);
+  OptimizerResult opt = DpQonOptimizer(inst);
+  ASSERT_TRUE(opt.feasible);
+  OptimizerResult greedy = GreedyQonOptimizer(inst);
+  EXPECT_GE(greedy.cost.Log2(), opt.cost.Log2() - 1e-9);
+}
+
+TEST(BuildQonInstance, MultiplePredicatesMultiply) {
+  Catalog catalog;
+  TableStats a;
+  a.name = "a";
+  a.rows = 100;
+  a.columns.push_back({"x", 10, 0, 10, {}});
+  a.columns.push_back({"z", 5, 0, 10, {}});
+  catalog.AddTable(std::move(a));
+  TableStats b;
+  b.name = "b";
+  b.rows = 100;
+  b.columns.push_back({"y", 10, 0, 10, {}});
+  b.columns.push_back({"w", 5, 0, 10, {}});
+  catalog.AddTable(std::move(b));
+  QonInstance one = BuildQonInstance(catalog, {{"a", "x", "b", "y"}});
+  QonInstance two = BuildQonInstance(
+      catalog, {{"a", "x", "b", "y"}, {"a", "z", "b", "w"}});
+  EXPECT_LT(two.selectivity(0, 1).Log2(), one.selectivity(0, 1).Log2());
+  EXPECT_NEAR(two.selectivity(0, 1).ToLinear(), 0.1 * 0.2, 1e-12);
+}
+
+using CatalogDeathTest = ::testing::Test;
+
+TEST(CatalogDeathTest, RejectsBadMetadata) {
+  Catalog c = TwoTableCatalog(10, 10);
+  EXPECT_DEATH(c.TableIndex("missing"), "unknown table");
+  EXPECT_DEATH(c.Column("a", "missing"), "unknown column");
+  TableStats dup;
+  dup.name = "a";
+  dup.rows = 1;
+  EXPECT_DEATH(c.AddTable(std::move(dup)), "duplicate table");
+  TableStats bad_hist;
+  bad_hist.name = "h";
+  bad_hist.rows = 10;
+  bad_hist.columns.push_back({"c", 5, 0, 10, {0.5, 0.2}});  // sums to 0.7
+  EXPECT_DEATH(c.AddTable(std::move(bad_hist)), "sum to 1");
+}
+
+}  // namespace
+}  // namespace aqo

@@ -1,0 +1,138 @@
+// Tests for the CDCL solver: cross-validation against DPLL / brute force
+// and behaviour on structured hard families.
+
+#include "sat/cdcl.h"
+
+#include <gtest/gtest.h>
+
+#include "sat/dpll.h"
+#include "sat/gen.h"
+#include "util/random.h"
+
+namespace aqo {
+namespace {
+
+bool SatisfiableBrute(const CnfFormula& f) {
+  int n = f.num_vars();
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    Assignment a(static_cast<size_t>(n));
+    for (int v = 0; v < n; ++v) a[static_cast<size_t>(v)] = (mask >> v) & 1;
+    if (f.IsSatisfiedBy(a)) return true;
+  }
+  return false;
+}
+
+TEST(Cdcl, TrivialCases) {
+  CnfFormula sat(2);
+  sat.AddClause({1, 2});
+  sat.AddClause({-1, 2});
+  CdclResult r = SolveCdcl(sat);
+  ASSERT_TRUE(r.assignment.has_value());
+  EXPECT_TRUE(sat.IsSatisfiedBy(*r.assignment));
+
+  CnfFormula unsat(1);
+  unsat.AddClause({1});
+  unsat.AddClause({-1});
+  EXPECT_FALSE(SolveCdcl(unsat).assignment.has_value());
+
+  CnfFormula tautology(1);
+  tautology.AddClause({1, -1});
+  EXPECT_TRUE(SolveCdcl(tautology).assignment.has_value());
+
+  CnfFormula unit_chain(3);
+  unit_chain.AddClause({1});
+  unit_chain.AddClause({-1, 2});
+  unit_chain.AddClause({-2, 3});
+  CdclResult chain = SolveCdcl(unit_chain);
+  ASSERT_TRUE(chain.assignment.has_value());
+  EXPECT_TRUE((*chain.assignment)[2]);
+}
+
+TEST(Cdcl, MatchesBruteForceOnRandom) {
+  Rng rng(231);
+  for (int trial = 0; trial < 200; ++trial) {
+    int n = static_cast<int>(rng.UniformInt(3, 14));
+    int m = static_cast<int>(rng.UniformInt(1, 70));
+    CnfFormula f = RandomThreeSat(n, m, &rng);
+    CdclResult r = SolveCdcl(f);
+    EXPECT_TRUE(r.complete);
+    EXPECT_EQ(r.assignment.has_value(), SatisfiableBrute(f))
+        << "n=" << n << " m=" << m << " trial=" << trial;
+  }
+}
+
+TEST(Cdcl, AgreesWithDpllAtScale) {
+  Rng rng(232);
+  for (int trial = 0; trial < 40; ++trial) {
+    int n = 30;
+    int m = static_cast<int>(rng.UniformInt(60, 160));  // around threshold
+    CnfFormula f = RandomThreeSat(n, m, &rng);
+    CdclResult cdcl = SolveCdcl(f);
+    DpllResult dpll = SolveDpll(f);
+    ASSERT_TRUE(cdcl.complete && dpll.complete);
+    EXPECT_EQ(cdcl.assignment.has_value(), dpll.assignment.has_value())
+        << "trial=" << trial << " m=" << m;
+  }
+}
+
+TEST(Cdcl, SolvesPlantedInstancesFast) {
+  Rng rng(233);
+  for (int trial = 0; trial < 10; ++trial) {
+    CnfFormula f = PlantedSatisfiableThreeSat(80, 300, &rng);
+    CdclResult r = SolveCdcl(f);
+    ASSERT_TRUE(r.assignment.has_value());
+  }
+}
+
+TEST(Cdcl, RefutesPigeonhole) {
+  for (int holes : {2, 3, 4, 5}) {
+    CdclResult r = SolveCdcl(PigeonholeFormula(holes));
+    EXPECT_TRUE(r.complete);
+    EXPECT_FALSE(r.assignment.has_value()) << "holes=" << holes;
+    EXPECT_GT(r.learned_clauses, 0u);
+  }
+}
+
+TEST(Cdcl, XorChainsAndBoundedFormulas) {
+  Rng rng(234);
+  for (int k : {4, 8, 16}) {
+    EXPECT_TRUE(SolveCdcl(XorChainFormula(k, true)).assignment.has_value());
+    EXPECT_TRUE(SolveCdcl(XorChainFormula(k, false)).assignment.has_value());
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    CnfFormula f = RandomThreeSat(6, 30, &rng);
+    CnfFormula bounded = BoundOccurrences(f, 3);
+    EXPECT_EQ(SolveCdcl(f).assignment.has_value(),
+              SolveCdcl(bounded).assignment.has_value());
+  }
+}
+
+TEST(Cdcl, ConflictLimitReportsIncomplete) {
+  CnfFormula f = PigeonholeFormula(7);  // big enough to need > 2 conflicts
+  CdclResult r = SolveCdcl(f, 2);
+  EXPECT_FALSE(r.complete);
+  EXPECT_FALSE(r.assignment.has_value());
+}
+
+TEST(Cdcl, StatisticsArePopulated) {
+  Rng rng(235);
+  CnfFormula f = RandomThreeSat(20, 85, &rng);
+  CdclResult r = SolveCdcl(f);
+  EXPECT_GT(r.propagations, 0u);
+  if (!r.assignment.has_value()) {
+    EXPECT_GT(r.conflicts, 0u);
+  }
+}
+
+TEST(Cdcl, RefutesMediumPigeonholeWithinBudget) {
+  // PHP(7,6) has 42 variables; a learner refutes it within a modest
+  // conflict budget where naive enumeration would see 2^42 assignments.
+  CnfFormula f = PigeonholeFormula(6);
+  CdclResult r = SolveCdcl(f, /*conflict_limit=*/2000000);
+  ASSERT_TRUE(r.complete) << "conflict budget exhausted";
+  EXPECT_FALSE(r.assignment.has_value());
+  EXPECT_LT(r.conflicts, 2000000u);
+}
+
+}  // namespace
+}  // namespace aqo

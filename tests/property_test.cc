@@ -1,0 +1,184 @@
+// Parameterized property sweeps (TEST_P) over the invariants the paper's
+// lemmas rely on: the hash-join cost axioms for every eta, homogeneity of
+// the QO_N cost model, gap soundness across (alpha, d) parameterizations,
+// and seed sweeps of the reduction chains.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "graph/clique.h"
+#include "graph/generators.h"
+#include "qo/optimizers.h"
+#include "qo/qoh.h"
+#include "qo/workloads.h"
+#include "reductions/clique_to_qon.h"
+#include "reductions/sat_to_clique.h"
+#include "sat/dpll.h"
+#include "sat/gen.h"
+#include "util/random.h"
+
+namespace aqo {
+namespace {
+
+// --- QO_H cost axioms (paper Section 2.2, properties 1-4 of g) ---
+
+class QohAxiomSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(QohAxiomSweep, HashJoinCostSatisfiesTheFourAxioms) {
+  double eta = GetParam();
+  Graph g = Chain(2);
+  double inner = 4096.0;
+  std::vector<LogDouble> sizes = {LogDouble::FromLinear(512.0),
+                                  LogDouble::FromLinear(inner)};
+  double hjmin = std::ceil(std::pow(inner, eta));
+
+  auto cost_at_memory = [&](double memory) {
+    QohInstance inst(g, sizes, memory, eta);
+    inst.SetSelectivity(0, 1, LogDouble::FromLinear(0.5));
+    PipelineCostResult r = OptimalPipelineCost(inst, {0, 1}, 1, 1);
+    EXPECT_TRUE(r.feasible);
+    return r.cost.ToLinear();
+  };
+
+  // Axiom 1: linear decreasing on [hjmin, b]. Check monotone decreasing
+  // and exact midpoint linearity.
+  double lo = cost_at_memory(hjmin);
+  double mid = cost_at_memory((hjmin + inner) / 2.0);
+  double hi = cost_at_memory(inner);
+  EXPECT_GT(lo, mid);
+  EXPECT_GT(mid, hi);
+  EXPECT_NEAR(mid, (lo + hi) / 2.0, 1e-6 * lo);
+
+  // Axiom 2: g = 0 for m >= b: cost flat beyond the inner size.
+  EXPECT_NEAR(cost_at_memory(inner * 4.0), hi, 1e-9);
+
+  // Axiom 4: h(hjmin) = Theta(b_R + b_S): full probe re-read plus build
+  // plus materialization bookkeeping.
+  double n_out = 512.0 * inner * 0.5;
+  EXPECT_NEAR(lo, 512.0 + (512.0 + inner) * 1.0 + inner + n_out, 1e-6 * lo);
+
+  // Feasibility boundary: below hjmin the join cannot run.
+  QohInstance starved(g, sizes, hjmin - 1.0, eta);
+  starved.SetSelectivity(0, 1, LogDouble::FromLinear(0.5));
+  EXPECT_FALSE(OptimalPipelineCost(starved, {0, 1}, 1, 1).feasible);
+}
+
+INSTANTIATE_TEST_SUITE_P(EtaSweep, QohAxiomSweep,
+                         ::testing::Values(0.25, 0.4, 0.5, 0.6, 0.75));
+
+// --- QO_N cost model homogeneity ---
+
+class QonHomogeneitySweep
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(QonHomogeneitySweep, ScalingAllSizesScalesPrefixes) {
+  auto [n, seed] = GetParam();
+  Rng rng(seed);
+  QonInstance inst = RandomQonWorkload(n, &rng);
+  LogDouble factor = LogDouble::FromLinear(7.0);
+
+  QonInstance scaled(inst.graph(), [&] {
+    std::vector<LogDouble> s;
+    for (int i = 0; i < n; ++i) s.push_back(inst.size(i) * factor);
+    return s;
+  }());
+  for (const auto& [u, v] : inst.graph().Edges()) {
+    scaled.SetSelectivity(u, v, inst.selectivity(u, v));
+  }
+
+  JoinSequence seq = IdentitySequence(n);
+  rng.Shuffle(&seq);
+  std::vector<LogDouble> base = PrefixSizes(inst, seq);
+  std::vector<LogDouble> big = PrefixSizes(scaled, seq);
+  for (size_t k = 0; k < base.size(); ++k) {
+    // N scales by factor^k (one factor per member relation).
+    EXPECT_TRUE((base[k] * factor.Pow(static_cast<double>(k)))
+                    .ApproxEquals(big[k], 1e-9))
+        << "prefix length " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedSweep, QonHomogeneitySweep,
+    ::testing::Combine(::testing::Values(4, 7, 10),
+                       ::testing::Values(uint64_t{1}, uint64_t{99},
+                                         uint64_t{2024})));
+
+// --- f_N gap soundness across parameterizations ---
+
+class GapSoundnessSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(GapSoundnessSweep, CertifiedFloorNeverExceedsTrueOptimum) {
+  auto [log2_alpha, d] = GetParam();
+  Rng rng(static_cast<uint64_t>(log2_alpha * 100 + d * 10));
+  for (int trial = 0; trial < 8; ++trial) {
+    int n = static_cast<int>(rng.UniformInt(6, 11));
+    Graph g = Gnp(n, rng.UniformReal(0.3, 0.9), &rng);
+    QonGapParams params{.c = 0.8, .d = d, .log2_alpha = log2_alpha};
+    QonGapInstance gap = ReduceCliqueToQon(g, params);
+    int omega = static_cast<int>(MaxClique(g).clique.size());
+    OptimizerResult opt = DpQonOptimizer(gap.instance);
+    ASSERT_TRUE(opt.feasible);
+    EXPECT_GE(opt.cost.Log2() + 1e-6,
+              gap.CertifiedLowerBound(omega).Log2())
+        << "alpha=2^" << log2_alpha << " d=" << d << " n=" << n;
+  }
+}
+
+TEST_P(GapSoundnessSweep, WitnessRespectsKOnDenseYesInstances) {
+  auto [log2_alpha, d] = GetParam();
+  Rng rng(static_cast<uint64_t>(log2_alpha * 7 + d * 31));
+  int n = 90;
+  int clique = 2 * n / 3;
+  std::vector<int> planted;
+  Graph g = CliqueClassGraph(n, 13, 1.0, clique, &rng, &planted);
+  QonGapParams params{.c = 2.0 / 3.0, .d = d, .log2_alpha = log2_alpha};
+  QonGapInstance gap = ReduceCliqueToQon(g, params);
+  JoinSequence witness = CliqueFirstWitness(g, planted);
+  // Lemma 6 regime requires n >= 30/d; these parameters satisfy it.
+  ASSERT_GE(n, static_cast<int>(30.0 / d));
+  EXPECT_LE(QonSequenceCost(gap.instance, witness).Log2(),
+            gap.KBound().Log2() + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaDSweep, GapSoundnessSweep,
+    ::testing::Combine(::testing::Values(2.0, 4.0, 12.0),
+                       ::testing::Values(1.0 / 3.0, 0.4, 0.5)));
+
+// --- Lemma 3/4 agreement across formula shapes ---
+
+struct FormulaShape {
+  int vars;
+  int clauses;
+};
+
+class CliqueReductionSweep : public ::testing::TestWithParam<FormulaShape> {};
+
+TEST_P(CliqueReductionSweep, OmegaTracksMinUnsat) {
+  FormulaShape shape = GetParam();
+  Rng rng(static_cast<uint64_t>(shape.vars * 100 + shape.clauses));
+  for (int trial = 0; trial < 5; ++trial) {
+    CnfFormula f = RandomThreeSat(shape.vars, shape.clauses, &rng);
+    int u_star = f.NumClauses() - MaxSatisfiableClauses(f);
+    SatToCliqueResult r = ReduceSatToClique(f);
+    EXPECT_EQ(static_cast<int>(MaxClique(r.graph).clique.size()),
+              r.CliqueSizeForUnsat(u_star));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShapeSweep, CliqueReductionSweep,
+                         ::testing::Values(FormulaShape{3, 2},
+                                           FormulaShape{3, 5},
+                                           FormulaShape{4, 4},
+                                           FormulaShape{5, 3}),
+                         [](const auto& info) {
+                           return "v" + std::to_string(info.param.vars) + "m" +
+                                  std::to_string(info.param.clauses);
+                         });
+
+}  // namespace
+}  // namespace aqo

@@ -1,0 +1,153 @@
+// Tests for the QO_H heuristic suite and the NL-only polynomial star
+// optimizer (the Ibaraki-Kameda contrast to SQO-CP's NP-completeness).
+
+#include "qo/qoh_optimizers.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "qo/workloads.h"
+#include "reductions/clique_to_qoh.h"
+#include "sqo/star_query.h"
+#include "util/random.h"
+
+namespace aqo {
+namespace {
+
+TEST(QohHeuristics, NeverBeatExhaustiveOptimum) {
+  Rng rng(191);
+  for (int trial = 0; trial < 12; ++trial) {
+    int n = static_cast<int>(rng.UniformInt(3, 6));
+    QohInstance inst = RandomQohWorkload(n, &rng, rng.UniformReal(0.2, 1.2));
+    QohOptimizerResult exact = ExhaustiveQohOptimizer(inst);
+    if (!exact.feasible) continue;
+    for (const QohOptimizerResult& r :
+         {RandomSamplingQohOptimizer(inst, &rng, 40),
+          IterativeImprovementQohOptimizer(inst, &rng, 2),
+          SimulatedAnnealingQohOptimizer(inst, &rng,
+                                         {.iterations = 500, .restarts = 1})}) {
+      if (!r.feasible) continue;
+      EXPECT_GE(r.cost.Log2(), exact.cost.Log2() - 1e-9);
+      // The reported decomposition reproduces the reported cost.
+      PipelineCostResult check =
+          DecompositionCost(inst, r.sequence, r.decomposition);
+      ASSERT_TRUE(check.feasible);
+      EXPECT_TRUE(check.cost.ApproxEquals(r.cost, 1e-9));
+    }
+  }
+}
+
+TEST(QohHeuristics, LocalSearchUsuallyFindsTheOptimum) {
+  Rng rng(192);
+  int hits = 0, total = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    QohInstance inst = RandomQohWorkload(5, &rng, 0.5);
+    QohOptimizerResult exact = ExhaustiveQohOptimizer(inst);
+    if (!exact.feasible) continue;
+    ++total;
+    QohOptimizerResult ii = IterativeImprovementQohOptimizer(inst, &rng, 4);
+    hits += ii.feasible && ii.cost.ApproxEquals(exact.cost, 1e-6);
+  }
+  EXPECT_GE(hits * 4, total * 3);  // >= 75%
+}
+
+TEST(QohHeuristics, SentinelFirstRespectedOnGapInstances) {
+  Graph g = Graph::Complete(9);
+  QohGapInstance gap = ReduceTwoThirdsCliqueToQoh(g, QohGapParams{});
+  Rng rng(193);
+  QohOptimizerResult sampled =
+      RandomSamplingQohOptimizer(gap.instance, &rng, 30, /*sentinel_first=*/0);
+  ASSERT_TRUE(sampled.feasible);
+  EXPECT_EQ(sampled.sequence[0], 0);
+  QohOptimizerResult ii = IterativeImprovementQohOptimizer(
+      gap.instance, &rng, 2, /*sentinel_first=*/0);
+  ASSERT_TRUE(ii.feasible);
+  EXPECT_EQ(ii.sequence[0], 0);
+  // The heuristics respect the YES-side L bound region (complete graph).
+  EXPECT_LE(ii.cost.Log2(), gap.LBound().Log2() + 4.0);
+}
+
+// --- NL-only star optimization ---
+
+SqoCpInstance RandomStar(int s, Rng* rng) {
+  SqoCpInstance inst;
+  inst.num_satellites = s;
+  inst.ks = 4;
+  inst.central_tuples = rng->UniformInt(1, 60);
+  inst.central_pages = rng->UniformInt(1, 60);
+  for (int i = 0; i < s; ++i) {
+    inst.tuples.push_back(rng->UniformInt(1, 100));
+    inst.pages.push_back(rng->UniformInt(1, 100));
+    inst.match.push_back(rng->UniformInt(1, 9));
+    inst.w.push_back(rng->UniformInt(1, 50));
+    inst.w0.push_back(rng->UniformInt(1, 50));
+  }
+  inst.budget = rng->UniformInt(1, 1000000);
+  return inst;
+}
+
+// Brute force over NL-only plans.
+BigInt BruteNlOnly(const SqoCpInstance& inst) {
+  int s = inst.num_satellites;
+  std::vector<int> sats;
+  for (int i = 1; i <= s; ++i) sats.push_back(i);
+  BigInt best;
+  bool have = false;
+  do {
+    for (int start_case = 0; start_case <= 1; ++start_case) {
+      SqoCpPlan plan;
+      if (start_case == 0) {
+        plan.sequence.push_back(0);
+        plan.sequence.insert(plan.sequence.end(), sats.begin(), sats.end());
+      } else {
+        plan.sequence.push_back(sats[0]);
+        plan.sequence.push_back(0);
+        plan.sequence.insert(plan.sequence.end(), sats.begin() + 1, sats.end());
+      }
+      plan.methods.assign(static_cast<size_t>(s), JoinMethod::kNestedLoops);
+      BigInt cost = SqoCpPlanCost(inst, plan);
+      if (!have || cost < best) {
+        have = true;
+        best = cost;
+      }
+    }
+  } while (std::next_permutation(sats.begin(), sats.end()));
+  return best;
+}
+
+TEST(SqoNlOnly, RankSortMatchesBruteForce) {
+  Rng rng(194);
+  for (int trial = 0; trial < 60; ++trial) {
+    int s = static_cast<int>(rng.UniformInt(1, 6));
+    SqoCpInstance inst = RandomStar(s, &rng);
+    SqoCpResult fast = SolveSqoNlOnly(inst);
+    EXPECT_EQ(fast.best_cost, BruteNlOnly(inst)) << "trial=" << trial;
+    for (JoinMethod m : fast.best_plan.methods) {
+      EXPECT_EQ(m, JoinMethod::kNestedLoops);
+    }
+  }
+}
+
+TEST(SqoNlOnly, NeverBeatsTheMixedOptimum) {
+  // Allowing sort-merge can only help: the NL-only optimum upper-bounds
+  // the mixed one. (The converse choice is what Appendix B makes hard.)
+  Rng rng(195);
+  for (int trial = 0; trial < 30; ++trial) {
+    SqoCpInstance inst = RandomStar(static_cast<int>(rng.UniformInt(1, 5)), &rng);
+    SqoCpResult nl = SolveSqoNlOnly(inst);
+    SqoCpResult mixed = SolveSqoCpExact(inst);
+    EXPECT_GE(nl.best_cost, mixed.best_cost);
+  }
+}
+
+TEST(SqoNlOnly, PolynomialAtScale) {
+  // s = 2000 satellites: the rank sort must breeze through where the 2^s
+  // DP could not even allocate its table.
+  Rng rng(196);
+  SqoCpInstance inst = RandomStar(2000, &rng);
+  SqoCpResult fast = SolveSqoNlOnly(inst);
+  EXPECT_EQ(fast.best_plan.sequence.size(), 2001u);
+}
+
+}  // namespace
+}  // namespace aqo

@@ -1,0 +1,134 @@
+// End-to-end tests of the composed Theorem 9 / Theorem 15 chains:
+// 3SAT -> clique variant -> QO instance, with witnesses and floors.
+
+#include <gtest/gtest.h>
+
+#include "qo/optimizers.h"
+#include "reductions/pipeline.h"
+#include "sat/gen.h"
+#include "util/random.h"
+
+namespace aqo {
+namespace {
+
+CnfFormula TinyUnsat() {
+  // x1, x2, and not both -> plus forcing clauses; u* = 1.
+  CnfFormula f(2);
+  f.AddClause({1});
+  f.AddClause({2});
+  f.AddClause({-1, -2});
+  return f;
+}
+
+// v independent contradictions: u* = v. This is the executable stand-in
+// for the PCP gap amplification (Theorem 1): NO instances with u* =
+// Theta(m) unsatisfied clauses, which is what pushes the certified floor
+// a Theta(n) power of alpha above K.
+CnfFormula Contradictions(int v) {
+  CnfFormula f(v);
+  for (int i = 1; i <= v; ++i) {
+    f.AddClause({i});
+    f.AddClause({i});
+    f.AddClause({-i});
+  }
+  return f;
+}
+
+TEST(ComposeSatToQon, SatisfiableSideProducesCheapWitness) {
+  Rng rng(111);
+  SatToQonOptions options;
+  options.log2_alpha = 8.0;
+  for (int trial = 0; trial < 8; ++trial) {
+    CnfFormula f = PlantedSatisfiableThreeSat(4, 5, &rng);
+    SatToQonComposition out = ComposeSatToQon(f, options);
+    EXPECT_TRUE(out.satisfiable);
+    EXPECT_EQ(out.min_unsat, 0);
+    ASSERT_TRUE(out.witness.has_value());
+    EXPECT_TRUE(IsPermutation(*out.witness, out.gap.n));
+    // The witness reproduces its claimed cost.
+    EXPECT_TRUE(QonSequenceCost(out.gap.instance, *out.witness)
+                    .ApproxEquals(out.witness_cost, 1e-9));
+    // Lemma 6: the greedy clique-first witness meets K (with a hair of
+    // constant slack).
+    EXPECT_LE(out.witness_cost.Log2(),
+              out.gap.KBound().Log2() + 0.5 * options.log2_alpha);
+  }
+}
+
+TEST(ComposeSatToQon, UnsatisfiableSideGetsCertifiedFloor) {
+  SatToQonOptions options;
+  options.log2_alpha = 8.0;
+  SatToQonComposition out = ComposeSatToQon(TinyUnsat(), options);
+  EXPECT_FALSE(out.satisfiable);
+  EXPECT_EQ(out.min_unsat, 1);
+  EXPECT_FALSE(out.witness.has_value());
+  EXPECT_GT(out.certified_floor.Log2(), 0.0);
+  // The floor must clear the YES threshold K: that is the decision gap.
+  EXPECT_GT(out.certified_floor.Log2(), out.gap.KBound().Log2());
+}
+
+TEST(ComposeSatToQon, GapGrowsWithUnsatisfiedClauses) {
+  // The decision gap of Theorem 9, with the contradiction family playing
+  // the role of gap-3SAT NO instances: the certified floor clears K by
+  // roughly alpha^{u*}, while same-shape satisfiable formulas optimize to
+  // (at most) K.
+  Rng rng(112);
+  SatToQonOptions options;
+  options.log2_alpha = 16.0;
+  for (int v : {2, 3, 4, 6}) {
+    CnfFormula yes_f = PlantedSatisfiableThreeSat(std::max(v, 3), 3 * v, &rng);
+    SatToQonComposition yes = ComposeSatToQon(yes_f, options);
+    ASSERT_TRUE(yes.satisfiable);
+    double yes_excess = yes.witness_cost.Log2() - yes.gap.KBound().Log2();
+    EXPECT_LE(yes_excess, 0.5 * options.log2_alpha);
+
+    SatToQonComposition no = ComposeSatToQon(Contradictions(v), options);
+    ASSERT_FALSE(no.satisfiable);
+    EXPECT_EQ(no.min_unsat, v);
+    double no_excess = no.certified_floor.Log2() - no.gap.KBound().Log2();
+    // Floor clears K by at least (u* - 1) powers of alpha...
+    EXPECT_GE(no_excess, (v - 1.0) * options.log2_alpha);
+    // ...and in particular clears the YES side decisively.
+    EXPECT_GT(no_excess, yes_excess + options.log2_alpha);
+  }
+}
+
+TEST(ComposeSatToQoh, SatisfiableSideWitnessPlanWorks) {
+  Rng rng(113);
+  SatToQohOptions options;
+  for (int trial = 0; trial < 5; ++trial) {
+    CnfFormula f = PlantedSatisfiableThreeSat(3, 3, &rng);
+    SatToQohComposition out = ComposeSatToQoh(f, options);
+    EXPECT_TRUE(out.satisfiable);
+    ASSERT_TRUE(out.witness.has_value());
+    // Witness feasible (checked in the composition) and costed.
+    EXPECT_GT(out.witness_cost.Log2(), 0.0);
+    // n here is small (3(v+2m) = 27): allow generous constant slack on L.
+    EXPECT_LE(out.witness_cost.Log2(), out.l_bound.Log2() + 6.0);
+  }
+}
+
+TEST(ComposeSatToQoh, UnsatisfiableSideReportsFloor) {
+  // u* = 1 gives epsilon with G = L exactly (n eps/3 = 1); u* = 2 puts the
+  // floor strictly above L.
+  SatToQohOptions options;
+  SatToQohComposition one = ComposeSatToQoh(TinyUnsat(), options);
+  EXPECT_FALSE(one.satisfiable);
+  EXPECT_EQ(one.min_unsat, 1);
+  EXPECT_GE(one.no_floor.Log2(), one.l_bound.Log2() - 1e-9);
+
+  SatToQohComposition two = ComposeSatToQoh(Contradictions(2), options);
+  EXPECT_EQ(two.min_unsat, 2);
+  EXPECT_GT(two.no_floor.Log2(), two.l_bound.Log2() + 0.5);
+}
+
+TEST(ComposeSatToQoh, InstanceSizesArePolynomial) {
+  // Reduction-size sanity: query graph vertices = 3(v + 2m) + 1.
+  Rng rng(114);
+  CnfFormula f = PlantedSatisfiableThreeSat(3, 4, &rng);
+  SatToQohComposition out = ComposeSatToQoh(f, SatToQohOptions{});
+  EXPECT_EQ(out.gap.instance.NumRelations(), 3 * (3 + 8) + 1);
+}
+
+}  // namespace
+}  // namespace aqo

@@ -1,0 +1,128 @@
+// Tests for PARTITION, SPPCS, and the PARTITION -> SPPCS reduction
+// (Appendix A.4/A.5; reconstructed construction, see sppcs.h).
+
+#include <gtest/gtest.h>
+
+#include "sqo/partition.h"
+#include "sqo/sppcs.h"
+#include "util/random.h"
+
+namespace aqo {
+namespace {
+
+TEST(Partition, DpSolvesKnownInstances) {
+  PartitionInstance yes{{3, 1, 1, 2, 2, 1}};  // total 10, half 5
+  auto subset = SolvePartitionDp(yes);
+  ASSERT_TRUE(subset.has_value());
+  int64_t sum = 0;
+  for (int i : *subset) sum += yes.values[static_cast<size_t>(i)];
+  EXPECT_EQ(sum, 5);
+
+  PartitionInstance no{{1, 1, 4}};  // total 6, half 3: impossible
+  EXPECT_FALSE(SolvePartitionDp(no).has_value());
+}
+
+TEST(Partition, DpMatchesBruteForce) {
+  Rng rng(121);
+  for (int trial = 0; trial < 200; ++trial) {
+    int n = static_cast<int>(rng.UniformInt(2, 12));
+    PartitionInstance inst =
+        RandomPartitionInstance(n, 30, rng.Bernoulli(0.5), &rng);
+    EXPECT_EQ(SolvePartitionDp(inst).has_value(),
+              SolvePartitionBrute(inst).has_value())
+        << "trial=" << trial;
+  }
+}
+
+TEST(Partition, ForcedYesInstancesAreYes) {
+  Rng rng(122);
+  for (int trial = 0; trial < 50; ++trial) {
+    PartitionInstance inst = RandomPartitionInstance(8, 100, true, &rng);
+    EXPECT_TRUE(SolvePartitionDp(inst).has_value());
+  }
+}
+
+TEST(Sppcs, ValueComputation) {
+  SppcsInstance inst;
+  inst.pairs = {{BigInt(3), BigInt(10)}, {BigInt(4), BigInt(20)}};
+  inst.l_bound = 100;
+  EXPECT_EQ(SppcsValue(inst, {true, true}), BigInt(12));
+  EXPECT_EQ(SppcsValue(inst, {true, false}), BigInt(23));
+  EXPECT_EQ(SppcsValue(inst, {false, false}), BigInt(31));  // empty product 1
+}
+
+TEST(Sppcs, BruteForceFindsMinimum) {
+  SppcsInstance inst;
+  inst.pairs = {{BigInt(3), BigInt(10)},
+                {BigInt(4), BigInt(20)},
+                {BigInt(100), BigInt(1)}};
+  inst.l_bound = 12;
+  SppcsSolution sol = SolveSppcsBrute(inst);
+  EXPECT_EQ(sol.best_value, BigInt(13));  // {1,2} in A: 12 + 1
+  EXPECT_FALSE(sol.yes);
+  inst.l_bound = 13;
+  EXPECT_TRUE(SolveSppcsBrute(inst).yes);
+}
+
+TEST(PartitionToSppcs, ObjectiveEqualsConvexF) {
+  // Objective of any subset equals F(s_A) = 2^{s_A} + S(2K - s_A).
+  Rng rng(123);
+  PartitionInstance inst = RandomPartitionInstance(6, 10, false, &rng);
+  SppcsInstance sppcs = ReducePartitionToSppcs(inst);
+  int64_t k = inst.Half();
+  BigInt s = BigInt(3) * (BigInt(1) << static_cast<int>(k - 2));
+  for (uint32_t mask = 0; mask < 64; ++mask) {
+    std::vector<bool> in_a(6);
+    int64_t s_a = 0;
+    for (int i = 0; i < 6; ++i) {
+      in_a[static_cast<size_t>(i)] = (mask >> i) & 1;
+      if (in_a[static_cast<size_t>(i)])
+        s_a += inst.values[static_cast<size_t>(i)];
+    }
+    BigInt expected =
+        (BigInt(1) << static_cast<int>(s_a)) + s * BigInt(2 * k - s_a);
+    EXPECT_EQ(SppcsValue(sppcs, in_a), expected);
+  }
+}
+
+TEST(PartitionToSppcs, ManyOnePropertyExhaustive) {
+  // The load-bearing check: PARTITION yes <=> SPPCS yes, across hundreds
+  // of random instances, decided by independent brute-force solvers.
+  Rng rng(124);
+  for (int trial = 0; trial < 300; ++trial) {
+    int n = static_cast<int>(rng.UniformInt(2, 9));
+    PartitionInstance inst =
+        RandomPartitionInstance(n, 12, rng.Bernoulli(0.5), &rng);
+    if (inst.Total() < 4) continue;  // reduction requires K >= 2
+    SppcsInstance sppcs = ReducePartitionToSppcs(inst);
+    bool partition_yes = SolvePartitionBrute(inst).has_value();
+    bool sppcs_yes = SolveSppcsBrute(sppcs).yes;
+    EXPECT_EQ(partition_yes, sppcs_yes)
+        << "trial=" << trial << " n=" << n << " total=" << inst.Total();
+  }
+}
+
+TEST(PartitionToSppcs, WitnessMapsThrough) {
+  Rng rng(125);
+  for (int trial = 0; trial < 30; ++trial) {
+    PartitionInstance inst = RandomPartitionInstance(7, 15, true, &rng);
+    if (inst.Total() < 4) continue;
+    auto subset = SolvePartitionDp(inst);
+    ASSERT_TRUE(subset.has_value());
+    SppcsInstance sppcs = ReducePartitionToSppcs(inst);
+    std::vector<bool> witness = SppcsWitnessFromPartition(inst, *subset);
+    EXPECT_LE(SppcsValue(sppcs, witness), sppcs.l_bound);
+  }
+}
+
+TEST(PartitionToSppcs, ZeroValuesAreHarmless) {
+  PartitionInstance inst{{0, 2, 2, 0}};
+  SppcsInstance sppcs = ReducePartitionToSppcs(inst);
+  EXPECT_TRUE(SolveSppcsBrute(sppcs).yes);
+  // p = 2^0 = 1, c = 0 for the zero items.
+  EXPECT_EQ(sppcs.pairs[0].p, BigInt(1));
+  EXPECT_EQ(sppcs.pairs[0].c, BigInt(0));
+}
+
+}  // namespace
+}  // namespace aqo

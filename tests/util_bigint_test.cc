@@ -1,0 +1,168 @@
+#include "util/bigint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace aqo {
+namespace {
+
+using I128 = __int128;
+
+BigInt FromI128(I128 v) {
+  bool neg = v < 0;
+  unsigned __int128 mag = neg ? static_cast<unsigned __int128>(-(v + 1)) + 1
+                              : static_cast<unsigned __int128>(v);
+  BigInt r = BigInt::FromUint64(static_cast<uint64_t>(mag >> 64));
+  r = (r << 64) + BigInt::FromUint64(static_cast<uint64_t>(mag));
+  return neg ? -r : r;
+}
+
+std::string I128ToString(I128 v) {
+  if (v == 0) return "0";
+  bool neg = v < 0;
+  std::string s;
+  unsigned __int128 mag = neg ? static_cast<unsigned __int128>(-(v + 1)) + 1
+                              : static_cast<unsigned __int128>(v);
+  while (mag != 0) {
+    s.push_back(static_cast<char>('0' + static_cast<int>(mag % 10)));
+    mag /= 10;
+  }
+  if (neg) s.push_back('-');
+  std::reverse(s.begin(), s.end());
+  return s;
+}
+
+TEST(BigInt, ZeroBasics) {
+  BigInt z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_EQ(z.Sign(), 0);
+  EXPECT_EQ(z.ToString(), "0");
+  EXPECT_EQ(z.BitLength(), 0);
+  EXPECT_EQ(z + z, z);
+  EXPECT_EQ(z * BigInt(12345), z);
+}
+
+TEST(BigInt, SmallValues) {
+  EXPECT_EQ(BigInt(42).ToString(), "42");
+  EXPECT_EQ(BigInt(-42).ToString(), "-42");
+  EXPECT_EQ(BigInt(INT64_MIN).ToString(), "-9223372036854775808");
+  EXPECT_EQ(BigInt(INT64_MAX).ToString(), "9223372036854775807");
+}
+
+TEST(BigInt, FromStringRoundTrip) {
+  for (const char* s :
+       {"0", "1", "-1", "999999999999999999999999999999",
+        "-123456789012345678901234567890123456789", "18446744073709551616"}) {
+    EXPECT_EQ(BigInt::FromString(s).ToString(), s);
+  }
+  EXPECT_EQ(BigInt::FromString("+17").ToString(), "17");
+  EXPECT_EQ(BigInt::FromString("007").ToString(), "7");
+}
+
+TEST(BigInt, AdditionMatchesInt128) {
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    I128 a = static_cast<I128>(rng.Next()) * (rng.Bernoulli(0.5) ? 1 : -1);
+    I128 b = static_cast<I128>(rng.Next()) * (rng.Bernoulli(0.5) ? 1 : -1);
+    EXPECT_EQ((FromI128(a) + FromI128(b)).ToString(), I128ToString(a + b));
+    EXPECT_EQ((FromI128(a) - FromI128(b)).ToString(), I128ToString(a - b));
+  }
+}
+
+TEST(BigInt, MultiplicationMatchesInt128) {
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    int64_t a = rng.UniformInt(-1000000000, 1000000000) * rng.UniformInt(0, 1 << 20);
+    int64_t b = rng.UniformInt(-1000000000, 1000000000);
+    I128 prod = static_cast<I128>(a) * b;
+    EXPECT_EQ((BigInt(a) * BigInt(b)).ToString(), I128ToString(prod));
+  }
+}
+
+TEST(BigInt, DivisionMatchesInt128) {
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    I128 a = static_cast<I128>(rng.Next()) * static_cast<int64_t>(rng.Next() >> 40);
+    if (rng.Bernoulli(0.5)) a = -a;
+    int64_t b = rng.UniformInt(1, int64_t{1} << 40) * (rng.Bernoulli(0.5) ? 1 : -1);
+    EXPECT_EQ((FromI128(a) / BigInt(b)).ToString(), I128ToString(a / b));
+    EXPECT_EQ((FromI128(a) % BigInt(b)).ToString(), I128ToString(a % b));
+  }
+}
+
+TEST(BigInt, DivisionLargeDivisor) {
+  // Multi-limb divisor exercises the shift-subtract path.
+  BigInt a = BigInt::FromString("123456789012345678901234567890123456789012345678901234567890");
+  BigInt b = BigInt::FromString("9876543210987654321098765432109");
+  BigInt q = a / b;
+  BigInt r = a % b;
+  EXPECT_EQ(q * b + r, a);
+  EXPECT_TRUE(r >= BigInt(0) && r < b);
+}
+
+TEST(BigInt, DivModIdentityRandomized) {
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    BigInt a = 1, b = 1;
+    int limbs_a = static_cast<int>(rng.UniformInt(1, 6));
+    int limbs_b = static_cast<int>(rng.UniformInt(1, 4));
+    for (int l = 0; l < limbs_a; ++l)
+      a = (a << 61) + BigInt::FromUint64(rng.Next() >> 3);
+    for (int l = 0; l < limbs_b; ++l)
+      b = (b << 61) + BigInt::FromUint64(rng.Next() >> 3);
+    BigInt q, r;
+    BigInt::DivMod(a, b, &q, &r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_TRUE(r.Abs() < b.Abs());
+  }
+}
+
+TEST(BigInt, Shifts) {
+  BigInt one = 1;
+  EXPECT_EQ((one << 200).BitLength(), 201);
+  EXPECT_EQ(((one << 200) >> 200), one);
+  EXPECT_EQ((BigInt(5) << 3).ToString(), "40");
+  EXPECT_EQ((BigInt(40) >> 3).ToString(), "5");
+  EXPECT_EQ((BigInt(40) >> 100).ToString(), "0");
+}
+
+TEST(BigInt, Pow) {
+  EXPECT_EQ(BigInt(2).Pow(10).ToString(), "1024");
+  EXPECT_EQ(BigInt(10).Pow(30).ToString(), "1000000000000000000000000000000");
+  EXPECT_EQ(BigInt(7).Pow(0).ToString(), "1");
+  EXPECT_EQ(BigInt(0).Pow(0).ToString(), "1");
+  EXPECT_EQ(BigInt(-3).Pow(3).ToString(), "-27");
+  EXPECT_EQ(BigInt(-3).Pow(4).ToString(), "81");
+}
+
+TEST(BigInt, Comparisons) {
+  EXPECT_LT(BigInt(-5), BigInt(3));
+  EXPECT_LT(BigInt(3), BigInt(5));
+  EXPECT_LT(BigInt(-5), BigInt(-3));
+  EXPECT_LT(BigInt::FromString("99999999999999999999"),
+            BigInt::FromString("100000000000000000000"));
+  EXPECT_EQ(BigInt(7), BigInt(7));
+}
+
+TEST(BigInt, ToDoubleAndLog2) {
+  EXPECT_DOUBLE_EQ(BigInt(1024).ToDouble(), 1024.0);
+  EXPECT_DOUBLE_EQ(BigInt(-12).ToDouble(), -12.0);
+  EXPECT_DOUBLE_EQ(BigInt(1024).Log2Abs(), 10.0);
+  BigInt big = BigInt(1) << 500;
+  EXPECT_DOUBLE_EQ(big.Log2Abs(), 500.0);
+  EXPECT_NEAR((big * 3).Log2Abs(), 500.0 + std::log2(3.0), 1e-12);
+}
+
+TEST(BigInt, MixedArithmeticReadsNaturally) {
+  BigInt x = 10;
+  EXPECT_EQ((x * 3 + 1).ToString(), "31");
+  EXPECT_EQ((x - 20).ToString(), "-10");
+}
+
+}  // namespace
+}  // namespace aqo

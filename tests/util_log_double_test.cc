@@ -1,0 +1,131 @@
+#include "util/log_double.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace aqo {
+namespace {
+
+TEST(LogDouble, DefaultIsZero) {
+  LogDouble z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_EQ(z, LogDouble::Zero());
+  EXPECT_EQ(z.ToLinear(), 0.0);
+}
+
+TEST(LogDouble, FromLinearRoundTrip) {
+  for (double v : {1e-300, 0.25, 1.0, 3.5, 1e10, 1e300}) {
+    LogDouble x = LogDouble::FromLinear(v);
+    EXPECT_NEAR(x.ToLinear(), v, v * 1e-12);
+  }
+  EXPECT_TRUE(LogDouble::FromLinear(0.0).IsZero());
+}
+
+TEST(LogDouble, MultiplicationAddsExponents) {
+  LogDouble a = LogDouble::FromLog2(1e6);
+  LogDouble b = LogDouble::FromLog2(2.5e6);
+  EXPECT_DOUBLE_EQ((a * b).Log2(), 3.5e6);
+  EXPECT_DOUBLE_EQ((b / a).Log2(), 1.5e6);
+}
+
+TEST(LogDouble, MultiplicationByZero) {
+  LogDouble a = LogDouble::FromLinear(42.0);
+  EXPECT_TRUE((a * LogDouble::Zero()).IsZero());
+  EXPECT_TRUE((LogDouble::Zero() * a).IsZero());
+}
+
+TEST(LogDouble, AdditionMatchesLinearSmallValues) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double a = rng.UniformReal(0.001, 1000.0);
+    double b = rng.UniformReal(0.001, 1000.0);
+    LogDouble s = LogDouble::FromLinear(a) + LogDouble::FromLinear(b);
+    EXPECT_NEAR(s.ToLinear(), a + b, (a + b) * 1e-12);
+  }
+}
+
+TEST(LogDouble, AdditionWithZero) {
+  LogDouble a = LogDouble::FromLinear(5.0);
+  EXPECT_EQ((a + LogDouble::Zero()).Log2(), a.Log2());
+  EXPECT_EQ((LogDouble::Zero() + a).Log2(), a.Log2());
+}
+
+TEST(LogDouble, AdditionDominatedByHugeOperand) {
+  LogDouble huge = LogDouble::FromLog2(1e9);
+  LogDouble tiny = LogDouble::FromLog2(10.0);
+  EXPECT_DOUBLE_EQ((huge + tiny).Log2(), 1e9);
+}
+
+TEST(LogDouble, SubtractionMatchesLinear) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double a = rng.UniformReal(1.0, 1000.0);
+    double b = rng.UniformReal(0.0, a);
+    LogDouble d = LogDouble::FromLinear(a) - LogDouble::FromLinear(b);
+    EXPECT_NEAR(d.ToLinear(), a - b, 1e-9 * a);
+  }
+}
+
+TEST(LogDouble, SubtractionOfEqualsIsZero) {
+  LogDouble a = LogDouble::FromLog2(123.456);
+  EXPECT_TRUE((a - a).IsZero());
+}
+
+TEST(LogDouble, PowAndSqrt) {
+  LogDouble a = LogDouble::FromLog2(100.0);
+  EXPECT_DOUBLE_EQ(a.Pow(3.0).Log2(), 300.0);
+  EXPECT_DOUBLE_EQ(a.Pow(-1.0).Log2(), -100.0);
+  EXPECT_DOUBLE_EQ(a.Sqrt().Log2(), 50.0);
+  EXPECT_EQ(a.Pow(0.0).Log2(), 0.0);
+  EXPECT_EQ(LogDouble::Zero().Pow(0.0).Log2(), 0.0);  // empty product
+}
+
+TEST(LogDouble, Comparisons) {
+  LogDouble a = LogDouble::FromLog2(5.0);
+  LogDouble b = LogDouble::FromLog2(6.0);
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_LE(a, a);
+  EXPECT_LT(LogDouble::Zero(), a);
+  EXPECT_EQ(MaxOf(a, b).Log2(), 6.0);
+  EXPECT_EQ(MinOf(a, b).Log2(), 5.0);
+}
+
+TEST(LogDouble, ApproxEquals) {
+  LogDouble a = LogDouble::FromLog2(1e6);
+  LogDouble b = LogDouble::FromLog2(1e6 * (1.0 + 1e-12));
+  EXPECT_TRUE(a.ApproxEquals(b, 1e-9));
+  LogDouble c = LogDouble::FromLog2(1e6 + 1.0);
+  EXPECT_FALSE(a.ApproxEquals(c, 1e-9));
+  EXPECT_TRUE(LogDouble::Zero().ApproxEquals(LogDouble::Zero()));
+  EXPECT_FALSE(LogDouble::Zero().ApproxEquals(a));
+}
+
+TEST(LogDouble, GeometricSeriesBound) {
+  // The Lemma 6 argument: 1 + 1/alpha + 1/alpha^2 + ... <= 2 for alpha >= 4
+  // — check the log-domain sum behaves.
+  LogDouble alpha = LogDouble::FromLinear(4.0);
+  LogDouble sum = LogDouble::Zero();
+  LogDouble term = LogDouble::One();
+  for (int i = 0; i < 50; ++i) {
+    sum += term;
+    term /= alpha;
+  }
+  EXPECT_LT(sum, LogDouble::FromLinear(4.0 / 3.0 + 1e-9));
+  EXPECT_GT(sum, LogDouble::FromLinear(4.0 / 3.0 - 1e-9));
+}
+
+TEST(LogDouble, HugeValueArithmeticStaysFinite) {
+  // alpha = 4^{n^{1/delta}} with n=50, delta=0.5 -> log2 alpha = 2 * 50^2.
+  LogDouble alpha = LogDouble::FromLog2(2.0 * 2500.0);
+  LogDouble t = alpha.Pow(37.5);               // t = alpha^{(c-d/2)n}
+  LogDouble cost = t.Pow(50.0) * alpha.Pow(-1200.0);
+  EXPECT_TRUE(std::isfinite(cost.Log2()));
+  EXPECT_GT(cost, LogDouble::One());
+}
+
+}  // namespace
+}  // namespace aqo

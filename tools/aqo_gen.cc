@@ -1,0 +1,96 @@
+// aqo_gen — instance generator CLI.
+//
+// Emits a QO_N instance (the library text format) on stdout:
+//
+//   aqo_gen --kind=random --n=12 --p=0.5 --seed=1
+//       random query graph, uniform sizes/selectivities
+//   aqo_gen --kind=tree --n=40
+//       random tree query (IK/KBZ territory)
+//   aqo_gen --kind=gap-yes --n=60 --log2alpha=8
+//       f_N YES instance (planted clique of size cn, c = 2/3, d = 1/3)
+//   aqo_gen --kind=gap-no --n=60 --log2alpha=8
+//       f_N NO instance (complete (c-d)n-partite source, omega = (c-d)n)
+//
+// Pipe into aqo_opt to optimize.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "graph/generators.h"
+#include "io/serialization.h"
+#include "reductions/clique_to_qon.h"
+#include "util/random.h"
+
+namespace aqo {
+namespace {
+
+std::string GetFlag(int argc, char** argv, const std::string& name,
+                    const std::string& def) {
+  std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return def;
+}
+
+QonInstance RandomInstance(int n, double p, bool tree, Rng* rng) {
+  Graph g = tree ? RandomTree(n, rng) : Gnp(n, p, rng);
+  std::vector<LogDouble> sizes;
+  for (int i = 0; i < n; ++i) {
+    sizes.push_back(LogDouble::FromLinear(
+        static_cast<double>(rng->UniformInt(10, 1000000))));
+  }
+  QonInstance inst(g, std::move(sizes));
+  for (const auto& [u, v] : g.Edges()) {
+    inst.SetSelectivity(u, v,
+                        LogDouble::FromLinear(rng->UniformReal(0.0001, 1.0)));
+  }
+  return inst;
+}
+
+int Main(int argc, char** argv) {
+  std::string kind = GetFlag(argc, argv, "kind", "random");
+  int n = std::stoi(GetFlag(argc, argv, "n", "12"));
+  double p = std::stod(GetFlag(argc, argv, "p", "0.5"));
+  double log2_alpha = std::stod(GetFlag(argc, argv, "log2alpha", "8"));
+  Rng rng(std::stoull(GetFlag(argc, argv, "seed", "1")));
+
+  if (kind == "random" || kind == "tree") {
+    WriteQonInstance(RandomInstance(n, p, kind == "tree", &rng), std::cout);
+    return 0;
+  }
+  QonGapParams params{.c = 2.0 / 3.0, .d = 1.0 / 3.0,
+                      .log2_alpha = log2_alpha};
+  if (kind == "gap-yes") {
+    std::vector<int> planted;
+    Graph g = CliqueClassGraph(n, 13, 1.0, 2 * n / 3, &rng, &planted);
+    QonGapInstance gap = ReduceCliqueToQon(g, params);
+    std::cout << "# f_N YES instance; planted clique:";
+    for (int v : planted) std::cout << " " << v;
+    std::cout << "\n# lg K = " << gap.KBound().Log2() << "\n";
+    WriteQonInstance(gap.instance, std::cout);
+    return 0;
+  }
+  if (kind == "gap-no") {
+    int s = n / 3;
+    Graph g = CompleteMultipartite(n, s);
+    QonGapInstance gap = ReduceCliqueToQon(g, params);
+    std::cout << "# f_N NO instance; omega = " << s << "\n";
+    std::cout << "# lg K = " << gap.KBound().Log2()
+              << ", certified floor lg = "
+              << gap.CertifiedLowerBound(s).Log2() << "\n";
+    WriteQonInstance(gap.instance, std::cout);
+    return 0;
+  }
+  std::cerr << "unknown --kind=" << kind
+            << " (use random|tree|gap-yes|gap-no)\n";
+  return 1;
+}
+
+}  // namespace
+}  // namespace aqo
+
+int main(int argc, char** argv) { return aqo::Main(argc, argv); }

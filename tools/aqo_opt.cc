@@ -1,0 +1,108 @@
+// aqo_opt — join-order optimizer CLI.
+//
+// Reads a QO_N instance (library text format, see io/serialization.h) from
+// stdin and optimizes it:
+//
+//   aqo_gen --kind=random --n=14 | aqo_opt --algo=dp
+//   aqo_gen --kind=gap-no --n=60 | aqo_opt --algo=greedy,ii,sa
+//
+// Algorithms: dp (exact, n <= 24), bnb (exact branch & bound, anytime),
+// exhaustive (n <= 10), greedy, random, ii (iterative improvement),
+// sa (simulated annealing), ga (genetic), kbz (trees only), cout (exact
+// under the C_out metric). Prints one line per algorithm.
+
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/serialization.h"
+#include "qo/analysis.h"
+#include "qo/bnb.h"
+#include "qo/genetic.h"
+#include "qo/ikkbz.h"
+#include "qo/optimizers.h"
+#include "util/random.h"
+
+namespace aqo {
+namespace {
+
+std::string GetFlag(int argc, char** argv, const std::string& name,
+                    const std::string& def) {
+  std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return def;
+}
+
+void Report(const std::string& name, const OptimizerResult& r) {
+  if (!r.feasible) {
+    std::cout << name << ": infeasible\n";
+    return;
+  }
+  std::cout << name << ": lg cost = " << r.cost.Log2() << "  (" << r.evaluations
+            << " evaluations)\n  sequence:";
+  for (int v : r.sequence) std::cout << " " << v;
+  std::cout << "\n";
+}
+
+int Main(int argc, char** argv) {
+  QonInstance inst = ReadQonInstance(std::cin);
+  std::cout << "instance: " << inst.NumRelations() << " relations, "
+            << inst.graph().NumEdges() << " predicates\n";
+
+  std::string algos = GetFlag(argc, argv, "algo", "dp,greedy,ii");
+  bool no_cartesian = GetFlag(argc, argv, "no-cartesian", "0") == "1";
+  Rng rng(std::stoull(GetFlag(argc, argv, "seed", "1")));
+  OptimizerOptions base;
+  base.forbid_cartesian = no_cartesian;
+
+  std::stringstream ss(algos);
+  std::string algo;
+  while (std::getline(ss, algo, ',')) {
+    if (algo == "dp") {
+      Report("dp", DpQonOptimizer(inst, base));
+    } else if (algo == "exhaustive") {
+      Report("exhaustive", ExhaustiveQonOptimizer(inst, base));
+    } else if (algo == "greedy") {
+      Report("greedy", GreedyQonOptimizer(inst, base));
+    } else if (algo == "random") {
+      Report("random", RandomSamplingOptimizer(inst, &rng, 1000, base));
+    } else if (algo == "ii") {
+      Report("ii", IterativeImprovementOptimizer(inst, &rng, 4, base));
+    } else if (algo == "sa") {
+      AnnealingOptions sa;
+      sa.base = base;
+      Report("sa", SimulatedAnnealingOptimizer(inst, &rng, sa));
+    } else if (algo == "ga") {
+      GeneticOptions ga;
+      ga.base = base;
+      Report("ga", GeneticOptimizer(inst, &rng, ga));
+    } else if (algo == "bnb") {
+      BnbResult bnb = BranchAndBoundQonOptimizer(inst, 0, base);
+      Report(bnb.proven_optimal ? "bnb (proven optimal)" : "bnb (anytime)",
+             bnb.result);
+    } else if (algo == "cout") {
+      Report("cout (C_out metric)", CoutOptimalJoinOrder(inst));
+    } else if (algo == "kbz") {
+      if (IsTreeQueryGraph(inst.graph())) {
+        Report("kbz", IkkbzOptimizer(inst));
+      } else {
+        std::cout << "kbz: skipped (query graph is not a tree)\n";
+      }
+    } else {
+      std::cerr << "unknown algorithm '" << algo << "'\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace aqo
+
+int main(int argc, char** argv) { return aqo::Main(argc, argv); }
