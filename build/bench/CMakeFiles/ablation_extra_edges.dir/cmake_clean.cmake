@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_extra_edges.dir/ablation_extra_edges.cc.o"
+  "CMakeFiles/ablation_extra_edges.dir/ablation_extra_edges.cc.o.d"
+  "ablation_extra_edges"
+  "ablation_extra_edges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_extra_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

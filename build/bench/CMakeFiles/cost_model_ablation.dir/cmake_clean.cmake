@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_model_ablation.dir/cost_model_ablation.cc.o"
+  "CMakeFiles/cost_model_ablation.dir/cost_model_ablation.cc.o.d"
+  "cost_model_ablation"
+  "cost_model_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_model_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

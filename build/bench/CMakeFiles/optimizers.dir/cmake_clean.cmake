@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizers.dir/optimizers.cc.o"
+  "CMakeFiles/optimizers.dir/optimizers.cc.o.d"
+  "optimizers"
+  "optimizers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

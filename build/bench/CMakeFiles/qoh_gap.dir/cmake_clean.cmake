@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoh_gap.dir/qoh_gap.cc.o"
+  "CMakeFiles/qoh_gap.dir/qoh_gap.cc.o.d"
+  "qoh_gap"
+  "qoh_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoh_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoh_pipeline.dir/qoh_pipeline.cc.o"
+  "CMakeFiles/qoh_pipeline.dir/qoh_pipeline.cc.o.d"
+  "qoh_pipeline"
+  "qoh_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoh_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

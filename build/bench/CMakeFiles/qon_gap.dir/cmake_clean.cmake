@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qon_gap.dir/qon_gap.cc.o"
+  "CMakeFiles/qon_gap.dir/qon_gap.cc.o.d"
+  "qon_gap"
+  "qon_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qon_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

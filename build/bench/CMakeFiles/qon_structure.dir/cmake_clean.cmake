@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qon_structure.dir/qon_structure.cc.o"
+  "CMakeFiles/qon_structure.dir/qon_structure.cc.o.d"
+  "qon_structure"
+  "qon_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qon_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduction_scaling.dir/reduction_scaling.cc.o"
+  "CMakeFiles/reduction_scaling.dir/reduction_scaling.cc.o.d"
+  "reduction_scaling"
+  "reduction_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduction_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

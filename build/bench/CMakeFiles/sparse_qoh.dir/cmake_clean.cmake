@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_qoh.dir/sparse_qoh.cc.o"
+  "CMakeFiles/sparse_qoh.dir/sparse_qoh.cc.o.d"
+  "sparse_qoh"
+  "sparse_qoh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_qoh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_qon.dir/sparse_qon.cc.o"
+  "CMakeFiles/sparse_qon.dir/sparse_qon.cc.o.d"
+  "sparse_qon"
+  "sparse_qon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_qon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqocp.dir/sqocp.cc.o"
+  "CMakeFiles/sqocp.dir/sqocp.cc.o.d"
+  "sqocp"
+  "sqocp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqocp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

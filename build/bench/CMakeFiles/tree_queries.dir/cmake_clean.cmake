@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_queries.dir/tree_queries.cc.o"
+  "CMakeFiles/tree_queries.dir/tree_queries.cc.o.d"
+  "tree_queries"
+  "tree_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalog_workload.dir/catalog_workload.cpp.o"
+  "CMakeFiles/catalog_workload.dir/catalog_workload.cpp.o.d"
+  "catalog_workload"
+  "catalog_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalog_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardness_gap_demo.dir/hardness_gap_demo.cpp.o"
+  "CMakeFiles/hardness_gap_demo.dir/hardness_gap_demo.cpp.o.d"
+  "hardness_gap_demo"
+  "hardness_gap_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardness_gap_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipelined_hash_joins.dir/pipelined_hash_joins.cpp.o"
+  "CMakeFiles/pipelined_hash_joins.dir/pipelined_hash_joins.cpp.o.d"
+  "pipelined_hash_joins"
+  "pipelined_hash_joins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipelined_hash_joins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

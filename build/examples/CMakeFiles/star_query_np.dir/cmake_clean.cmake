@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/star_query_np.dir/star_query_np.cpp.o"
+  "CMakeFiles/star_query_np.dir/star_query_np.cpp.o.d"
+  "star_query_np"
+  "star_query_np.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_query_np.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

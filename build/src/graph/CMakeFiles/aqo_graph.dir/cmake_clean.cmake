@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqo_graph.dir/clique.cc.o"
+  "CMakeFiles/aqo_graph.dir/clique.cc.o.d"
+  "CMakeFiles/aqo_graph.dir/generators.cc.o"
+  "CMakeFiles/aqo_graph.dir/generators.cc.o.d"
+  "CMakeFiles/aqo_graph.dir/graph.cc.o"
+  "CMakeFiles/aqo_graph.dir/graph.cc.o.d"
+  "CMakeFiles/aqo_graph.dir/vertex_cover.cc.o"
+  "CMakeFiles/aqo_graph.dir/vertex_cover.cc.o.d"
+  "libaqo_graph.a"
+  "libaqo_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqo_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for aqo_graph.
+# This may be replaced when dependencies are built.

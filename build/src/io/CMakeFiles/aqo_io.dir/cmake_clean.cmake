@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqo_io.dir/serialization.cc.o"
+  "CMakeFiles/aqo_io.dir/serialization.cc.o.d"
+  "libaqo_io.a"
+  "libaqo_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqo_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qo/analysis.cc" "src/qo/CMakeFiles/aqo_qo.dir/analysis.cc.o" "gcc" "src/qo/CMakeFiles/aqo_qo.dir/analysis.cc.o.d"
+  "/root/repo/src/qo/bnb.cc" "src/qo/CMakeFiles/aqo_qo.dir/bnb.cc.o" "gcc" "src/qo/CMakeFiles/aqo_qo.dir/bnb.cc.o.d"
+  "/root/repo/src/qo/catalog.cc" "src/qo/CMakeFiles/aqo_qo.dir/catalog.cc.o" "gcc" "src/qo/CMakeFiles/aqo_qo.dir/catalog.cc.o.d"
+  "/root/repo/src/qo/genetic.cc" "src/qo/CMakeFiles/aqo_qo.dir/genetic.cc.o" "gcc" "src/qo/CMakeFiles/aqo_qo.dir/genetic.cc.o.d"
+  "/root/repo/src/qo/ikkbz.cc" "src/qo/CMakeFiles/aqo_qo.dir/ikkbz.cc.o" "gcc" "src/qo/CMakeFiles/aqo_qo.dir/ikkbz.cc.o.d"
+  "/root/repo/src/qo/join_sequence.cc" "src/qo/CMakeFiles/aqo_qo.dir/join_sequence.cc.o" "gcc" "src/qo/CMakeFiles/aqo_qo.dir/join_sequence.cc.o.d"
+  "/root/repo/src/qo/optimizers.cc" "src/qo/CMakeFiles/aqo_qo.dir/optimizers.cc.o" "gcc" "src/qo/CMakeFiles/aqo_qo.dir/optimizers.cc.o.d"
+  "/root/repo/src/qo/qoh.cc" "src/qo/CMakeFiles/aqo_qo.dir/qoh.cc.o" "gcc" "src/qo/CMakeFiles/aqo_qo.dir/qoh.cc.o.d"
+  "/root/repo/src/qo/qoh_optimizers.cc" "src/qo/CMakeFiles/aqo_qo.dir/qoh_optimizers.cc.o" "gcc" "src/qo/CMakeFiles/aqo_qo.dir/qoh_optimizers.cc.o.d"
+  "/root/repo/src/qo/qon.cc" "src/qo/CMakeFiles/aqo_qo.dir/qon.cc.o" "gcc" "src/qo/CMakeFiles/aqo_qo.dir/qon.cc.o.d"
+  "/root/repo/src/qo/workloads.cc" "src/qo/CMakeFiles/aqo_qo.dir/workloads.cc.o" "gcc" "src/qo/CMakeFiles/aqo_qo.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/aqo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aqo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqo_qo.dir/analysis.cc.o"
+  "CMakeFiles/aqo_qo.dir/analysis.cc.o.d"
+  "CMakeFiles/aqo_qo.dir/bnb.cc.o"
+  "CMakeFiles/aqo_qo.dir/bnb.cc.o.d"
+  "CMakeFiles/aqo_qo.dir/catalog.cc.o"
+  "CMakeFiles/aqo_qo.dir/catalog.cc.o.d"
+  "CMakeFiles/aqo_qo.dir/genetic.cc.o"
+  "CMakeFiles/aqo_qo.dir/genetic.cc.o.d"
+  "CMakeFiles/aqo_qo.dir/ikkbz.cc.o"
+  "CMakeFiles/aqo_qo.dir/ikkbz.cc.o.d"
+  "CMakeFiles/aqo_qo.dir/join_sequence.cc.o"
+  "CMakeFiles/aqo_qo.dir/join_sequence.cc.o.d"
+  "CMakeFiles/aqo_qo.dir/optimizers.cc.o"
+  "CMakeFiles/aqo_qo.dir/optimizers.cc.o.d"
+  "CMakeFiles/aqo_qo.dir/qoh.cc.o"
+  "CMakeFiles/aqo_qo.dir/qoh.cc.o.d"
+  "CMakeFiles/aqo_qo.dir/qoh_optimizers.cc.o"
+  "CMakeFiles/aqo_qo.dir/qoh_optimizers.cc.o.d"
+  "CMakeFiles/aqo_qo.dir/qon.cc.o"
+  "CMakeFiles/aqo_qo.dir/qon.cc.o.d"
+  "CMakeFiles/aqo_qo.dir/workloads.cc.o"
+  "CMakeFiles/aqo_qo.dir/workloads.cc.o.d"
+  "libaqo_qo.a"
+  "libaqo_qo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqo_qo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

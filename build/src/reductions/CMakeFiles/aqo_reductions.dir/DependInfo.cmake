@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reductions/clique_to_qoh.cc" "src/reductions/CMakeFiles/aqo_reductions.dir/clique_to_qoh.cc.o" "gcc" "src/reductions/CMakeFiles/aqo_reductions.dir/clique_to_qoh.cc.o.d"
+  "/root/repo/src/reductions/clique_to_qon.cc" "src/reductions/CMakeFiles/aqo_reductions.dir/clique_to_qon.cc.o" "gcc" "src/reductions/CMakeFiles/aqo_reductions.dir/clique_to_qon.cc.o.d"
+  "/root/repo/src/reductions/pipeline.cc" "src/reductions/CMakeFiles/aqo_reductions.dir/pipeline.cc.o" "gcc" "src/reductions/CMakeFiles/aqo_reductions.dir/pipeline.cc.o.d"
+  "/root/repo/src/reductions/sat_to_clique.cc" "src/reductions/CMakeFiles/aqo_reductions.dir/sat_to_clique.cc.o" "gcc" "src/reductions/CMakeFiles/aqo_reductions.dir/sat_to_clique.cc.o.d"
+  "/root/repo/src/reductions/sat_to_vc.cc" "src/reductions/CMakeFiles/aqo_reductions.dir/sat_to_vc.cc.o" "gcc" "src/reductions/CMakeFiles/aqo_reductions.dir/sat_to_vc.cc.o.d"
+  "/root/repo/src/reductions/sparse.cc" "src/reductions/CMakeFiles/aqo_reductions.dir/sparse.cc.o" "gcc" "src/reductions/CMakeFiles/aqo_reductions.dir/sparse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qo/CMakeFiles/aqo_qo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/aqo_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/aqo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aqo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

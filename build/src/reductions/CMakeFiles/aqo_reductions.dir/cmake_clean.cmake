@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqo_reductions.dir/clique_to_qoh.cc.o"
+  "CMakeFiles/aqo_reductions.dir/clique_to_qoh.cc.o.d"
+  "CMakeFiles/aqo_reductions.dir/clique_to_qon.cc.o"
+  "CMakeFiles/aqo_reductions.dir/clique_to_qon.cc.o.d"
+  "CMakeFiles/aqo_reductions.dir/pipeline.cc.o"
+  "CMakeFiles/aqo_reductions.dir/pipeline.cc.o.d"
+  "CMakeFiles/aqo_reductions.dir/sat_to_clique.cc.o"
+  "CMakeFiles/aqo_reductions.dir/sat_to_clique.cc.o.d"
+  "CMakeFiles/aqo_reductions.dir/sat_to_vc.cc.o"
+  "CMakeFiles/aqo_reductions.dir/sat_to_vc.cc.o.d"
+  "CMakeFiles/aqo_reductions.dir/sparse.cc.o"
+  "CMakeFiles/aqo_reductions.dir/sparse.cc.o.d"
+  "libaqo_reductions.a"
+  "libaqo_reductions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqo_reductions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

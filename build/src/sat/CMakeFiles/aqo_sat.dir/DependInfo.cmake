@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sat/cdcl.cc" "src/sat/CMakeFiles/aqo_sat.dir/cdcl.cc.o" "gcc" "src/sat/CMakeFiles/aqo_sat.dir/cdcl.cc.o.d"
+  "/root/repo/src/sat/cnf.cc" "src/sat/CMakeFiles/aqo_sat.dir/cnf.cc.o" "gcc" "src/sat/CMakeFiles/aqo_sat.dir/cnf.cc.o.d"
+  "/root/repo/src/sat/dpll.cc" "src/sat/CMakeFiles/aqo_sat.dir/dpll.cc.o" "gcc" "src/sat/CMakeFiles/aqo_sat.dir/dpll.cc.o.d"
+  "/root/repo/src/sat/gen.cc" "src/sat/CMakeFiles/aqo_sat.dir/gen.cc.o" "gcc" "src/sat/CMakeFiles/aqo_sat.dir/gen.cc.o.d"
+  "/root/repo/src/sat/walksat.cc" "src/sat/CMakeFiles/aqo_sat.dir/walksat.cc.o" "gcc" "src/sat/CMakeFiles/aqo_sat.dir/walksat.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aqo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqo_sat.dir/cdcl.cc.o"
+  "CMakeFiles/aqo_sat.dir/cdcl.cc.o.d"
+  "CMakeFiles/aqo_sat.dir/cnf.cc.o"
+  "CMakeFiles/aqo_sat.dir/cnf.cc.o.d"
+  "CMakeFiles/aqo_sat.dir/dpll.cc.o"
+  "CMakeFiles/aqo_sat.dir/dpll.cc.o.d"
+  "CMakeFiles/aqo_sat.dir/gen.cc.o"
+  "CMakeFiles/aqo_sat.dir/gen.cc.o.d"
+  "CMakeFiles/aqo_sat.dir/walksat.cc.o"
+  "CMakeFiles/aqo_sat.dir/walksat.cc.o.d"
+  "libaqo_sat.a"
+  "libaqo_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqo_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaqo_sat.a"
+)

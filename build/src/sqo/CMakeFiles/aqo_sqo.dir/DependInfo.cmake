@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sqo/partition.cc" "src/sqo/CMakeFiles/aqo_sqo.dir/partition.cc.o" "gcc" "src/sqo/CMakeFiles/aqo_sqo.dir/partition.cc.o.d"
+  "/root/repo/src/sqo/sppcs.cc" "src/sqo/CMakeFiles/aqo_sqo.dir/sppcs.cc.o" "gcc" "src/sqo/CMakeFiles/aqo_sqo.dir/sppcs.cc.o.d"
+  "/root/repo/src/sqo/star_query.cc" "src/sqo/CMakeFiles/aqo_sqo.dir/star_query.cc.o" "gcc" "src/sqo/CMakeFiles/aqo_sqo.dir/star_query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aqo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqo_sqo.dir/partition.cc.o"
+  "CMakeFiles/aqo_sqo.dir/partition.cc.o.d"
+  "CMakeFiles/aqo_sqo.dir/sppcs.cc.o"
+  "CMakeFiles/aqo_sqo.dir/sppcs.cc.o.d"
+  "CMakeFiles/aqo_sqo.dir/star_query.cc.o"
+  "CMakeFiles/aqo_sqo.dir/star_query.cc.o.d"
+  "libaqo_sqo.a"
+  "libaqo_sqo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqo_sqo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for aqo_sqo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqo_util.dir/bigint.cc.o"
+  "CMakeFiles/aqo_util.dir/bigint.cc.o.d"
+  "CMakeFiles/aqo_util.dir/check.cc.o"
+  "CMakeFiles/aqo_util.dir/check.cc.o.d"
+  "CMakeFiles/aqo_util.dir/log_double.cc.o"
+  "CMakeFiles/aqo_util.dir/log_double.cc.o.d"
+  "CMakeFiles/aqo_util.dir/random.cc.o"
+  "CMakeFiles/aqo_util.dir/random.cc.o.d"
+  "CMakeFiles/aqo_util.dir/stats.cc.o"
+  "CMakeFiles/aqo_util.dir/stats.cc.o.d"
+  "CMakeFiles/aqo_util.dir/table.cc.o"
+  "CMakeFiles/aqo_util.dir/table.cc.o.d"
+  "libaqo_util.a"
+  "libaqo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

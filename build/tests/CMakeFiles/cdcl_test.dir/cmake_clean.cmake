@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdcl_test.dir/cdcl_test.cc.o"
+  "CMakeFiles/cdcl_test.dir/cdcl_test.cc.o.d"
+  "cdcl_test"
+  "cdcl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdcl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_clique_test.dir/graph_clique_test.cc.o"
+  "CMakeFiles/graph_clique_test.dir/graph_clique_test.cc.o.d"
+  "graph_clique_test"
+  "graph_clique_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_clique_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

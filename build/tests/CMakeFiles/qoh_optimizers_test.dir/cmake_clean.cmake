@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoh_optimizers_test.dir/qoh_optimizers_test.cc.o"
+  "CMakeFiles/qoh_optimizers_test.dir/qoh_optimizers_test.cc.o.d"
+  "qoh_optimizers_test"
+  "qoh_optimizers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoh_optimizers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoh_test.dir/qoh_test.cc.o"
+  "CMakeFiles/qoh_test.dir/qoh_test.cc.o.d"
+  "qoh_test"
+  "qoh_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qon_test.dir/qon_test.cc.o"
+  "CMakeFiles/qon_test.dir/qon_test.cc.o.d"
+  "qon_test"
+  "qon_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

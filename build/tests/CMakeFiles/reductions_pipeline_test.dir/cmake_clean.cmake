@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reductions_pipeline_test.dir/reductions_pipeline_test.cc.o"
+  "CMakeFiles/reductions_pipeline_test.dir/reductions_pipeline_test.cc.o.d"
+  "reductions_pipeline_test"
+  "reductions_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reductions_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

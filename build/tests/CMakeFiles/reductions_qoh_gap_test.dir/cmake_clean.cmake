@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reductions_qoh_gap_test.dir/reductions_qoh_gap_test.cc.o"
+  "CMakeFiles/reductions_qoh_gap_test.dir/reductions_qoh_gap_test.cc.o.d"
+  "reductions_qoh_gap_test"
+  "reductions_qoh_gap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reductions_qoh_gap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

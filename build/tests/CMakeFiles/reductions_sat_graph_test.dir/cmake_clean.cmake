@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reductions_sat_graph_test.dir/reductions_sat_graph_test.cc.o"
+  "CMakeFiles/reductions_sat_graph_test.dir/reductions_sat_graph_test.cc.o.d"
+  "reductions_sat_graph_test"
+  "reductions_sat_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reductions_sat_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reductions_sparse_test.dir/reductions_sparse_test.cc.o"
+  "CMakeFiles/reductions_sparse_test.dir/reductions_sparse_test.cc.o.d"
+  "reductions_sparse_test"
+  "reductions_sparse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reductions_sparse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

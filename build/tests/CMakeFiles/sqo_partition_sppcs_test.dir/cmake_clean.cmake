@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqo_partition_sppcs_test.dir/sqo_partition_sppcs_test.cc.o"
+  "CMakeFiles/sqo_partition_sppcs_test.dir/sqo_partition_sppcs_test.cc.o.d"
+  "sqo_partition_sppcs_test"
+  "sqo_partition_sppcs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqo_partition_sppcs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqo_star_query_test.dir/sqo_star_query_test.cc.o"
+  "CMakeFiles/sqo_star_query_test.dir/sqo_star_query_test.cc.o.d"
+  "sqo_star_query_test"
+  "sqo_star_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqo_star_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

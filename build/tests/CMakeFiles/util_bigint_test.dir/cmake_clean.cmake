@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_bigint_test.dir/util_bigint_test.cc.o"
+  "CMakeFiles/util_bigint_test.dir/util_bigint_test.cc.o.d"
+  "util_bigint_test"
+  "util_bigint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_bigint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

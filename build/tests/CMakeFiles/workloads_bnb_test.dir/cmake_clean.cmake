@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_bnb_test.dir/workloads_bnb_test.cc.o"
+  "CMakeFiles/workloads_bnb_test.dir/workloads_bnb_test.cc.o.d"
+  "workloads_bnb_test"
+  "workloads_bnb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_bnb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

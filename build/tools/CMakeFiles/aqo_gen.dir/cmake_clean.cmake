@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqo_gen.dir/aqo_gen.cc.o"
+  "CMakeFiles/aqo_gen.dir/aqo_gen.cc.o.d"
+  "aqo_gen"
+  "aqo_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqo_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqo_opt.dir/aqo_opt.cc.o"
+  "CMakeFiles/aqo_opt.dir/aqo_opt.cc.o.d"
+  "aqo_opt"
+  "aqo_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqo_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
