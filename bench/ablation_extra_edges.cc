@@ -88,6 +88,7 @@ void Run(const bench::Flags& flags) {
 
 int main(int argc, char** argv) {
   aqo::bench::Flags flags(argc, argv);
+  aqo::bench::RunLogSession session(flags, "ablation_extra_edges", /*default_seed=*/12);
   aqo::Run(flags);
   return 0;
 }

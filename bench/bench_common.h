@@ -1,15 +1,21 @@
 #ifndef AQO_BENCH_BENCH_COMMON_H_
 #define AQO_BENCH_BENCH_COMMON_H_
 
-// Shared helpers for the experiment harness binaries: a wall-clock timer
-// and minimal --flag=value parsing (every bench accepts --quick=1 to run a
-// reduced sweep, and --seed=<u64>).
+// Shared helpers for the experiment harness binaries: a wall-clock timer,
+// minimal --flag=value parsing (every bench accepts --quick=1 to run a
+// reduced sweep, --seed=<u64>, and --json-out=<path> to emit a JSONL
+// run-log, see docs/observability.md), and the RunLogSession glue that
+// attaches the process-wide run-log from those flags.
 
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
+#include <iostream>
 #include <map>
 #include <string>
+#include <vector>
+
+#include "obs/runlog.h"
 
 namespace aqo::bench {
 
@@ -33,30 +39,107 @@ class Flags {
   Flags(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
       std::string arg = argv[i];
+      raw_args_.push_back(arg);
       if (arg.rfind("--", 0) != 0) continue;
       size_t eq = arg.find('=');
       if (eq == std::string::npos) {
-        values_[arg.substr(2)] = "1";
+        values_[arg.substr(2)].value = "1";
       } else {
-        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+        values_[arg.substr(2, eq - 2)].value = arg.substr(eq + 1);
       }
     }
   }
 
+  // Flags the binary never read are almost always typos (--qiuck=1).
+  // Each Get* marks its flag as recognized; the destructor runs after the
+  // bench body finished reading flags, so whatever is left unread gets a
+  // stderr warning instead of being silently ignored.
+  ~Flags() {
+    for (const auto& [name, entry] : values_) {
+      if (!entry.accessed) {
+        std::cerr << "warning: unrecognized flag --" << name
+                  << " (this benchmark never read it; typo?)\n";
+      }
+    }
+  }
+
+  Flags(const Flags&) = delete;
+  Flags& operator=(const Flags&) = delete;
+
   bool Quick() const { return GetInt("quick", 0) != 0; }
 
   int64_t GetInt(const std::string& name, int64_t def) const {
-    auto it = values_.find(name);
-    return it == values_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+    const std::string* v = Lookup(name);
+    return v == nullptr ? def : std::strtoll(v->c_str(), nullptr, 10);
   }
 
   double GetDouble(const std::string& name, double def) const {
-    auto it = values_.find(name);
-    return it == values_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+    const std::string* v = Lookup(name);
+    return v == nullptr ? def : std::strtod(v->c_str(), nullptr);
   }
 
+  std::string GetString(const std::string& name,
+                        const std::string& def = "") const {
+    const std::string* v = Lookup(name);
+    return v == nullptr ? def : *v;
+  }
+
+  // Raw argv tail, recorded into run-log headers for provenance.
+  const std::vector<std::string>& raw_args() const { return raw_args_; }
+
  private:
-  std::map<std::string, std::string> values_;
+  struct Entry {
+    std::string value;
+    mutable bool accessed = false;
+  };
+
+  const std::string* Lookup(const std::string& name) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return nullptr;
+    it->second.accessed = true;
+    return &it->second.value;
+  }
+
+  std::map<std::string, Entry> values_;
+  std::vector<std::string> raw_args_;
+};
+
+// Attaches the process-wide JSONL run-log when --json-out=<path> is given
+// and writes the provenance header record. Construct right after Flags in
+// main(); the destructor closes the log. Without --json-out this is inert
+// and the telemetry layer stays disabled (counters only).
+class RunLogSession {
+ public:
+  // `default_seed` is the seed the bench uses when --seed is absent, so
+  // the header always records the effective seed.
+  RunLogSession(const Flags& flags, const std::string& binary,
+                uint64_t default_seed = 0) {
+    std::string path = flags.GetString("json-out");
+    if (path.empty()) return;
+    if (!obs::RunLog::OpenGlobal(path)) {
+      std::cerr << "warning: cannot open --json-out=" << path
+                << "; run-log disabled\n";
+      return;
+    }
+    attached_ = true;
+    obs::RunLog::Global()->WriteHeader(
+        binary,
+        static_cast<uint64_t>(
+            flags.GetInt("seed", static_cast<int64_t>(default_seed))),
+        flags.raw_args());
+  }
+
+  ~RunLogSession() {
+    if (attached_) obs::RunLog::CloseGlobal();
+  }
+
+  RunLogSession(const RunLogSession&) = delete;
+  RunLogSession& operator=(const RunLogSession&) = delete;
+
+  bool attached() const { return attached_; }
+
+ private:
+  bool attached_ = false;
 };
 
 }  // namespace aqo::bench

@@ -74,6 +74,7 @@ void Run(const bench::Flags& flags) {
 
 int main(int argc, char** argv) {
   aqo::bench::Flags flags(argc, argv);
+  aqo::bench::RunLogSession session(flags, "cost_model_ablation", /*default_seed=*/13);
   aqo::Run(flags);
   return 0;
 }

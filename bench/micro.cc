@@ -1,9 +1,20 @@
 // Experiment E11 — micro-benchmarks (google-benchmark) of the primitives
 // every other experiment is built on: log-domain arithmetic, cost
 // evaluation, the exact solvers, and BigInt.
+//
+// Unlike the other benches this one delegates timing to google-benchmark,
+// so --json-out is honored by a reporter shim that mirrors every finished
+// benchmark into the run-log as a `micro_benchmark` record. Our own flags
+// (--json-out, --quick, --seed) are stripped before benchmark::Initialize
+// sees argv; --benchmark_* flags pass through untouched.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
 #include "graph/clique.h"
 #include "graph/generators.h"
 #include "qo/optimizers.h"
@@ -153,7 +164,52 @@ void BM_BigIntDivMod(benchmark::State& state) {
 }
 BENCHMARK(BM_BigIntDivMod);
 
+// Console output as usual, plus one JSONL record per finished benchmark
+// when a global run-log is attached.
+class JsonlReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ConsoleReporter::ReportRuns(reports);
+    obs::RunLog* log = obs::RunLog::Global();
+    if (log == nullptr) return;
+    for (const Run& run : reports) {
+      obs::JsonValue rec = obs::JsonValue::Object();
+      rec["type"] = "micro_benchmark";
+      rec["benchmark"] = run.benchmark_name();
+      rec["error"] = run.error_occurred;
+      rec["iterations"] = static_cast<int64_t>(run.iterations);
+      rec["real_time"] = run.GetAdjustedRealTime();
+      rec["cpu_time"] = run.GetAdjustedCPUTime();
+      rec["time_unit"] = benchmark::GetTimeUnitString(run.time_unit);
+      log->Write(rec);
+    }
+  }
+};
+
 }  // namespace
 }  // namespace aqo
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  aqo::bench::Flags flags(argc, argv);
+  aqo::bench::RunLogSession session(flags, "micro");
+  // benchmark::Initialize aborts on flags it does not know, so only argv[0]
+  // and --benchmark_* survive; everything else belongs to aqo::bench::Flags.
+  std::vector<char*> bench_argv;
+  bench_argv.push_back(argv[0]);
+  std::string quick_filter = "--benchmark_filter=BM_(LogDoubleAdd|BigIntMul)";
+  bool has_filter = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_", 12) == 0) {
+      bench_argv.push_back(argv[i]);
+      if (std::strncmp(argv[i], "--benchmark_filter", 18) == 0)
+        has_filter = true;
+    }
+  }
+  if (flags.Quick() && !has_filter)
+    bench_argv.push_back(quick_filter.data());
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  aqo::JsonlReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  return 0;
+}

@@ -15,6 +15,7 @@
 
 #include "bench/bench_common.h"
 #include "graph/generators.h"
+#include "obs/runlog.h"
 #include "qo/optimizers.h"
 #include "reductions/clique_to_qon.h"
 #include "util/stats.h"
@@ -22,6 +23,16 @@
 
 namespace aqo {
 namespace {
+
+obs::InstanceShape ShapeOf(const QonInstance& inst, const std::string& kind,
+                           const std::string& side, const std::string& source) {
+  return obs::InstanceShape{.family = "qon",
+                            .kind = kind,
+                            .side = side,
+                            .source = source,
+                            .n = inst.NumRelations(),
+                            .edges = inst.graph().NumEdges()};
+}
 
 QonInstance RandomWorkload(int n, double p, Rng* rng) {
   Graph g = Gnp(n, p, rng);
@@ -49,16 +60,30 @@ void RandomWorkloadTable(const bench::Flags& flags, Rng* rng) {
       SampleSet greedy_r, ii_r, sa_r, rnd_r;
       for (int t = 0; t < trials; ++t) {
         QonInstance inst = RandomWorkload(n, p, rng);
-        OptimizerResult opt = DpQonOptimizer(inst);
+        obs::InstanceShape shape = ShapeOf(inst, "gnp_random", "", "");
+        OptimizerResult opt = obs::InstrumentedRun(
+            "qon.dp", shape, [&] { return DpQonOptimizer(inst); });
         if (!opt.feasible) continue;
         double base = opt.cost.Log2();
-        greedy_r.Add(GreedyQonOptimizer(inst).cost.Log2() - base);
-        ii_r.Add(IterativeImprovementOptimizer(inst, rng, 4).cost.Log2() - base);
+        greedy_r.Add(obs::InstrumentedRun("qon.greedy", shape, [&] {
+                       return GreedyQonOptimizer(inst);
+                     }).cost.Log2() -
+                     base);
+        ii_r.Add(obs::InstrumentedRun("qon.ii", shape, [&] {
+                   return IterativeImprovementOptimizer(inst, rng, 4);
+                 }).cost.Log2() -
+                 base);
         AnnealingOptions sa;
         sa.iterations = 4000;
         sa.restarts = 2;
-        sa_r.Add(SimulatedAnnealingOptimizer(inst, rng, sa).cost.Log2() - base);
-        rnd_r.Add(RandomSamplingOptimizer(inst, rng, 200).cost.Log2() - base);
+        sa_r.Add(obs::InstrumentedRun("qon.sa", shape, [&] {
+                   return SimulatedAnnealingOptimizer(inst, rng, sa);
+                 }).cost.Log2() -
+                 base);
+        rnd_r.Add(obs::InstrumentedRun("qon.random", shape, [&] {
+                    return RandomSamplingOptimizer(inst, rng, 200);
+                  }).cost.Log2() -
+                  base);
       }
       auto fmt = [](const SampleSet& s) {
         return FormatDouble(s.Percentile(50), 3) + "/" +
@@ -113,6 +138,7 @@ void GapInstanceTable(const bench::Flags& flags, Rng* rng) {
 
 int main(int argc, char** argv) {
   aqo::bench::Flags flags(argc, argv);
+  aqo::bench::RunLogSession session(flags, "optimizers", /*default_seed=*/7);
   aqo::Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 7)));
   aqo::RandomWorkloadTable(flags, &rng);
   aqo::GapInstanceTable(flags, &rng);

@@ -11,28 +11,36 @@
 
 #include "bench/bench_common.h"
 #include "graph/generators.h"
+#include "obs/runlog.h"
 #include "qo/optimizers.h"
+#include "qo/qoh_optimizers.h"
 #include "reductions/clique_to_qoh.h"
 #include "util/table.h"
 
 namespace aqo {
 namespace {
 
+obs::InstanceShape ShapeOf(const QohInstance& inst, const std::string& kind,
+                           const std::string& side) {
+  return obs::InstanceShape{.family = "qoh",
+                            .kind = kind,
+                            .side = side,
+                            .source = "f_H",
+                            .n = inst.NumRelations(),
+                            .edges = inst.graph().NumEdges()};
+}
+
 // Best optimal-decomposition cost over sampled feasible sequences
 // (sentinel first, random tail) plus the greedy QO_H optimizer.
-double BestFoundCost(const QohInstance& inst, int samples, Rng* rng) {
+double BestFoundCost(const QohInstance& inst, int samples, Rng* rng,
+                     const obs::InstanceShape& shape) {
+  QohOptimizerResult sampled = obs::InstrumentedRun(
+      "qoh.sample", shape,
+      [&] { return RandomSamplingQohOptimizer(inst, rng, samples, 0); });
+  QohOptimizerResult greedy = obs::InstrumentedRun(
+      "qoh.greedy", shape, [&] { return GreedyQohOptimizer(inst); });
   double best = 1e300;
-  int n = inst.NumRelations();
-  for (int s = 0; s < samples; ++s) {
-    JoinSequence seq = {0};
-    JoinSequence rest;
-    for (int v = 1; v < n; ++v) rest.push_back(v);
-    rng->Shuffle(&rest);
-    seq.insert(seq.end(), rest.begin(), rest.end());
-    QohPlan plan = OptimalDecomposition(inst, seq);
-    if (plan.feasible) best = std::min(best, plan.cost.Log2());
-  }
-  QohOptimizerResult greedy = GreedyQohOptimizer(inst);
+  if (sampled.feasible) best = std::min(best, sampled.cost.Log2());
   if (greedy.feasible) best = std::min(best, greedy.cost.Log2());
   return best;
 }
@@ -59,7 +67,8 @@ void Run(const bench::Flags& flags) {
     QohWitnessPlan witness = QohYesWitness(yes, clique);
     PipelineCostResult wit_cost =
         DecompositionCost(yes.instance, witness.sequence, witness.decomposition);
-    double yes_best = BestFoundCost(yes.instance, samples, &rng);
+    double yes_best = BestFoundCost(yes.instance, samples, &rng,
+                                    ShapeOf(yes.instance, "complete_yes", "yes"));
     yes_best = std::min(yes_best, wit_cost.feasible ? wit_cost.cost.Log2()
                                                     : 1e300);
 
@@ -67,7 +76,8 @@ void Run(const bench::Flags& flags) {
     Graph no_graph = CompleteMultipartite(n, 3);
     QohGapInstance no = ReduceTwoThirdsCliqueToQoh(no_graph, params);
     double epsilon = 2.0 - 9.0 / static_cast<double>(n);
-    double no_best = BestFoundCost(no.instance, samples, &rng);
+    double no_best = BestFoundCost(no.instance, samples, &rng,
+                                   ShapeOf(no.instance, "multipartite_no", "no"));
 
     double l = yes.LBound().Log2();
     double l_no = no.LBound().Log2();
@@ -91,6 +101,7 @@ void Run(const bench::Flags& flags) {
 
 int main(int argc, char** argv) {
   aqo::bench::Flags flags(argc, argv);
+  aqo::bench::RunLogSession session(flags, "qoh_gap", /*default_seed=*/3);
   aqo::Run(flags);
   return 0;
 }

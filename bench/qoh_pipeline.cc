@@ -97,6 +97,7 @@ void DecompositionTable(const bench::Flags& flags) {
 
 int main(int argc, char** argv) {
   aqo::bench::Flags flags(argc, argv);
+  aqo::bench::RunLogSession session(flags, "qoh_pipeline");
   aqo::AllocationTable(flags);
   aqo::DecompositionTable(flags);
   return 0;

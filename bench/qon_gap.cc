@@ -11,12 +11,23 @@
 
 #include "bench/bench_common.h"
 #include "graph/generators.h"
+#include "obs/runlog.h"
 #include "qo/optimizers.h"
 #include "reductions/clique_to_qon.h"
 #include "util/table.h"
 
 namespace aqo {
 namespace {
+
+obs::InstanceShape ShapeOf(const QonInstance& inst, const std::string& kind,
+                           const std::string& side) {
+  return obs::InstanceShape{.family = "qon",
+                            .kind = kind,
+                            .side = side,
+                            .source = "f_N",
+                            .n = inst.NumRelations(),
+                            .edges = inst.graph().NumEdges()};
+}
 
 void Run(const bench::Flags& flags) {
   Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
@@ -44,15 +55,21 @@ void Run(const bench::Flags& flags) {
       QonGapInstance yes = ReduceCliqueToQon(yes_graph, params);
       JoinSequence witness = CliqueFirstWitnessGreedy(yes.instance, planted);
       double witness_cost = QonSequenceCost(yes.instance, witness).Log2();
-      OptimizerResult yes_greedy = GreedyQonOptimizer(yes.instance);
+      OptimizerResult yes_greedy = obs::InstrumentedRun(
+          "qon.greedy", ShapeOf(yes.instance, "clique_yes", "yes"),
+          [&] { return GreedyQonOptimizer(yes.instance); });
 
       // NO instance: omega = (c-d) n exactly.
       int s = static_cast<int>((c - d) * n);
       Graph no_graph = CompleteMultipartite(n, s);
       QonGapInstance no = ReduceCliqueToQon(no_graph, params);
       double floor = no.CertifiedLowerBound(s).Log2();
-      OptimizerResult no_greedy = GreedyQonOptimizer(no.instance);
-      OptimizerResult no_ii = IterativeImprovementOptimizer(no.instance, &rng, 2);
+      OptimizerResult no_greedy = obs::InstrumentedRun(
+          "qon.greedy", ShapeOf(no.instance, "multipartite_no", "no"),
+          [&] { return GreedyQonOptimizer(no.instance); });
+      OptimizerResult no_ii = obs::InstrumentedRun(
+          "qon.ii", ShapeOf(no.instance, "multipartite_no", "no"),
+          [&] { return IterativeImprovementOptimizer(no.instance, &rng, 2); });
       double no_best = std::min(no_greedy.cost.Log2(), no_ii.cost.Log2());
 
       double k = yes.KBound().Log2();
@@ -79,6 +96,7 @@ void Run(const bench::Flags& flags) {
 
 int main(int argc, char** argv) {
   aqo::bench::Flags flags(argc, argv);
+  aqo::bench::RunLogSession session(flags, "qon_gap", /*default_seed=*/1);
   aqo::Run(flags);
   return 0;
 }

@@ -100,6 +100,7 @@ void Lemma7Table(const bench::Flags& flags, Rng* rng) {
 
 int main(int argc, char** argv) {
   aqo::bench::Flags flags(argc, argv);
+  aqo::bench::RunLogSession session(flags, "qon_structure", /*default_seed=*/2);
   aqo::Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 2)));
   aqo::ProfileTable(flags, &rng);
   aqo::Lemma7Table(flags, &rng);

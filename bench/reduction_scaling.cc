@@ -145,6 +145,7 @@ void Run(const bench::Flags& flags) {
 
 int main(int argc, char** argv) {
   aqo::bench::Flags flags(argc, argv);
+  aqo::bench::RunLogSession session(flags, "reduction_scaling", /*default_seed=*/9);
   aqo::Run(flags);
   return 0;
 }

@@ -90,6 +90,7 @@ void Run(const bench::Flags& flags) {
 
 int main(int argc, char** argv) {
   aqo::bench::Flags flags(argc, argv);
+  aqo::bench::RunLogSession session(flags, "sparse_qoh", /*default_seed=*/6);
   aqo::Run(flags);
   return 0;
 }

@@ -72,6 +72,7 @@ void Run(const bench::Flags& flags) {
 
 int main(int argc, char** argv) {
   aqo::bench::Flags flags(argc, argv);
+  aqo::bench::RunLogSession session(flags, "sparse_qon", /*default_seed=*/5);
   aqo::Run(flags);
   return 0;
 }

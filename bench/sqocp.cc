@@ -71,6 +71,7 @@ void Run(const bench::Flags& flags) {
 
 int main(int argc, char** argv) {
   aqo::bench::Flags flags(argc, argv);
+  aqo::bench::RunLogSession session(flags, "sqocp", /*default_seed=*/8);
   aqo::Run(flags);
   return 0;
 }

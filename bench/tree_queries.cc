@@ -83,6 +83,7 @@ void Run(const bench::Flags& flags) {
 
 int main(int argc, char** argv) {
   aqo::bench::Flags flags(argc, argv);
+  aqo::bench::RunLogSession session(flags, "tree_queries", /*default_seed=*/10);
   aqo::Run(flags);
   return 0;
 }

@@ -1,0 +1,397 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace aqo::obs {
+
+double JsonValue::AsDouble() const {
+  switch (kind_) {
+    case Kind::kInt:
+      return static_cast<double>(int_);
+    case Kind::kUint:
+      return static_cast<double>(uint_);
+    case Kind::kDouble:
+      return double_;
+    default:
+      AQO_CHECK(false) << "JsonValue::AsDouble on non-number";
+      return 0.0;
+  }
+}
+
+int64_t JsonValue::AsInt() const {
+  switch (kind_) {
+    case Kind::kInt:
+      return int_;
+    case Kind::kUint:
+      return static_cast<int64_t>(uint_);
+    case Kind::kDouble:
+      return static_cast<int64_t>(double_);
+    default:
+      AQO_CHECK(false) << "JsonValue::AsInt on non-number";
+      return 0;
+  }
+}
+
+uint64_t JsonValue::AsUint() const {
+  switch (kind_) {
+    case Kind::kInt:
+      return static_cast<uint64_t>(int_);
+    case Kind::kUint:
+      return uint_;
+    case Kind::kDouble:
+      return static_cast<uint64_t>(double_);
+    default:
+      AQO_CHECK(false) << "JsonValue::AsUint on non-number";
+      return 0;
+  }
+}
+
+JsonValue& JsonValue::operator[](std::string_view key) {
+  AQO_CHECK(kind_ == Kind::kObject) << "operator[] on non-object";
+  for (auto& [k, v] : members_) {
+    if (k == key) return v;
+  }
+  members_.emplace_back(std::string(key), JsonValue());
+  return members_.back().second;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void JsonValue::Push(JsonValue v) {
+  AQO_CHECK(kind_ == Kind::kArray) << "Push on non-array";
+  items_.push_back(std::move(v));
+}
+
+size_t JsonValue::size() const {
+  if (kind_ == Kind::kArray) return items_.size();
+  if (kind_ == Kind::kObject) return members_.size();
+  return 0;
+}
+
+namespace {
+
+void AppendEscaped(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(double v, std::string* out) {
+  // JSON has no NaN/Inf; map them to null.
+  if (!std::isfinite(v)) {
+    *out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // %.17g is round-trip exact; trim to the shortest representation that
+  // still round-trips to keep the logs readable.
+  for (int prec = 6; prec < 17; ++prec) {
+    char shorter[40];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+    if (std::strtod(shorter, nullptr) == v) {
+      *out += shorter;
+      return;
+    }
+  }
+  *out += buf;
+}
+
+}  // namespace
+
+void JsonValue::DumpTo(std::string* out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      break;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Kind::kInt:
+      *out += std::to_string(int_);
+      break;
+    case Kind::kUint:
+      *out += std::to_string(uint_);
+      break;
+    case Kind::kDouble:
+      AppendDouble(double_, out);
+      break;
+    case Kind::kString:
+      AppendEscaped(string_, out);
+      break;
+    case Kind::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& v : items_) {
+        if (!first) out->push_back(',');
+        first = false;
+        v.DumpTo(out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : members_) {
+        if (!first) out->push_back(',');
+        first = false;
+        AppendEscaped(k, out);
+        out->push_back(':');
+        v.DumpTo(out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpTo(&out);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> Run() {
+    std::optional<JsonValue> v = ParseValue();
+    if (!v) return std::nullopt;
+    SkipSpace();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> ParseString() {
+    if (!Consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return std::nullopt;
+        char e = text_[pos_++];
+        switch (e) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return std::nullopt;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code += static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code += static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code += static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return std::nullopt;
+              }
+            }
+            // Only BMP codepoints we emit ourselves (control chars); encode
+            // as UTF-8.
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return std::nullopt;
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") return std::nullopt;
+    if (!is_double) {
+      int64_t iv = 0;
+      auto [p, ec] = std::from_chars(token.data(), token.data() + token.size(), iv);
+      if (ec == std::errc() && p == token.data() + token.size()) {
+        return JsonValue(iv);
+      }
+      uint64_t uv = 0;
+      auto [pu, ecu] =
+          std::from_chars(token.data(), token.data() + token.size(), uv);
+      if (ecu == std::errc() && pu == token.data() + token.size()) {
+        return JsonValue(uv);
+      }
+      // Out-of-range integer: fall through to double.
+    }
+    double dv = std::strtod(std::string(token).c_str(), nullptr);
+    return JsonValue(dv);
+  }
+
+  std::optional<JsonValue> ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return std::nullopt;
+    char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      JsonValue obj = JsonValue::Object();
+      SkipSpace();
+      if (Consume('}')) return obj;
+      while (true) {
+        SkipSpace();
+        std::optional<std::string> key = ParseString();
+        if (!key || !Consume(':')) return std::nullopt;
+        std::optional<JsonValue> v = ParseValue();
+        if (!v) return std::nullopt;
+        obj[*key] = std::move(*v);
+        if (Consume(',')) continue;
+        if (Consume('}')) return obj;
+        return std::nullopt;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      JsonValue arr = JsonValue::Array();
+      SkipSpace();
+      if (Consume(']')) return arr;
+      while (true) {
+        std::optional<JsonValue> v = ParseValue();
+        if (!v) return std::nullopt;
+        arr.Push(std::move(*v));
+        if (Consume(',')) continue;
+        if (Consume(']')) return arr;
+        return std::nullopt;
+      }
+    }
+    if (c == '"') {
+      std::optional<std::string> s = ParseString();
+      if (!s) return std::nullopt;
+      return JsonValue(std::move(*s));
+    }
+    if (ConsumeLiteral("true")) return JsonValue(true);
+    if (ConsumeLiteral("false")) return JsonValue(false);
+    if (ConsumeLiteral("null")) return JsonValue();
+    return ParseNumber();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> JsonValue::Parse(std::string_view text) {
+  return Parser(text).Run();
+}
+
+}  // namespace aqo::obs

@@ -1,0 +1,73 @@
+#include "obs/metrics.h"
+
+namespace aqo::obs {
+
+Registry& Registry::Get() {
+  static Registry* registry = new Registry();  // never destroyed
+  return *registry;
+}
+
+Counter& Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(new Counter(std::string(name))))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      std::unique_ptr<Gauge>(new Gauge(std::string(name))))
+             .first;
+  }
+  return *it->second;
+}
+
+CounterSnapshot Registry::Counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CounterSnapshot out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter->Value());
+  }
+  return out;
+}
+
+GaugeSnapshot Registry::Gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  GaugeSnapshot out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.emplace_back(name, gauge->Value());
+  }
+  return out;
+}
+
+void Registry::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+}
+
+CounterSnapshot Registry::Delta(const CounterSnapshot& before,
+                                const CounterSnapshot& after) {
+  CounterSnapshot out;
+  size_t i = 0;
+  for (const auto& [name, value] : after) {
+    // Both snapshots are name-sorted; advance `before` to the match.
+    while (i < before.size() && before[i].first < name) ++i;
+    uint64_t prev =
+        (i < before.size() && before[i].first == name) ? before[i].second : 0;
+    if (value != prev) out.emplace_back(name, value - prev);
+  }
+  return out;
+}
+
+}  // namespace aqo::obs

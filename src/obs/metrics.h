@@ -1,0 +1,101 @@
+#ifndef AQO_OBS_METRICS_H_
+#define AQO_OBS_METRICS_H_
+
+// Process-wide counter/gauge registry. Counters are the always-on layer of
+// the telemetry subsystem: optimizers and reductions increment them
+// unconditionally (a single relaxed atomic add on the hot path), and the
+// run-log machinery snapshots them around an invocation to attribute the
+// deltas to one record.
+//
+// Names are hierarchical, dot-separated, lowercase: <area>.<algo>.<what>,
+// e.g. "qon.dp.states", "qon.sa.accepts", "qoh.decomp.fragments",
+// "reduce.sat_to_clique.vertices". See docs/observability.md for the
+// naming conventions and the list of counters each algorithm maintains.
+//
+// Hot-path usage pattern (one registry lookup per process, then a relaxed
+// increment per event):
+//
+//   static obs::Counter& accepts =
+//       obs::Registry::Get().GetCounter("qon.sa.accepts");
+//   accepts.Increment();
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace aqo::obs {
+
+// Monotonic event counter. Increments are relaxed atomics: safe from any
+// thread, no ordering guarantees needed (snapshots are advisory).
+class Counter {
+ public:
+  void Add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-write-wins scalar (e.g. "qon.bnb.best_cost_log2"). Same threading
+// rules as Counter.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+// Name -> metric snapshot, sorted by name (map iteration order).
+using CounterSnapshot = std::vector<std::pair<std::string, uint64_t>>;
+using GaugeSnapshot = std::vector<std::pair<std::string, double>>;
+
+// Process-wide registry. GetCounter/GetGauge find-or-create under a mutex;
+// returned references are stable for the life of the process, so callers
+// cache them in function-local statics and never touch the lock again.
+class Registry {
+ public:
+  static Registry& Get();
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+
+  CounterSnapshot Counters() const;
+  GaugeSnapshot Gauges() const;
+
+  // Resets every counter to 0 (gauges keep their last value). Meant for
+  // test isolation, not for production use — run records use deltas.
+  void ResetCounters();
+
+  // after - before, dropping entries whose delta is 0. `before` may lack
+  // counters that were created after it was taken.
+  static CounterSnapshot Delta(const CounterSnapshot& before,
+                               const CounterSnapshot& after);
+
+ private:
+  Registry() = default;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+};
+
+}  // namespace aqo::obs
+
+#endif  // AQO_OBS_METRICS_H_

@@ -1,0 +1,65 @@
+#include "obs/provenance.h"
+
+#include <cstdio>
+#include <ctime>
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+#ifndef AQO_GIT_SHA
+#define AQO_GIT_SHA "unknown"
+#endif
+#ifndef AQO_BUILD_TYPE
+#define AQO_BUILD_TYPE "unknown"
+#endif
+
+namespace aqo::obs {
+
+Provenance CollectProvenance() {
+  Provenance p;
+  p.git_sha = AQO_GIT_SHA;
+  p.compiler =
+#if defined(__clang__)
+      std::string("clang ") + __VERSION__;
+#elif defined(__GNUC__)
+      std::string("gcc ") + __VERSION__;
+#else
+      "unknown";
+#endif
+  p.build_type = AQO_BUILD_TYPE;
+
+  char host[256] = "unknown";
+#ifdef __unix__
+  if (gethostname(host, sizeof(host)) != 0) {
+    std::snprintf(host, sizeof(host), "unknown");
+  }
+  host[sizeof(host) - 1] = '\0';
+#endif
+  p.hostname = host;
+
+  std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+#ifdef __unix__
+  gmtime_r(&now, &tm_utc);
+#else
+  tm_utc = *std::gmtime(&now);
+#endif
+  char stamp[32];
+  std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  p.timestamp_utc = stamp;
+  return p;
+}
+
+JsonValue ProvenanceJson() {
+  Provenance p = CollectProvenance();
+  JsonValue out = JsonValue::Object();
+  out["git_sha"] = p.git_sha;
+  out["compiler"] = p.compiler;
+  out["build_type"] = p.build_type;
+  out["hostname"] = p.hostname;
+  out["timestamp_utc"] = p.timestamp_utc;
+  return out;
+}
+
+}  // namespace aqo::obs

@@ -1,0 +1,31 @@
+#ifndef AQO_OBS_PROVENANCE_H_
+#define AQO_OBS_PROVENANCE_H_
+
+// Build/run provenance captured into every run-log header: enough to tie a
+// JSONL artifact back to the exact source revision and build configuration
+// that produced it. The git sha and build type are baked in at configure
+// time (see src/obs/CMakeLists.txt); the rest is collected at runtime.
+
+#include <string>
+
+#include "obs/json.h"
+
+namespace aqo::obs {
+
+struct Provenance {
+  std::string git_sha;        // short sha, or "unknown" outside a checkout
+  std::string compiler;       // e.g. "g++ 13.2.0" (__VERSION__)
+  std::string build_type;     // CMAKE_BUILD_TYPE
+  std::string hostname;
+  std::string timestamp_utc;  // ISO 8601, e.g. "2026-08-07T12:34:56Z"
+};
+
+Provenance CollectProvenance();
+
+// Provenance as a JSON object with keys git_sha, compiler, build_type,
+// hostname, timestamp_utc.
+JsonValue ProvenanceJson();
+
+}  // namespace aqo::obs
+
+#endif  // AQO_OBS_PROVENANCE_H_

@@ -1,0 +1,112 @@
+#include "obs/runlog.h"
+
+#include "obs/provenance.h"
+#include "util/check.h"
+
+namespace aqo::obs {
+
+namespace {
+
+// Owned by the process; replaced by OpenGlobal/AttachGlobal.
+std::unique_ptr<RunLog>& GlobalSlot() {
+  static std::unique_ptr<RunLog>* slot = new std::unique_ptr<RunLog>();
+  return *slot;
+}
+
+}  // namespace
+
+RunLog::RunLog(std::ostream* out) : out_(out) { AQO_CHECK(out != nullptr); }
+
+RunLog::RunLog(std::unique_ptr<std::ofstream> file)
+    : file_(std::move(file)), out_(file_.get()) {}
+
+RunLog::~RunLog() = default;
+
+RunLog* RunLog::Global() { return GlobalSlot().get(); }
+
+bool RunLog::OpenGlobal(const std::string& path) {
+  auto file = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  if (!file->is_open()) return false;
+  GlobalSlot() = std::unique_ptr<RunLog>(new RunLog(std::move(file)));
+  return true;
+}
+
+void RunLog::AttachGlobal(std::ostream* out) {
+  GlobalSlot() = std::make_unique<RunLog>(out);
+}
+
+void RunLog::CloseGlobal() { GlobalSlot().reset(); }
+
+void RunLog::Write(const JsonValue& record) {
+  std::string line = record.Dump();
+  std::lock_guard<std::mutex> lock(mu_);
+  *out_ << line << '\n';
+  out_->flush();
+}
+
+void RunLog::WriteHeader(std::string_view binary, uint64_t seed,
+                         const std::vector<std::string>& args) {
+  JsonValue rec = JsonValue::Object();
+  rec["type"] = "run_header";
+  rec["schema_version"] = kRunLogSchemaVersion;
+  rec["binary"] = binary;
+  rec["seed"] = seed;
+  JsonValue argv = JsonValue::Array();
+  for (const std::string& a : args) argv.Push(a);
+  rec["args"] = std::move(argv);
+  rec["provenance"] = ProvenanceJson();
+  Write(rec);
+}
+
+JsonValue ProfileJson(const ProfileNode& node) {
+  JsonValue out = JsonValue::Object();
+  out["name"] = node.name;
+  out["seconds"] = node.total_seconds;
+  out["count"] = node.count;
+  if (!node.children.empty()) {
+    JsonValue children = JsonValue::Array();
+    for (const auto& child : node.children) {
+      children.Push(ProfileJson(*child));
+    }
+    out["children"] = std::move(children);
+  }
+  return out;
+}
+
+void EmitRunRecord(std::string_view optimizer, const InstanceShape& shape,
+                   bool feasible, double cost_log2, uint64_t evaluations,
+                   double wall_seconds, const CounterSnapshot& counters,
+                   const ProfileNode* profile) {
+  RunLog* log = RunLog::Global();
+  if (log == nullptr) return;
+
+  JsonValue rec = JsonValue::Object();
+  rec["type"] = "optimizer_run";
+  rec["optimizer"] = optimizer;
+  JsonValue inst = JsonValue::Object();
+  inst["family"] = shape.family;
+  inst["kind"] = shape.kind;
+  inst["side"] = shape.side;
+  inst["source"] = shape.source;
+  inst["n"] = shape.n;
+  inst["edges"] = shape.edges;
+  rec["instance"] = std::move(inst);
+  rec["feasible"] = feasible;
+  rec["cost_log2"] = feasible ? JsonValue(cost_log2) : JsonValue();
+  rec["evaluations"] = evaluations;
+  rec["wall_seconds"] = wall_seconds;
+  JsonValue cs = JsonValue::Object();
+  for (const auto& [name, value] : counters) cs[name] = value;
+  rec["counters"] = std::move(cs);
+  // Always present (possibly empty): consumers index into it unconditionally.
+  JsonValue spans = JsonValue::Array();
+  if (profile != nullptr) {
+    for (const auto& child : profile->children) {
+      spans.Push(ProfileJson(*child));
+    }
+  }
+  rec["spans"] = std::move(spans);
+  log->Write(rec);
+}
+
+}  // namespace aqo::obs

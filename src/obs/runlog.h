@@ -1,0 +1,122 @@
+#ifndef AQO_OBS_RUNLOG_H_
+#define AQO_OBS_RUNLOG_H_
+
+// JSONL run-log emitter: one structured record per line.
+//
+// A log starts with a `run_header` record carrying provenance (git sha,
+// compiler, build type, seed, hostname, timestamp) and is followed by
+// records describing work the process did — most importantly
+// `optimizer_run` records, one per optimizer invocation, with the instance
+// shape, the result (cost in log2, evaluations), wall time, the counter
+// deltas attributed to the invocation, and the span profile tree.
+//
+// The process has at most one *global* log (what --json-out attaches);
+// instrumentation points query RunLog::Global() and do nothing when no log
+// is attached, so telemetry costs one pointer load when disabled. Tests
+// attach a log over a caller-owned ostream instead of a file.
+//
+// Record schema: see docs/observability.md. The schema-guard test
+// (tests/obs_test.cc) re-parses emitted lines and fails if a required key
+// disappears — update the doc and the test together with any change.
+
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace aqo::obs {
+
+inline constexpr int kRunLogSchemaVersion = 1;
+
+class RunLog {
+ public:
+  // Log writing to a caller-owned stream (kept alive by the caller).
+  explicit RunLog(std::ostream* out);
+  ~RunLog();
+
+  // The process-wide log, or nullptr when none is attached.
+  static RunLog* Global();
+  // Attaches a file-backed global log (truncates `path`); false when the
+  // file cannot be opened. Replaces any previously attached global log.
+  static bool OpenGlobal(const std::string& path);
+  // Attaches a global log over a caller-owned stream (tests).
+  static void AttachGlobal(std::ostream* out);
+  static void CloseGlobal();
+
+  // Serializes `record` as one line and flushes (crash-safe artifacts).
+  void Write(const JsonValue& record);
+
+  // Emits the provenance header. `binary` is the emitting program's name,
+  // `args` its raw argv tail.
+  void WriteHeader(std::string_view binary, uint64_t seed,
+                   const std::vector<std::string>& args);
+
+ private:
+  RunLog(std::unique_ptr<std::ofstream> file);
+
+  std::unique_ptr<std::ofstream> file_;  // set when file-backed
+  std::ostream* out_;
+  std::mutex mu_;
+};
+
+// Instance shape attached to each optimizer_run record.
+struct InstanceShape {
+  std::string family;  // "qon" | "qoh"
+  std::string kind;    // e.g. "random", "clique_yes", "multipartite_no"
+  std::string side;    // "yes" | "no" | "" when not a gap instance
+  std::string source;  // source reduction, e.g. "f_N", "f_H", "" when none
+  int n = 0;           // relations
+  int edges = 0;       // join predicates
+};
+
+// Span profile tree as JSON: {"name","seconds","count","children":[...]}.
+JsonValue ProfileJson(const ProfileNode& node);
+
+// Builds and writes an optimizer_run record to the global log (no-op
+// without one). `cost_log2` is ignored when !feasible (serialized null).
+void EmitRunRecord(std::string_view optimizer, const InstanceShape& shape,
+                   bool feasible, double cost_log2, uint64_t evaluations,
+                   double wall_seconds, const CounterSnapshot& counters,
+                   const ProfileNode* profile);
+
+// Runs `fn` (an optimizer invocation returning a result with `feasible`,
+// `cost` (LogDouble) and `evaluations` members — OptimizerResult or
+// QohOptimizerResult), measuring wall time, counter deltas and the span
+// profile, and emits an optimizer_run record. When no global log is
+// attached this is exactly `fn()`: no snapshots, no timing.
+template <typename Fn>
+auto InstrumentedRun(std::string_view optimizer, const InstanceShape& shape,
+                     Fn&& fn) {
+  if (RunLog::Global() == nullptr) return fn();
+  Profiler& profiler = Profiler::Get();
+  // Only reset the profile when we own the whole tree (no open spans), so
+  // nested instrumented runs degrade gracefully instead of corrupting it.
+  bool owns_profile = profiler.current() == profiler.root();
+  if (owns_profile) profiler.Reset();
+  CounterSnapshot before = Registry::Get().Counters();
+  auto start = std::chrono::steady_clock::now();
+  auto result = fn();
+  double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  CounterSnapshot delta =
+      Registry::Delta(before, Registry::Get().Counters());
+  EmitRunRecord(optimizer, shape, result.feasible,
+                result.feasible ? result.cost.Log2() : std::nan(""),
+                result.evaluations, wall_seconds, delta,
+                owns_profile ? profiler.root() : nullptr);
+  return result;
+}
+
+}  // namespace aqo::obs
+
+#endif  // AQO_OBS_RUNLOG_H_

@@ -1,0 +1,49 @@
+#include "obs/span.h"
+
+#include "util/check.h"
+
+namespace aqo::obs {
+
+ProfileNode* ProfileNode::Child(std::string_view child_name) {
+  for (const auto& c : children) {
+    if (c->name == child_name) return c.get();
+  }
+  children.push_back(std::make_unique<ProfileNode>());
+  children.back()->name = std::string(child_name);
+  return children.back().get();
+}
+
+Profiler& Profiler::Get() {
+  thread_local Profiler profiler;
+  return profiler;
+}
+
+void Profiler::Reset() {
+  AQO_CHECK(current_ == &root_) << "Profiler::Reset with open spans";
+  root_.children.clear();
+  root_.total_seconds = 0.0;
+  root_.count = 0;
+}
+
+Span::Span(std::string_view name) {
+  Profiler& p = Profiler::Get();
+  parent_ = p.current_;
+  node_ = parent_->Child(name);
+  p.current_ = node_;
+  start_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span() {
+  double elapsed = Elapsed();
+  node_->total_seconds += elapsed;
+  ++node_->count;
+  Profiler::Get().current_ = parent_;
+}
+
+double Span::Elapsed() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+}  // namespace aqo::obs

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace aqo {
@@ -46,18 +47,34 @@ class BnbSearch {
  private:
   void Explore(uint64_t mask, LogDouble intermediate, LogDouble cost,
                std::vector<int>* prefix) {
+    static obs::Counter& nodes_counter =
+        obs::Registry::Get().GetCounter("qon.bnb.nodes");
+    static obs::Counter& pruned_bound =
+        obs::Registry::Get().GetCounter("qon.bnb.pruned_bound");
+    static obs::Counter& pruned_dominated =
+        obs::Registry::Get().GetCounter("qon.bnb.pruned_dominated");
+    static obs::Counter& aborts =
+        obs::Registry::Get().GetCounter("qon.bnb.aborts");
     if (aborted_) return;
     ++nodes_;
+    nodes_counter.Increment();
     if (node_limit_ > 0 && nodes_ > node_limit_) {
       aborted_ = true;
+      aborts.Increment();
       return;
     }
     // Cost prune.
-    if (best_.feasible && cost >= best_.cost) return;
+    if (best_.feasible && cost >= best_.cost) {
+      pruned_bound.Increment();
+      return;
+    }
     // Dominance prune on the relation set.
     auto [it, inserted] = seen_.try_emplace(mask, cost);
     if (!inserted) {
-      if (it->second <= cost) return;
+      if (it->second <= cost) {
+        pruned_dominated.Increment();
+        return;
+      }
       it->second = cost;
     }
 

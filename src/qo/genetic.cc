@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace aqo {
@@ -48,10 +49,20 @@ OptimizerResult GeneticOptimizer(const QonInstance& inst, Rng* rng,
   AQO_CHECK(options.population >= 4);
   AQO_CHECK(options.elites < options.population);
 
+  static obs::Counter& generations =
+      obs::Registry::Get().GetCounter("qon.ga.generations");
+  static obs::Counter& crossovers =
+      obs::Registry::Get().GetCounter("qon.ga.crossovers");
+  static obs::Counter& mutations =
+      obs::Registry::Get().GetCounter("qon.ga.mutations");
+  static obs::Counter& invalid =
+      obs::Registry::Get().GetCounter("qon.ga.invalid_offspring");
+
   OptimizerResult result;
   auto evaluate = [&](Individual* ind) {
     ind->valid = !options.base.forbid_cartesian ||
                  !HasCartesianProduct(inst.graph(), ind->sequence);
+    if (!ind->valid) invalid.Increment();
     if (ind->valid) {
       ind->cost = QonSequenceCost(inst, ind->sequence);
       ++result.evaluations;
@@ -76,6 +87,7 @@ OptimizerResult GeneticOptimizer(const QonInstance& inst, Rng* rng,
   }
 
   for (int gen = 0; gen < options.generations; ++gen) {
+    generations.Increment();
     std::sort(population.begin(), population.end(),
               [&](const Individual& x, const Individual& y) {
                 return better(x, y);
@@ -95,6 +107,7 @@ OptimizerResult GeneticOptimizer(const QonInstance& inst, Rng* rng,
     while (static_cast<int>(next.size()) < options.population) {
       Individual child;
       if (rng->Bernoulli(options.crossover_rate)) {
+        crossovers.Increment();
         child.sequence =
             OrderCrossover(tournament_pick().sequence,
                            tournament_pick().sequence, rng);
@@ -102,6 +115,7 @@ OptimizerResult GeneticOptimizer(const QonInstance& inst, Rng* rng,
         child.sequence = tournament_pick().sequence;
       }
       if (rng->Bernoulli(options.mutation_rate)) {
+        mutations.Increment();
         size_t a = static_cast<size_t>(rng->UniformInt(0, n - 1));
         size_t b = static_cast<size_t>(rng->UniformInt(0, n - 1));
         std::swap(child.sequence[a], child.sequence[b]);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace aqo {
@@ -41,6 +42,9 @@ bool RankLess(const Module& a, const Module& b) {
 }
 
 Module Merge(const Module& a, const Module& b) {
+  static obs::Counter& merges =
+      obs::Registry::Get().GetCounter("qon.ikkbz.module_merges");
+  merges.Increment();
   Module m;
   m.rels = a.rels;
   m.rels.insert(m.rels.end(), b.rels.begin(), b.rels.end());
@@ -93,9 +97,12 @@ class IkkbzSolver {
   explicit IkkbzSolver(const QonInstance& inst) : inst_(inst) {}
 
   OptimizerResult Solve() {
+    static obs::Counter& roots =
+        obs::Registry::Get().GetCounter("qon.ikkbz.roots");
     int n = inst_.NumRelations();
     OptimizerResult result;
     for (int root = 0; root < n; ++root) {
+      roots.Increment();
       JoinSequence seq = SolveForRoot(root);
       LogDouble cost = QonSequenceCost(inst_, seq);
       ++result.evaluations;

@@ -5,11 +5,18 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace aqo {
 
 namespace {
+
+// Telemetry counters (see docs/observability.md for naming conventions).
+// One registry lookup at first use, then a relaxed atomic add per event.
+obs::Counter& CounterRef(const char* name) {
+  return obs::Registry::Get().GetCounter(name);
+}
 
 // Minimum access cost of probing relation `j` from any relation in `prefix`.
 LogDouble MinAccessCost(const QonInstance& inst, const std::vector<int>& prefix,
@@ -83,10 +90,16 @@ OptimizerResult ExhaustiveQonOptimizer(const QonInstance& inst,
   int n = inst.NumRelations();
   AQO_CHECK(n >= 2);
   AQO_CHECK(n <= 10) << "exhaustive search is n! — use DpQonOptimizer";
+  static obs::Counter& permutations = CounterRef("qon.exhaustive.permutations");
+  static obs::Counter& skipped = CounterRef("qon.exhaustive.skipped");
   OptimizerResult result;
   JoinSequence seq = IdentitySequence(n);
   do {
-    if (!SequenceAllowed(inst, seq, options)) continue;
+    permutations.Increment();
+    if (!SequenceAllowed(inst, seq, options)) {
+      skipped.Increment();
+      continue;
+    }
     LogDouble cost = QonSequenceCost(inst, seq);
     ++result.evaluations;
     if (!result.feasible || cost < result.cost) {
@@ -129,6 +142,12 @@ OptimizerResult DpQonOptimizer(const QonInstance& inst,
     last[mask] = static_cast<int8_t>(i);
   }
 
+  static obs::Counter& dp_states = CounterRef("qon.dp.states");
+  static obs::Counter& dp_transitions = CounterRef("qon.dp.transitions");
+  static obs::Counter& dp_pruned = CounterRef("qon.dp.pruned_cartesian");
+  // Counted in locals and flushed once: even relaxed atomics are too hot
+  // for the innermost DP loop (measurable % on BM_DpOptimizer).
+  uint64_t local_states = 0, local_pruned = 0;
   uint64_t evaluations = 0;
   for (size_t mask = 1; mask <= full; ++mask) {
     if (!reachable[mask] || std::popcount(mask) < 1) continue;
@@ -140,7 +159,10 @@ OptimizerResult DpQonOptimizer(const QonInstance& inst,
         for (size_t m = mask; m != 0 && !connected; m &= m - 1) {
           connected = inst.graph().HasEdge(std::countr_zero(m), j);
         }
-        if (!connected) continue;
+        if (!connected) {
+          ++local_pruned;
+          continue;
+        }
       }
       LogDouble min_w = inst.size(j);  // upper bound; refined below
       for (size_t m = mask; m != 0; m &= m - 1) {
@@ -149,7 +171,9 @@ OptimizerResult DpQonOptimizer(const QonInstance& inst,
       LogDouble candidate = dp[mask] + subset_size[mask] * min_w;
       ++evaluations;
       size_t next = mask | bit;
-      if (!reachable[next] || candidate < dp[next]) {
+      bool fresh = !reachable[next];
+      local_states += fresh;
+      if (fresh || candidate < dp[next]) {
         reachable[next] = true;
         dp[next] = candidate;
         last[next] = static_cast<int8_t>(j);
@@ -157,6 +181,9 @@ OptimizerResult DpQonOptimizer(const QonInstance& inst,
     }
   }
 
+  dp_states.Add(local_states);
+  dp_transitions.Add(evaluations);
+  dp_pruned.Add(local_pruned);
   OptimizerResult result;
   result.evaluations = evaluations;
   if (!reachable[full]) return result;
@@ -183,8 +210,12 @@ OptimizerResult GreedyQonOptimizer(const QonInstance& inst,
                                    const OptimizerOptions& options) {
   int n = inst.NumRelations();
   AQO_CHECK(n >= 2);
+  static obs::Counter& starts = CounterRef("qon.greedy.starts");
+  static obs::Counter& extensions = CounterRef("qon.greedy.extensions");
+  static obs::Counter& dead_ends = CounterRef("qon.greedy.dead_ends");
   OptimizerResult result;
   for (int start = 0; start < n; ++start) {
+    starts.Increment();
     std::vector<int> prefix = {start};
     DynamicBitset placed(n);
     placed.Set(start);
@@ -211,8 +242,10 @@ OptimizerResult GreedyQonOptimizer(const QonInstance& inst,
       }
       if (best_j < 0) {
         dead = true;  // no connected extension exists
+        dead_ends.Increment();
         break;
       }
+      extensions.Increment();
       cost += best_h;
       // Update the intermediate size.
       LogDouble next = intermediate * inst.size(best_j);
@@ -238,10 +271,16 @@ OptimizerResult RandomSamplingOptimizer(const QonInstance& inst, Rng* rng,
                                         int samples,
                                         const OptimizerOptions& options) {
   AQO_CHECK(samples >= 1);
+  static obs::Counter& drawn = CounterRef("qon.random.samples");
+  static obs::Counter& rejected = CounterRef("qon.random.rejected");
   OptimizerResult result;
   for (int s = 0; s < samples; ++s) {
+    drawn.Increment();
     JoinSequence seq = RandomSequence(inst, rng, options.forbid_cartesian);
-    if (!SequenceAllowed(inst, seq, options)) continue;
+    if (!SequenceAllowed(inst, seq, options)) {
+      rejected.Increment();
+      continue;
+    }
     LogDouble cost = QonSequenceCost(inst, seq);
     ++result.evaluations;
     if (!result.feasible || cost < result.cost) {
@@ -257,8 +296,13 @@ OptimizerResult SimulatedAnnealingOptimizer(const QonInstance& inst, Rng* rng,
                                             const AnnealingOptions& options) {
   int n = inst.NumRelations();
   AQO_CHECK(n >= 2);
+  static obs::Counter& restarts = CounterRef("qon.sa.restarts");
+  static obs::Counter& accepts = CounterRef("qon.sa.accepts");
+  static obs::Counter& rejects = CounterRef("qon.sa.rejects");
+  static obs::Counter& uphill = CounterRef("qon.sa.uphill_accepts");
   OptimizerResult result;
   for (int restart = 0; restart < options.restarts; ++restart) {
+    restarts.Increment();
     JoinSequence current = RandomSequence(inst, rng, options.base.forbid_cartesian);
     if (!SequenceAllowed(inst, current, options.base)) continue;
     LogDouble current_cost = QonSequenceCost(inst, current);
@@ -292,12 +336,16 @@ OptimizerResult SimulatedAnnealingOptimizer(const QonInstance& inst, Rng* rng,
       double delta = candidate_cost.Log2() - current_cost.Log2();
       if (delta <= 0.0 ||
           rng->UniformReal() < std::exp(-delta / std::max(temperature, 1e-9))) {
+        accepts.Increment();
+        if (delta > 0.0) uphill.Increment();
         current = std::move(candidate);
         current_cost = candidate_cost;
         if (current_cost < result.cost) {
           result.cost = current_cost;
           result.sequence = current;
         }
+      } else {
+        rejects.Increment();
       }
     }
   }
@@ -309,8 +357,12 @@ OptimizerResult IterativeImprovementOptimizer(const QonInstance& inst,
                                               const OptimizerOptions& options) {
   int n = inst.NumRelations();
   AQO_CHECK(n >= 2);
+  static obs::Counter& restart_count = CounterRef("qon.ii.restarts");
+  static obs::Counter& improvements = CounterRef("qon.ii.improvements");
+  static obs::Counter& local_optima = CounterRef("qon.ii.local_optima");
   OptimizerResult result;
   for (int restart = 0; restart < restarts; ++restart) {
+    restart_count.Increment();
     JoinSequence current = RandomSequence(inst, rng, options.forbid_cartesian);
     if (!SequenceAllowed(inst, current, options)) continue;
     LogDouble current_cost = QonSequenceCost(inst, current);
@@ -328,6 +380,7 @@ OptimizerResult IterativeImprovementOptimizer(const QonInstance& inst,
             if (cost < current_cost) {
               current_cost = cost;
               improved = true;
+              improvements.Increment();
               break;
             }
           }
@@ -335,6 +388,7 @@ OptimizerResult IterativeImprovementOptimizer(const QonInstance& inst,
         }
       }
     }
+    local_optima.Increment();
     if (!result.feasible || current_cost < result.cost) {
       result.feasible = true;
       result.cost = current_cost;
@@ -348,9 +402,11 @@ QohOptimizerResult ExhaustiveQohOptimizer(const QohInstance& inst) {
   int n = inst.NumRelations();
   AQO_CHECK(n >= 2);
   AQO_CHECK(n <= 9) << "exhaustive QO_H search is n! * n^2";
+  static obs::Counter& permutations = CounterRef("qoh.exhaustive.permutations");
   QohOptimizerResult result;
   JoinSequence seq = IdentitySequence(n);
   do {
+    permutations.Increment();
     QohPlan plan = OptimalDecomposition(inst, seq);
     ++result.evaluations;
     if (plan.feasible && (!result.feasible || plan.cost < result.cost)) {
@@ -366,8 +422,10 @@ QohOptimizerResult ExhaustiveQohOptimizer(const QohInstance& inst) {
 QohOptimizerResult GreedyQohOptimizer(const QohInstance& inst) {
   int n = inst.NumRelations();
   AQO_CHECK(n >= 2);
+  static obs::Counter& starts = CounterRef("qoh.greedy.starts");
   QohOptimizerResult result;
   for (int start = 0; start < n; ++start) {
+    starts.Increment();
     JoinSequence seq = {start};
     DynamicBitset placed(n);
     placed.Set(start);

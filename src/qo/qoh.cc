@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace aqo {
@@ -218,6 +219,13 @@ PipelineCostResult DecompositionCost(const QohInstance& inst,
 }
 
 QohPlan OptimalDecomposition(const QohInstance& inst, const JoinSequence& seq) {
+  static obs::Counter& calls =
+      obs::Registry::Get().GetCounter("qoh.decomp.calls");
+  static obs::Counter& pipeline_evals =
+      obs::Registry::Get().GetCounter("qoh.decomp.pipeline_evals");
+  static obs::Counter& fragments =
+      obs::Registry::Get().GetCounter("qoh.decomp.fragments");
+  calls.Increment();
   QohPlan plan;
   int total_joins = static_cast<int>(seq.size()) - 1;
   AQO_CHECK(total_joins >= 1) << "need at least two relations";
@@ -233,6 +241,7 @@ QohPlan OptimalDecomposition(const QohInstance& inst, const JoinSequence& seq) {
   for (int k = 1; k <= total_joins; ++k) {
     for (int i = 1; i <= k; ++i) {
       if (!reachable[static_cast<size_t>(i) - 1]) continue;
+      pipeline_evals.Increment();
       PipelineCostResult frag = PipelineCostImpl(inst, seq, prefix, i, k);
       if (!frag.feasible) continue;
       LogDouble candidate = dp[static_cast<size_t>(i) - 1] + frag.cost;
@@ -251,6 +260,7 @@ QohPlan OptimalDecomposition(const QohInstance& inst, const JoinSequence& seq) {
     starts.push_back(parent[static_cast<size_t>(k)]);
   }
   std::reverse(starts.begin(), starts.end());
+  fragments.Add(starts.size());
   plan.feasible = true;
   plan.cost = dp[static_cast<size_t>(total_joins)];
   plan.decomposition.starts = std::move(starts);

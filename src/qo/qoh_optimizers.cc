@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace aqo {
 
 namespace {
+
+obs::Counter& CounterRef(const char* name) {
+  return obs::Registry::Get().GetCounter(name);
+}
 
 JoinSequence RandomQohSequence(int n, Rng* rng, int sentinel_first) {
   JoinSequence seq;
@@ -50,9 +55,11 @@ QohOptimizerResult RandomSamplingQohOptimizer(const QohInstance& inst,
                                               Rng* rng, int samples,
                                               int sentinel_first) {
   AQO_CHECK(samples >= 1);
+  static obs::Counter& drawn = CounterRef("qoh.sample.samples");
   int n = inst.NumRelations();
   QohOptimizerResult best;
   for (int s = 0; s < samples; ++s) {
+    drawn.Increment();
     Consider(inst, RandomQohSequence(n, rng, sentinel_first), &best);
   }
   return best;
@@ -62,9 +69,12 @@ QohOptimizerResult IterativeImprovementQohOptimizer(const QohInstance& inst,
                                                     Rng* rng, int restarts,
                                                     int sentinel_first) {
   AQO_CHECK(restarts >= 1);
+  static obs::Counter& restart_count = CounterRef("qoh.ii.restarts");
+  static obs::Counter& improvements = CounterRef("qoh.ii.improvements");
   int n = inst.NumRelations();
   QohOptimizerResult best;
   for (int r = 0; r < restarts; ++r) {
+    restart_count.Increment();
     JoinSequence current = RandomQohSequence(n, rng, sentinel_first);
     QohPlan plan = OptimalDecomposition(inst, current);
     ++best.evaluations;
@@ -87,6 +97,7 @@ QohOptimizerResult IterativeImprovementQohOptimizer(const QohInstance& inst,
         if (candidate.feasible && candidate.cost < current_cost) {
           current_cost = candidate.cost;
           improved = true;
+          improvements.Increment();
           if (current_cost < best.cost) {
             best.cost = current_cost;
             best.sequence = current;
@@ -103,10 +114,14 @@ QohOptimizerResult IterativeImprovementQohOptimizer(const QohInstance& inst,
 
 QohOptimizerResult SimulatedAnnealingQohOptimizer(
     const QohInstance& inst, Rng* rng, const QohAnnealingOptions& options) {
+  static obs::Counter& restarts = CounterRef("qoh.sa.restarts");
+  static obs::Counter& accepts = CounterRef("qoh.sa.accepts");
+  static obs::Counter& rejects = CounterRef("qoh.sa.rejects");
   int n = inst.NumRelations();
   QohOptimizerResult best;
   size_t lo = FirstMovable(options.sentinel_first);
   for (int r = 0; r < options.restarts; ++r) {
+    restarts.Increment();
     JoinSequence current = RandomQohSequence(n, rng, options.sentinel_first);
     QohPlan plan = OptimalDecomposition(inst, current);
     ++best.evaluations;
@@ -134,6 +149,7 @@ QohOptimizerResult SimulatedAnnealingQohOptimizer(
       double delta = next.cost.Log2() - current_cost.Log2();
       if (delta <= 0.0 ||
           rng->UniformReal() < std::exp(-delta / std::max(temperature, 1e-9))) {
+        accepts.Increment();
         current = std::move(candidate);
         current_cost = next.cost;
         if (current_cost < best.cost) {
@@ -141,6 +157,8 @@ QohOptimizerResult SimulatedAnnealingQohOptimizer(
           best.sequence = current;
           best.decomposition = next.decomposition;
         }
+      } else {
+        rejects.Increment();
       }
     }
   }

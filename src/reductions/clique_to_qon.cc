@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/check.h"
 
 namespace aqo {
@@ -39,6 +41,13 @@ LogDouble QonGapInstance::CertifiedLowerBound(int omega_upper) const {
 }
 
 QonGapInstance ReduceCliqueToQon(const Graph& g, const QonGapParams& params) {
+  obs::Span span("reduce.clique_to_qon");
+  static obs::Counter& calls =
+      obs::Registry::Get().GetCounter("reduce.clique_to_qon.calls");
+  static obs::Counter& relations =
+      obs::Registry::Get().GetCounter("reduce.clique_to_qon.relations");
+  calls.Increment();
+  relations.Add(static_cast<uint64_t>(g.NumVertices()));
   AQO_CHECK(params.log2_alpha >= 2.0) << "need alpha >= 4";
   AQO_CHECK(0.0 < params.d && params.d < params.c && params.c <= 1.0);
   int n = g.NumVertices();

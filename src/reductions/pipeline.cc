@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "sat/dpll.h"
 #include "util/check.h"
 
@@ -9,14 +11,23 @@ namespace aqo {
 
 SatToQonComposition ComposeSatToQon(const CnfFormula& formula,
                                     const SatToQonOptions& options) {
+  obs::Span span("compose.sat_to_qon");
+  static obs::Counter& calls =
+      obs::Registry::Get().GetCounter("compose.sat_to_qon.calls");
+  calls.Increment();
   AQO_CHECK(formula.IsThreeCnf());
   AQO_CHECK(formula.NumClauses() >= 1);
   SatToQonComposition out;
 
-  DpllResult sat = SolveDpll(formula);
+  DpllResult sat;
+  {
+    obs::Span solve_span("compose.solve_sat");
+    sat = SolveDpll(formula);
+  }
   AQO_CHECK(sat.complete);
   out.satisfiable = sat.assignment.has_value();
   if (options.exact_maxsat) {
+    obs::Span maxsat_span("compose.maxsat");
     out.min_unsat = formula.NumClauses() - MaxSatisfiableClauses(formula);
     AQO_CHECK((out.min_unsat == 0) == out.satisfiable);
   } else if (out.satisfiable) {
@@ -47,14 +58,23 @@ SatToQonComposition ComposeSatToQon(const CnfFormula& formula,
 
 SatToQohComposition ComposeSatToQoh(const CnfFormula& formula,
                                     const SatToQohOptions& options) {
+  obs::Span span("compose.sat_to_qoh");
+  static obs::Counter& calls =
+      obs::Registry::Get().GetCounter("compose.sat_to_qoh.calls");
+  calls.Increment();
   AQO_CHECK(formula.IsThreeCnf());
   AQO_CHECK(formula.NumClauses() >= 1);
   SatToQohComposition out;
 
-  DpllResult sat = SolveDpll(formula);
+  DpllResult sat;
+  {
+    obs::Span solve_span("compose.solve_sat");
+    sat = SolveDpll(formula);
+  }
   AQO_CHECK(sat.complete);
   out.satisfiable = sat.assignment.has_value();
   if (options.exact_maxsat) {
+    obs::Span maxsat_span("compose.maxsat");
     out.min_unsat = formula.NumClauses() - MaxSatisfiableClauses(formula);
     AQO_CHECK((out.min_unsat == 0) == out.satisfiable);
   } else if (out.satisfiable) {

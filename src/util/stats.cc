@@ -8,12 +8,8 @@
 namespace aqo {
 
 void StatAccumulator::Add(double x) {
-  if (count_ == 0) {
-    min_ = max_ = x;
-  } else {
-    min_ = std::min(min_, x);
-    max_ = std::max(max_, x);
-  }
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
   ++count_;
   double delta = x - mean_;
   mean_ += delta / static_cast<double>(count_);

@@ -6,6 +6,7 @@
 // least-squares line fit used to estimate empirical growth exponents.
 
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 namespace aqo {
@@ -17,6 +18,9 @@ class StatAccumulator {
 
   size_t count() const { return count_; }
   double mean() const { return mean_; }
+  // +inf / -inf respectively while empty, so an accumulator that never saw
+  // a sample cannot masquerade as one that saw 0.0 (e.g. all-negative
+  // streams must report a negative max).
   double min() const { return min_; }
   double max() const { return max_; }
   // Sample variance (n-1 denominator); 0 for fewer than two samples.
@@ -27,8 +31,8 @@ class StatAccumulator {
   size_t count_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
 };
 
 // Retains samples; supports exact percentiles.

@@ -1,0 +1,286 @@
+// Tests for the telemetry subsystem (src/obs): the counter registry, the
+// span profiler, the JSON model, and — most importantly — the JSONL
+// run-log schema guard: every record the instrumentation emits must
+// re-parse and carry the keys docs/observability.md promises. If a key
+// here goes missing, downstream tooling reading run-logs breaks; update
+// the doc together with this test.
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/provenance.h"
+#include "obs/runlog.h"
+#include "obs/span.h"
+#include "qo/optimizers.h"
+#include "qo/qon.h"
+#include "util/log_double.h"
+
+namespace aqo {
+namespace {
+
+// --- Counter registry ------------------------------------------------------
+
+TEST(Metrics, CounterFindOrCreateReturnsStableRef) {
+  obs::Counter& a = obs::Registry::Get().GetCounter("test.obs.stable");
+  obs::Counter& b = obs::Registry::Get().GetCounter("test.obs.stable");
+  EXPECT_EQ(&a, &b);
+  a.Reset();
+  a.Increment();
+  a.Add(41);
+  EXPECT_EQ(b.Value(), 42u);
+}
+
+TEST(Metrics, SnapshotRoundTrip) {
+  obs::Counter& x = obs::Registry::Get().GetCounter("test.obs.snap.x");
+  obs::Counter& y = obs::Registry::Get().GetCounter("test.obs.snap.y");
+  x.Reset();
+  y.Reset();
+  x.Add(7);
+  y.Add(9);
+  obs::CounterSnapshot snap = obs::Registry::Get().Counters();
+  uint64_t seen_x = 0, seen_y = 0;
+  for (const auto& [name, value] : snap) {
+    if (name == "test.obs.snap.x") seen_x = value;
+    if (name == "test.obs.snap.y") seen_y = value;
+  }
+  EXPECT_EQ(seen_x, 7u);
+  EXPECT_EQ(seen_y, 9u);
+  // Snapshots come back sorted by name: stable record layout.
+  for (size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1].first, snap[i].first);
+  }
+}
+
+TEST(Metrics, DeltaDropsUnchangedCounters) {
+  obs::Counter& moved = obs::Registry::Get().GetCounter("test.obs.delta.moved");
+  obs::Counter& still = obs::Registry::Get().GetCounter("test.obs.delta.still");
+  moved.Reset();
+  still.Reset();
+  still.Add(5);
+  obs::CounterSnapshot before = obs::Registry::Get().Counters();
+  moved.Add(3);
+  obs::CounterSnapshot delta =
+      obs::Registry::Delta(before, obs::Registry::Get().Counters());
+  uint64_t moved_delta = 0;
+  for (const auto& [name, value] : delta) {
+    EXPECT_NE(name, "test.obs.delta.still");  // zero delta: dropped
+    if (name == "test.obs.delta.moved") moved_delta = value;
+  }
+  EXPECT_EQ(moved_delta, 3u);
+}
+
+TEST(Metrics, GaugeHoldsLastValue) {
+  obs::Gauge& g = obs::Registry::Get().GetGauge("test.obs.gauge");
+  g.Set(2.5);
+  g.Set(-1.25);
+  EXPECT_DOUBLE_EQ(g.Value(), -1.25);
+}
+
+// --- Span profiler ---------------------------------------------------------
+
+TEST(Span, NestedSpansAggregateByName) {
+  obs::Profiler& profiler = obs::Profiler::Get();
+  profiler.Reset();
+  {
+    obs::Span outer("test.outer");
+    for (int i = 0; i < 3; ++i) {
+      obs::Span inner("test.inner");
+    }
+    { obs::Span other("test.other"); }
+  }
+  const obs::ProfileNode* root = profiler.root();
+  ASSERT_EQ(root->children.size(), 1u);
+  const obs::ProfileNode& outer = *root->children[0];
+  EXPECT_EQ(outer.name, "test.outer");
+  EXPECT_EQ(outer.count, 1u);
+  ASSERT_EQ(outer.children.size(), 2u);  // 3 "test.inner" merged into one
+  EXPECT_EQ(outer.children[0]->name, "test.inner");
+  EXPECT_EQ(outer.children[0]->count, 3u);
+  EXPECT_EQ(outer.children[1]->name, "test.other");
+  EXPECT_EQ(outer.children[1]->count, 1u);
+  EXPECT_GE(outer.total_seconds, outer.children[0]->total_seconds);
+  profiler.Reset();
+}
+
+// --- JSON model ------------------------------------------------------------
+
+TEST(Json, DumpParseRoundTrip) {
+  obs::JsonValue rec = obs::JsonValue::Object();
+  rec["name"] = "qon.dp";
+  rec["n"] = 42;
+  rec["big"] = uint64_t{18446744073709551615ull};
+  rec["ratio"] = 0.1;
+  rec["ok"] = true;
+  rec["missing"] = obs::JsonValue();
+  obs::JsonValue arr = obs::JsonValue::Array();
+  arr.Push(1);
+  arr.Push("two\n\"quoted\"");
+  rec["items"] = arr;
+
+  std::string line = rec.Dump();
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // JSONL-safe
+  auto parsed = obs::JsonValue::Parse(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->Find("name")->AsString(), "qon.dp");
+  EXPECT_EQ(parsed->Find("n")->AsInt(), 42);
+  EXPECT_EQ(parsed->Find("big")->AsUint(), 18446744073709551615ull);
+  EXPECT_DOUBLE_EQ(parsed->Find("ratio")->AsDouble(), 0.1);
+  EXPECT_TRUE(parsed->Find("ok")->AsBool());
+  EXPECT_TRUE(parsed->Find("missing")->is_null());
+  ASSERT_EQ(parsed->Find("items")->size(), 2u);
+  EXPECT_EQ(parsed->Find("items")->items()[1].AsString(), "two\n\"quoted\"");
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(obs::JsonValue::Parse("{").has_value());
+  EXPECT_FALSE(obs::JsonValue::Parse("{}trailing").has_value());
+  EXPECT_FALSE(obs::JsonValue::Parse("{'single':1}").has_value());
+  EXPECT_FALSE(obs::JsonValue::Parse("[1,]").has_value());
+  EXPECT_TRUE(obs::JsonValue::Parse(" {\"a\": [1, 2]} ").has_value());
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull) {
+  obs::JsonValue rec = obs::JsonValue::Object();
+  rec["nan"] = std::nan("");
+  EXPECT_EQ(rec.Dump(), "{\"nan\":null}");
+}
+
+// --- Run-log schema guard --------------------------------------------------
+
+QonInstance SmallInstance() {
+  Graph g = Graph::Complete(5);
+  std::vector<LogDouble> sizes(5, LogDouble::FromLinear(1000.0));
+  QonInstance inst(g, std::move(sizes));
+  for (const auto& [u, v] : g.Edges()) {
+    inst.SetSelectivity(u, v, LogDouble::FromLinear(0.25));
+  }
+  return inst;
+}
+
+std::vector<obs::JsonValue> EmitAndParse() {
+  std::ostringstream sink;
+  obs::RunLog::AttachGlobal(&sink);
+  obs::RunLog::Global()->WriteHeader("obs_test", 123, {"--quick=1"});
+  QonInstance inst = SmallInstance();
+  obs::InstanceShape shape{.family = "qon",
+                           .kind = "complete",
+                           .side = "",
+                           .source = "",
+                           .n = inst.NumRelations(),
+                           .edges = inst.graph().NumEdges()};
+  OptimizerResult result = obs::InstrumentedRun(
+      "qon.dp", shape, [&] { return DpQonOptimizer(inst); });
+  obs::RunLog::CloseGlobal();
+  EXPECT_TRUE(result.feasible);
+
+  std::vector<obs::JsonValue> records;
+  std::istringstream lines(sink.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    auto parsed = obs::JsonValue::Parse(line);
+    EXPECT_TRUE(parsed.has_value()) << "unparseable JSONL line: " << line;
+    if (parsed.has_value()) records.push_back(std::move(*parsed));
+  }
+  return records;
+}
+
+TEST(RunLog, HeaderCarriesProvenance) {
+  std::vector<obs::JsonValue> records = EmitAndParse();
+  ASSERT_GE(records.size(), 1u);
+  const obs::JsonValue& header = records[0];
+  EXPECT_EQ(header.Find("type")->AsString(), "run_header");
+  EXPECT_EQ(header.Find("schema_version")->AsInt(), obs::kRunLogSchemaVersion);
+  EXPECT_EQ(header.Find("binary")->AsString(), "obs_test");
+  EXPECT_EQ(header.Find("seed")->AsUint(), 123u);
+  ASSERT_TRUE(header.Has("args"));
+  ASSERT_EQ(header.Find("args")->size(), 1u);
+  const obs::JsonValue* prov = header.Find("provenance");
+  ASSERT_NE(prov, nullptr);
+  for (const char* key :
+       {"git_sha", "compiler", "build_type", "hostname", "timestamp_utc"}) {
+    ASSERT_TRUE(prov->Has(key)) << "provenance missing " << key;
+    EXPECT_FALSE(prov->Find(key)->AsString().empty()) << key;
+  }
+}
+
+// The contract from ISSUE/docs: every optimizer invocation can emit a
+// record with the optimizer name, instance size, cost (log2), evaluation
+// count, wall time, and at least two optimizer-specific counters.
+TEST(RunLog, OptimizerRunRecordSchema) {
+  std::vector<obs::JsonValue> records = EmitAndParse();
+  ASSERT_GE(records.size(), 2u);
+  const obs::JsonValue& run = records[1];
+  EXPECT_EQ(run.Find("type")->AsString(), "optimizer_run");
+  EXPECT_EQ(run.Find("optimizer")->AsString(), "qon.dp");
+
+  const obs::JsonValue* inst = run.Find("instance");
+  ASSERT_NE(inst, nullptr);
+  EXPECT_EQ(inst->Find("family")->AsString(), "qon");
+  EXPECT_EQ(inst->Find("n")->AsInt(), 5);
+  EXPECT_EQ(inst->Find("edges")->AsInt(), 10);
+  EXPECT_TRUE(inst->Has("kind"));
+  EXPECT_TRUE(inst->Has("side"));
+  EXPECT_TRUE(inst->Has("source"));
+
+  EXPECT_TRUE(run.Find("feasible")->AsBool());
+  ASSERT_TRUE(run.Has("cost_log2"));
+  EXPECT_TRUE(run.Find("cost_log2")->is_number());
+  EXPECT_GT(run.Find("cost_log2")->AsDouble(), 0.0);
+  EXPECT_GT(run.Find("evaluations")->AsUint(), 0u);
+  EXPECT_GE(run.Find("wall_seconds")->AsDouble(), 0.0);
+
+  // >= 2 optimizer-specific counters attributed to this invocation.
+  const obs::JsonValue* counters = run.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  int optimizer_specific = 0;
+  for (const auto& [name, value] : counters->members()) {
+    if (name.rfind("qon.dp.", 0) == 0) {
+      ++optimizer_specific;
+      EXPECT_GT(value.AsUint(), 0u) << name;
+    }
+  }
+  EXPECT_GE(optimizer_specific, 2) << "DP run must attribute its own "
+                                      "counters (qon.dp.*) to the record";
+
+  ASSERT_TRUE(run.Has("spans"));
+}
+
+TEST(RunLog, InfeasibleRunSerializesNullCost) {
+  std::ostringstream sink;
+  obs::RunLog::AttachGlobal(&sink);
+  obs::InstanceShape shape{.family = "qon", .kind = "t", .side = "",
+                           .source = "", .n = 1, .edges = 0};
+  struct FakeResult {
+    bool feasible = false;
+    LogDouble cost;
+    uint64_t evaluations = 0;
+  };
+  obs::InstrumentedRun("qon.fake", shape, [] { return FakeResult{}; });
+  obs::RunLog::CloseGlobal();
+  auto parsed = obs::JsonValue::Parse(sink.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->Find("feasible")->AsBool());
+  EXPECT_TRUE(parsed->Find("cost_log2")->is_null());
+}
+
+TEST(RunLog, InstrumentedRunIsPassthroughWithoutGlobalLog) {
+  ASSERT_EQ(obs::RunLog::Global(), nullptr);
+  QonInstance inst = SmallInstance();
+  obs::InstanceShape shape{.family = "qon", .kind = "complete", .side = "",
+                           .source = "", .n = 5, .edges = 10};
+  OptimizerResult direct = GreedyQonOptimizer(inst);
+  OptimizerResult wrapped = obs::InstrumentedRun(
+      "qon.greedy", shape, [&] { return GreedyQonOptimizer(inst); });
+  EXPECT_EQ(wrapped.feasible, direct.feasible);
+  EXPECT_DOUBLE_EQ(wrapped.cost.Log2(), direct.cost.Log2());
+}
+
+}  // namespace
+}  // namespace aqo

@@ -1,6 +1,7 @@
 // Tests for the small util pieces: Rng, DynamicBitset, stats, TextTable.
 
 #include <algorithm>
+#include <limits>
 #include <set>
 #include <sstream>
 
@@ -147,6 +148,28 @@ TEST(Stats, AccumulatorMoments) {
   EXPECT_DOUBLE_EQ(acc.min(), 2.0);
   EXPECT_DOUBLE_EQ(acc.max(), 9.0);
   EXPECT_NEAR(acc.Variance(), 32.0 / 7.0, 1e-12);
+}
+
+// Regression: min_/max_ used to start at 0.0, so streams that never cross
+// zero could report a bound they never contained (an all-negative stream
+// claiming max() == 0).
+TEST(Stats, AccumulatorMinMaxOnOneSidedStreams) {
+  StatAccumulator neg;
+  for (double v : {-5.0, -2.0, -9.5}) neg.Add(v);
+  EXPECT_DOUBLE_EQ(neg.min(), -9.5);
+  EXPECT_DOUBLE_EQ(neg.max(), -2.0);
+
+  StatAccumulator pos;
+  for (double v : {4.0, 11.0, 6.5}) pos.Add(v);
+  EXPECT_DOUBLE_EQ(pos.min(), 4.0);
+  EXPECT_DOUBLE_EQ(pos.max(), 11.0);
+}
+
+TEST(Stats, AccumulatorEmptyReportsInfinities) {
+  StatAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.min(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(acc.max(), -std::numeric_limits<double>::infinity());
 }
 
 TEST(Stats, Percentiles) {

@@ -13,10 +13,10 @@
 //
 // Pipe into aqo_opt to optimize.
 
-#include <cstring>
 #include <iostream>
 #include <string>
 
+#include "bench/bench_common.h"
 #include "graph/generators.h"
 #include "io/serialization.h"
 #include "reductions/clique_to_qon.h"
@@ -24,17 +24,6 @@
 
 namespace aqo {
 namespace {
-
-std::string GetFlag(int argc, char** argv, const std::string& name,
-                    const std::string& def) {
-  std::string prefix = "--" + name + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return argv[i] + prefix.size();
-    }
-  }
-  return def;
-}
 
 QonInstance RandomInstance(int n, double p, bool tree, Rng* rng) {
   Graph g = tree ? RandomTree(n, rng) : Gnp(n, p, rng);
@@ -52,11 +41,13 @@ QonInstance RandomInstance(int n, double p, bool tree, Rng* rng) {
 }
 
 int Main(int argc, char** argv) {
-  std::string kind = GetFlag(argc, argv, "kind", "random");
-  int n = std::stoi(GetFlag(argc, argv, "n", "12"));
-  double p = std::stod(GetFlag(argc, argv, "p", "0.5"));
-  double log2_alpha = std::stod(GetFlag(argc, argv, "log2alpha", "8"));
-  Rng rng(std::stoull(GetFlag(argc, argv, "seed", "1")));
+  bench::Flags flags(argc, argv);
+  bench::RunLogSession session(flags, "aqo_gen", /*default_seed=*/1);
+  std::string kind = flags.GetString("kind", "random");
+  int n = static_cast<int>(flags.GetInt("n", 12));
+  double p = flags.GetDouble("p", 0.5);
+  double log2_alpha = flags.GetDouble("log2alpha", 8);
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
 
   if (kind == "random" || kind == "tree") {
     WriteQonInstance(RandomInstance(n, p, kind == "tree", &rng), std::cout);

@@ -11,13 +11,14 @@
 // sa (simulated annealing), ga (genetic), kbz (trees only), cout (exact
 // under the C_out metric). Prints one line per algorithm.
 
-#include <cstring>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "io/serialization.h"
+#include "obs/runlog.h"
 #include "qo/analysis.h"
 #include "qo/bnb.h"
 #include "qo/genetic.h"
@@ -27,17 +28,6 @@
 
 namespace aqo {
 namespace {
-
-std::string GetFlag(int argc, char** argv, const std::string& name,
-                    const std::string& def) {
-  std::string prefix = "--" + name + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return argv[i] + prefix.size();
-    }
-  }
-  return def;
-}
 
 void Report(const std::string& name, const OptimizerResult& r) {
   if (!r.feasible) {
@@ -51,46 +41,66 @@ void Report(const std::string& name, const OptimizerResult& r) {
 }
 
 int Main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  bench::RunLogSession session(flags, "aqo_opt", /*default_seed=*/1);
+
   QonInstance inst = ReadQonInstance(std::cin);
   std::cout << "instance: " << inst.NumRelations() << " relations, "
             << inst.graph().NumEdges() << " predicates\n";
+  obs::InstanceShape shape{.family = "qon",
+                           .kind = "stdin",
+                           .side = "",
+                           .source = "",
+                           .n = inst.NumRelations(),
+                           .edges = inst.graph().NumEdges()};
 
-  std::string algos = GetFlag(argc, argv, "algo", "dp,greedy,ii");
-  bool no_cartesian = GetFlag(argc, argv, "no-cartesian", "0") == "1";
-  Rng rng(std::stoull(GetFlag(argc, argv, "seed", "1")));
+  std::string algos = flags.GetString("algo", "dp,greedy,ii");
+  bool no_cartesian = flags.GetInt("no-cartesian", 0) != 0;
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
   OptimizerOptions base;
   base.forbid_cartesian = no_cartesian;
+
+  // Run through InstrumentedRun so --json-out records each algorithm.
+  auto run = [&](const std::string& name, auto fn) {
+    Report(name, obs::InstrumentedRun("qon." + name, shape, fn));
+  };
 
   std::stringstream ss(algos);
   std::string algo;
   while (std::getline(ss, algo, ',')) {
     if (algo == "dp") {
-      Report("dp", DpQonOptimizer(inst, base));
+      run("dp", [&] { return DpQonOptimizer(inst, base); });
     } else if (algo == "exhaustive") {
-      Report("exhaustive", ExhaustiveQonOptimizer(inst, base));
+      run("exhaustive", [&] { return ExhaustiveQonOptimizer(inst, base); });
     } else if (algo == "greedy") {
-      Report("greedy", GreedyQonOptimizer(inst, base));
+      run("greedy", [&] { return GreedyQonOptimizer(inst, base); });
     } else if (algo == "random") {
-      Report("random", RandomSamplingOptimizer(inst, &rng, 1000, base));
+      run("random",
+          [&] { return RandomSamplingOptimizer(inst, &rng, 1000, base); });
     } else if (algo == "ii") {
-      Report("ii", IterativeImprovementOptimizer(inst, &rng, 4, base));
+      run("ii",
+          [&] { return IterativeImprovementOptimizer(inst, &rng, 4, base); });
     } else if (algo == "sa") {
       AnnealingOptions sa;
       sa.base = base;
-      Report("sa", SimulatedAnnealingOptimizer(inst, &rng, sa));
+      run("sa", [&] { return SimulatedAnnealingOptimizer(inst, &rng, sa); });
     } else if (algo == "ga") {
       GeneticOptions ga;
       ga.base = base;
-      Report("ga", GeneticOptimizer(inst, &rng, ga));
+      run("ga", [&] { return GeneticOptimizer(inst, &rng, ga); });
     } else if (algo == "bnb") {
-      BnbResult bnb = BranchAndBoundQonOptimizer(inst, 0, base);
-      Report(bnb.proven_optimal ? "bnb (proven optimal)" : "bnb (anytime)",
-             bnb.result);
+      bool proven = false;
+      OptimizerResult bnb = obs::InstrumentedRun("qon.bnb", shape, [&] {
+        BnbResult full = BranchAndBoundQonOptimizer(inst, 0, base);
+        proven = full.proven_optimal;
+        return full.result;
+      });
+      Report(proven ? "bnb (proven optimal)" : "bnb (anytime)", bnb);
     } else if (algo == "cout") {
-      Report("cout (C_out metric)", CoutOptimalJoinOrder(inst));
+      run("cout", [&] { return CoutOptimalJoinOrder(inst); });
     } else if (algo == "kbz") {
       if (IsTreeQueryGraph(inst.graph())) {
-        Report("kbz", IkkbzOptimizer(inst));
+        run("kbz", [&] { return IkkbzOptimizer(inst); });
       } else {
         std::cout << "kbz: skipped (query graph is not a tree)\n";
       }
