@@ -3,19 +3,26 @@
 
 // Shared helpers for the experiment harness binaries: a wall-clock timer,
 // minimal --flag=value parsing (every bench accepts --quick=1 to run a
-// reduced sweep, --seed=<u64>, and --json-out=<path> to emit a JSONL
-// run-log, see docs/observability.md), and the RunLogSession glue that
-// attaches the process-wide run-log from those flags.
+// reduced sweep, --seed=<u64>, --threads=<n> to size the worker pool, and
+// --json-out=<path> to emit a JSONL run-log, see docs/observability.md),
+// the RunLogSession glue that attaches the process-wide run-log from those
+// flags, and the SweepRunner that fans a parameter grid across a
+// ThreadPool without letting the thread count leak into any output (see
+// docs/parallelism.md).
 
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/runlog.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace aqo::bench {
 
@@ -67,6 +74,15 @@ class Flags {
   Flags& operator=(const Flags&) = delete;
 
   bool Quick() const { return GetInt("quick", 0) != 0; }
+
+  // Worker pool size: --threads=N, defaulting to the hardware parallelism.
+  // Results never depend on this value — --threads=1 and --threads=64
+  // produce identical tables and identically ordered run-logs.
+  int Threads() const {
+    int threads =
+        static_cast<int>(GetInt("threads", ThreadPool::HardwareConcurrency()));
+    return threads < 1 ? 1 : threads;
+  }
 
   int64_t GetInt(const std::string& name, int64_t def) const {
     const std::string* v = Lookup(name);
@@ -140,6 +156,50 @@ class RunLogSession {
 
  private:
   bool attached_ = false;
+};
+
+// Fans the cells of a seed/parameter grid across a thread pool while
+// keeping every observable output a pure function of (base_seed, grid):
+//
+//   * each cell gets its own Rng stream, Rng(MixSeed(base_seed, index)),
+//     so no cell ever consumes another cell's random draws — which thread
+//     runs it (and how many threads exist) cannot matter;
+//   * run-log records emitted inside a cell are captured in a per-cell
+//     RunLogBuffer and replayed to the global log in cell-index order
+//     after the sweep, so the JSONL body order is stable across thread
+//     counts (records surface at sweep end rather than streaming);
+//   * results come back indexed, so tables built from them in a plain
+//     loop are byte-identical for every --threads value.
+//
+// The metamorphic guarantee (threads ∈ {1, 2, 8} agree exactly) is locked
+// in by tests/property_test.cc and the qon_gap_threads_differential ctest.
+class SweepRunner {
+ public:
+  SweepRunner(ThreadPool* pool, uint64_t base_seed)
+      : pool_(pool), base_seed_(base_seed) {}
+
+  // Runs fn(index, &rng) for every index in [0, count); returns the
+  // results in index order. R must be default-constructible.
+  template <typename R>
+  std::vector<R> Map(size_t count,
+                     const std::function<R(size_t, Rng*)>& fn) const {
+    std::vector<R> results(count);
+    std::vector<std::string> logs(count);
+    pool_->ParallelFor(count, [&](size_t index) {
+      Rng rng(MixSeed(base_seed_, index));
+      obs::RunLogBuffer buffer;
+      results[index] = fn(index, &rng);
+      logs[index] = buffer.Take();
+    });
+    if (obs::RunLog* log = obs::RunLog::Global()) {
+      for (const std::string& lines : logs) log->WriteRaw(lines);
+    }
+    return results;
+  }
+
+ private:
+  ThreadPool* pool_;
+  uint64_t base_seed_;
 };
 
 }  // namespace aqo::bench

@@ -49,57 +49,66 @@ QonInstance RandomWorkload(int n, double p, Rng* rng) {
   return inst;
 }
 
-void RandomWorkloadTable(const bench::Flags& flags, Rng* rng) {
+void RandomWorkloadTable(const bench::Flags& flags,
+                         const bench::SweepRunner& sweep) {
   TextTable table;
   table.SetTitle("E7a: competitive ratios on random workloads (vs DP optimum)");
   table.SetHeader({"n", "p", "trials", "greedy p50/p95 (lg ratio)",
                    "II p50/p95", "SA p50/p95", "random p50/p95"});
   int trials = flags.Quick() ? 5 : 25;
-  for (int n : {10, 14}) {
-    for (double p : {0.4, 0.8}) {
-      SampleSet greedy_r, ii_r, sa_r, rnd_r;
-      for (int t = 0; t < trials; ++t) {
-        QonInstance inst = RandomWorkload(n, p, rng);
-        obs::InstanceShape shape = ShapeOf(inst, "gnp_random", "", "");
-        OptimizerResult opt = obs::InstrumentedRun(
-            "qon.dp", shape, [&] { return DpQonOptimizer(inst); });
-        if (!opt.feasible) continue;
-        double base = opt.cost.Log2();
-        greedy_r.Add(obs::InstrumentedRun("qon.greedy", shape, [&] {
-                       return GreedyQonOptimizer(inst);
-                     }).cost.Log2() -
-                     base);
-        ii_r.Add(obs::InstrumentedRun("qon.ii", shape, [&] {
-                   return IterativeImprovementOptimizer(inst, rng, 4);
-                 }).cost.Log2() -
-                 base);
-        AnnealingOptions sa;
-        sa.iterations = 4000;
-        sa.restarts = 2;
-        sa_r.Add(obs::InstrumentedRun("qon.sa", shape, [&] {
-                   return SimulatedAnnealingOptimizer(inst, rng, sa);
-                 }).cost.Log2() -
-                 base);
-        rnd_r.Add(obs::InstrumentedRun("qon.random", shape, [&] {
-                    return RandomSamplingOptimizer(inst, rng, 200);
-                  }).cost.Log2() -
-                  base);
-      }
-      auto fmt = [](const SampleSet& s) {
-        return FormatDouble(s.Percentile(50), 3) + "/" +
-               FormatDouble(s.Percentile(95), 3);
-      };
-      table.AddRow({std::to_string(n), FormatDouble(p, 2),
-                    std::to_string(trials), fmt(greedy_r), fmt(ii_r),
-                    fmt(sa_r), fmt(rnd_r)});
+  const std::vector<int> ns = {10, 14};
+  const std::vector<double> ps = {0.4, 0.8};
+  // One cell per (n, p); each cell's `trials` instances draw from the
+  // cell's own Rng stream, so the table cannot depend on --threads.
+  auto cell = [&](size_t index, Rng* rng) -> std::vector<std::string> {
+    int n = ns[index / ps.size()];
+    double p = ps[index % ps.size()];
+    SampleSet greedy_r, ii_r, sa_r, rnd_r;
+    for (int t = 0; t < trials; ++t) {
+      QonInstance inst = RandomWorkload(n, p, rng);
+      obs::InstanceShape shape = ShapeOf(inst, "gnp_random", "", "");
+      OptimizerResult opt = obs::InstrumentedRun(
+          "qon.dp", shape, [&] { return DpQonOptimizer(inst); });
+      if (!opt.feasible) continue;
+      double base = opt.cost.Log2();
+      greedy_r.Add(obs::InstrumentedRun("qon.greedy", shape, [&] {
+                     return GreedyQonOptimizer(inst);
+                   }).cost.Log2() -
+                   base);
+      ii_r.Add(obs::InstrumentedRun("qon.ii", shape, [&] {
+                 return IterativeImprovementOptimizer(inst, rng, 4);
+               }).cost.Log2() -
+               base);
+      AnnealingOptions sa;
+      sa.iterations = 4000;
+      sa.restarts = 2;
+      sa_r.Add(obs::InstrumentedRun("qon.sa", shape, [&] {
+                 return SimulatedAnnealingOptimizer(inst, rng, sa);
+               }).cost.Log2() -
+               base);
+      rnd_r.Add(obs::InstrumentedRun("qon.random", shape, [&] {
+                  return RandomSamplingOptimizer(inst, rng, 200);
+                }).cost.Log2() -
+                base);
     }
+    auto fmt = [](const SampleSet& s) {
+      return FormatDouble(s.Percentile(50), 3) + "/" +
+             FormatDouble(s.Percentile(95), 3);
+    };
+    return {std::to_string(n), FormatDouble(p, 2), std::to_string(trials),
+            fmt(greedy_r), fmt(ii_r), fmt(sa_r), fmt(rnd_r)};
+  };
+  for (const std::vector<std::string>& row :
+       sweep.Map<std::vector<std::string>>(ns.size() * ps.size(), cell)) {
+    table.AddRow(row);
   }
   table.Print(std::cout);
   std::cout << "lg-ratio 0 = optimal; heuristics are near-optimal on\n"
                "benign random workloads.\n\n";
 }
 
-void GapInstanceTable(const bench::Flags& flags, Rng* rng) {
+void GapInstanceTable(const bench::Flags& flags,
+                      const bench::SweepRunner& sweep) {
   TextTable table;
   table.SetTitle(
       "E7b: the same heuristics on f_N NO instances (ratios vs YES-side K)");
@@ -107,7 +116,8 @@ void GapInstanceTable(const bench::Flags& flags, Rng* rng) {
                    "II/K", "SA/K", "random/K"});
   std::vector<int> ns =
       flags.Quick() ? std::vector<int>{30} : std::vector<int>{30, 60, 90};
-  for (int n : ns) {
+  auto cell = [&](size_t index, Rng* rng) -> std::vector<std::string> {
+    int n = ns[index];
     double log2_alpha = 8.0;
     QonGapParams params{.c = 2.0 / 3.0, .d = 1.0 / 3.0,
                         .log2_alpha = log2_alpha};
@@ -122,10 +132,14 @@ void GapInstanceTable(const bench::Flags& flags, Rng* rng) {
     sa_opts.iterations = flags.Quick() ? 2000 : 10000;
     OptimizerResult sa = SimulatedAnnealingOptimizer(gap.instance, rng, sa_opts);
     OptimizerResult rnd = RandomSamplingOptimizer(gap.instance, rng, 200);
-    table.AddRow({std::to_string(n), FormatDouble(log2_alpha, 3),
-                  units(gap.CertifiedLowerBound(s).Log2()),
-                  units(greedy.cost.Log2()), units(ii.cost.Log2()),
-                  units(sa.cost.Log2()), units(rnd.cost.Log2())});
+    return {std::to_string(n), FormatDouble(log2_alpha, 3),
+            units(gap.CertifiedLowerBound(s).Log2()),
+            units(greedy.cost.Log2()), units(ii.cost.Log2()),
+            units(sa.cost.Log2()), units(rnd.cost.Log2())};
+  };
+  for (const std::vector<std::string>& row :
+       sweep.Map<std::vector<std::string>>(ns.size(), cell)) {
+    table.AddRow(row);
   }
   table.Print(std::cout);
   std::cout << "Every polynomial heuristic lands a Theta(n) number of alpha\n"
@@ -139,8 +153,13 @@ void GapInstanceTable(const bench::Flags& flags, Rng* rng) {
 int main(int argc, char** argv) {
   aqo::bench::Flags flags(argc, argv);
   aqo::bench::RunLogSession session(flags, "optimizers", /*default_seed=*/7);
-  aqo::Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 7)));
-  aqo::RandomWorkloadTable(flags, &rng);
-  aqo::GapInstanceTable(flags, &rng);
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  aqo::ThreadPool pool(flags.Threads());
+  // The two tables use disjoint stream ranges of the same base seed, so
+  // adding cells to E7a can never perturb E7b's draws.
+  aqo::bench::SweepRunner e7a(&pool, aqo::MixSeed(seed, 1));
+  aqo::bench::SweepRunner e7b(&pool, aqo::MixSeed(seed, 2));
+  aqo::RandomWorkloadTable(flags, e7a);
+  aqo::GapInstanceTable(flags, e7b);
   return 0;
 }

@@ -46,7 +46,7 @@ double BestFoundCost(const QohInstance& inst, int samples, Rng* rng,
 }
 
 void Run(const bench::Flags& flags) {
-  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 3)));
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 3));
   std::vector<int> ns = flags.Quick() ? std::vector<int>{9, 12}
                                       : std::vector<int>{9, 12, 15, 18, 21};
   int samples = flags.Quick() ? 40 : 200;
@@ -56,7 +56,12 @@ void Run(const bench::Flags& flags) {
   table.SetHeader({"n", "lg L", "YES wit-L", "YES best-L", "NO G-L",
                    "NO best-L", "gap (a units)", "paper n*eps/3-1"});
 
-  for (int n : ns) {
+  // One cell per n, fanned across the pool on an Rng stream of its own;
+  // see docs/parallelism.md for why output cannot depend on --threads.
+  ThreadPool pool(flags.Threads());
+  bench::SweepRunner sweep(&pool, seed);
+  auto cell = [&](size_t index, Rng* rng) -> std::vector<std::string> {
+    int n = ns[index];
     QohGapParams params;  // alpha = 4, eta = 0.5
 
     // YES: complete graph; clique = first 2n/3 vertices.
@@ -67,7 +72,7 @@ void Run(const bench::Flags& flags) {
     QohWitnessPlan witness = QohYesWitness(yes, clique);
     PipelineCostResult wit_cost =
         DecompositionCost(yes.instance, witness.sequence, witness.decomposition);
-    double yes_best = BestFoundCost(yes.instance, samples, &rng,
+    double yes_best = BestFoundCost(yes.instance, samples, rng,
                                     ShapeOf(yes.instance, "complete_yes", "yes"));
     yes_best = std::min(yes_best, wit_cost.feasible ? wit_cost.cost.Log2()
                                                     : 1e300);
@@ -76,19 +81,23 @@ void Run(const bench::Flags& flags) {
     Graph no_graph = CompleteMultipartite(n, 3);
     QohGapInstance no = ReduceTwoThirdsCliqueToQoh(no_graph, params);
     double epsilon = 2.0 - 9.0 / static_cast<double>(n);
-    double no_best = BestFoundCost(no.instance, samples, &rng,
+    double no_best = BestFoundCost(no.instance, samples, rng,
                                    ShapeOf(no.instance, "multipartite_no", "no"));
 
     double l = yes.LBound().Log2();
     double l_no = no.LBound().Log2();
-    table.AddRow(
-        {std::to_string(n), FormatDouble(l, 6),
-         FormatDouble(wit_cost.cost.Log2() - l, 4),
-         FormatDouble(yes_best - l, 4),
-         FormatDouble(no.GBound(epsilon).Log2() - l_no, 4),
-         FormatDouble(no_best - l_no, 4),
-         FormatDouble((no_best - l_no - (yes_best - l)) / params.log2_alpha, 4),
-         FormatDouble(static_cast<double>(n) * epsilon / 3.0 - 1.0, 4)});
+    return {std::to_string(n), FormatDouble(l, 6),
+            FormatDouble(wit_cost.cost.Log2() - l, 4),
+            FormatDouble(yes_best - l, 4),
+            FormatDouble(no.GBound(epsilon).Log2() - l_no, 4),
+            FormatDouble(no_best - l_no, 4),
+            FormatDouble((no_best - l_no - (yes_best - l)) / params.log2_alpha,
+                         4),
+            FormatDouble(static_cast<double>(n) * epsilon / 3.0 - 1.0, 4)};
+  };
+  for (const std::vector<std::string>& row :
+       sweep.Map<std::vector<std::string>>(ns.size(), cell)) {
+    table.AddRow(row);
   }
   table.Print(std::cout);
   std::cout << "Reading: the YES witness tracks L while no sampled NO plan\n"

@@ -30,7 +30,7 @@ obs::InstanceShape ShapeOf(const QonInstance& inst, const std::string& kind,
 }
 
 void Run(const bench::Flags& flags) {
-  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   double c = 2.0 / 3.0;
   double d = 1.0 / 3.0;
   std::vector<int> ns = flags.Quick() ? std::vector<int>{60, 90}
@@ -44,46 +44,53 @@ void Run(const bench::Flags& flags) {
                    "NO floor-K", "NO best-K", "gap (a units)",
                    "paper (d/2)n-1"});
 
-  for (int n : ns) {
-    for (double log2_alpha : alphas) {
-      QonGapParams params{.c = c, .d = d, .log2_alpha = log2_alpha};
+  // One grid cell per (n, alpha); each cell draws from its own Rng stream
+  // and cells fan across the pool, so the table and run-log are identical
+  // for every --threads value.
+  ThreadPool pool(flags.Threads());
+  bench::SweepRunner sweep(&pool, seed);
+  auto cell = [&](size_t index, Rng* rng) -> std::vector<std::string> {
+    int n = ns[index / alphas.size()];
+    double log2_alpha = alphas[index % alphas.size()];
+    QonGapParams params{.c = c, .d = d, .log2_alpha = log2_alpha};
 
-      // YES instance.
-      std::vector<int> planted;
-      int clique = static_cast<int>(c * n);
-      Graph yes_graph = CliqueClassGraph(n, 13, 1.0, clique, &rng, &planted);
-      QonGapInstance yes = ReduceCliqueToQon(yes_graph, params);
-      JoinSequence witness = CliqueFirstWitnessGreedy(yes.instance, planted);
-      double witness_cost = QonSequenceCost(yes.instance, witness).Log2();
-      OptimizerResult yes_greedy = obs::InstrumentedRun(
-          "qon.greedy", ShapeOf(yes.instance, "clique_yes", "yes"),
-          [&] { return GreedyQonOptimizer(yes.instance); });
+    // YES instance.
+    std::vector<int> planted;
+    int clique = static_cast<int>(c * n);
+    Graph yes_graph = CliqueClassGraph(n, 13, 1.0, clique, rng, &planted);
+    QonGapInstance yes = ReduceCliqueToQon(yes_graph, params);
+    JoinSequence witness = CliqueFirstWitnessGreedy(yes.instance, planted);
+    double witness_cost = QonSequenceCost(yes.instance, witness).Log2();
+    OptimizerResult yes_greedy = obs::InstrumentedRun(
+        "qon.greedy", ShapeOf(yes.instance, "clique_yes", "yes"),
+        [&] { return GreedyQonOptimizer(yes.instance); });
 
-      // NO instance: omega = (c-d) n exactly.
-      int s = static_cast<int>((c - d) * n);
-      Graph no_graph = CompleteMultipartite(n, s);
-      QonGapInstance no = ReduceCliqueToQon(no_graph, params);
-      double floor = no.CertifiedLowerBound(s).Log2();
-      OptimizerResult no_greedy = obs::InstrumentedRun(
-          "qon.greedy", ShapeOf(no.instance, "multipartite_no", "no"),
-          [&] { return GreedyQonOptimizer(no.instance); });
-      OptimizerResult no_ii = obs::InstrumentedRun(
-          "qon.ii", ShapeOf(no.instance, "multipartite_no", "no"),
-          [&] { return IterativeImprovementOptimizer(no.instance, &rng, 2); });
-      double no_best = std::min(no_greedy.cost.Log2(), no_ii.cost.Log2());
+    // NO instance: omega = (c-d) n exactly.
+    int s = static_cast<int>((c - d) * n);
+    Graph no_graph = CompleteMultipartite(n, s);
+    QonGapInstance no = ReduceCliqueToQon(no_graph, params);
+    double floor = no.CertifiedLowerBound(s).Log2();
+    OptimizerResult no_greedy = obs::InstrumentedRun(
+        "qon.greedy", ShapeOf(no.instance, "multipartite_no", "no"),
+        [&] { return GreedyQonOptimizer(no.instance); });
+    OptimizerResult no_ii = obs::InstrumentedRun(
+        "qon.ii", ShapeOf(no.instance, "multipartite_no", "no"),
+        [&] { return IterativeImprovementOptimizer(no.instance, rng, 2); });
+    double no_best = std::min(no_greedy.cost.Log2(), no_ii.cost.Log2());
 
-      double k = yes.KBound().Log2();
-      double k_no = no.KBound().Log2();
-      table.AddRow({std::to_string(n), FormatDouble(log2_alpha, 3),
-                    FormatDouble(k, 6), FormatDouble(witness_cost - k, 4),
-                    FormatDouble(yes_greedy.cost.Log2() - k, 4),
-                    FormatDouble(floor - k_no, 4),
-                    FormatDouble(no_best - k_no, 4),
-                    FormatDouble((no_best - k_no - (witness_cost - k)) /
-                                     log2_alpha,
-                                 4),
-                    FormatDouble(d / 2.0 * n - 1.0, 4)});
-    }
+    double k = yes.KBound().Log2();
+    double k_no = no.KBound().Log2();
+    return {std::to_string(n), FormatDouble(log2_alpha, 3),
+            FormatDouble(k, 6), FormatDouble(witness_cost - k, 4),
+            FormatDouble(yes_greedy.cost.Log2() - k, 4),
+            FormatDouble(floor - k_no, 4), FormatDouble(no_best - k_no, 4),
+            FormatDouble((no_best - k_no - (witness_cost - k)) / log2_alpha,
+                         4),
+            FormatDouble(d / 2.0 * n - 1.0, 4)};
+  };
+  for (const std::vector<std::string>& row :
+       sweep.Map<std::vector<std::string>>(ns.size() * alphas.size(), cell)) {
+    table.AddRow(row);
   }
   table.Print(std::cout);
   std::cout << "Reading: YES costs sit at/below K while every NO plan found\n"

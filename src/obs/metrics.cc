@@ -1,6 +1,42 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
+
 namespace aqo::obs {
+
+namespace {
+
+// Innermost active tally of the current thread. A plain thread_local
+// pointer: reading it is the whole hot-path cost when tallies are off.
+thread_local ThreadCounterTally* tls_tally = nullptr;
+
+}  // namespace
+
+ThreadCounterTally::ThreadCounterTally() : parent_(tls_tally) {
+  tls_tally = this;
+}
+
+ThreadCounterTally::~ThreadCounterTally() {
+  tls_tally = parent_;
+  if (parent_ != nullptr) {
+    for (const auto& [counter, delta] : deltas_) {
+      parent_->deltas_[counter] += delta;
+    }
+  }
+}
+
+ThreadCounterTally* ThreadCounterTally::Current() { return tls_tally; }
+
+std::vector<std::pair<std::string, uint64_t>> ThreadCounterTally::Snapshot()
+    const {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(deltas_.size());
+  for (const auto& [counter, delta] : deltas_) {
+    if (delta != 0) out.emplace_back(counter->name(), delta);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
 
 Registry& Registry::Get() {
   static Registry* registry = new Registry();  // never destroyed

@@ -26,16 +26,60 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 namespace aqo::obs {
 
+class Counter;
+
+// Scoped per-thread counter attribution. While a tally is on a thread's
+// stack, every Counter increment made *by that thread* is also recorded
+// into the tally, so the run-log layer can attribute an invocation's exact
+// counter deltas even while other threads hammer the same global counters
+// concurrently (a whole-registry before/after snapshot cannot). Tallies
+// nest: popping an inner tally folds its totals into the enclosing one,
+// matching the old snapshot semantics where an outer record includes the
+// work of nested instrumented runs.
+//
+// The hot-path cost when no tally is active — the always-on case — is one
+// thread-local pointer load and a predictable branch per increment.
+class ThreadCounterTally {
+ public:
+  ThreadCounterTally();
+  ~ThreadCounterTally();
+
+  ThreadCounterTally(const ThreadCounterTally&) = delete;
+  ThreadCounterTally& operator=(const ThreadCounterTally&) = delete;
+
+  // This thread's innermost active tally, or nullptr.
+  static ThreadCounterTally* Current();
+
+  // Name-sorted (counter, delta) pairs recorded so far, zero deltas
+  // dropped — same shape as Registry::Delta output.
+  std::vector<std::pair<std::string, uint64_t>> Snapshot() const;
+
+ private:
+  friend class Counter;
+  void Record(const Counter* counter, uint64_t delta) {
+    deltas_[counter] += delta;
+  }
+
+  std::unordered_map<const Counter*, uint64_t> deltas_;
+  ThreadCounterTally* parent_;
+};
+
 // Monotonic event counter. Increments are relaxed atomics: safe from any
 // thread, no ordering guarantees needed (snapshots are advisory).
 class Counter {
  public:
-  void Add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Add(uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+    if (ThreadCounterTally* tally = ThreadCounterTally::Current()) {
+      tally->Record(this, delta);
+    }
+  }
   void Increment() { Add(1); }
   uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { value_.store(0, std::memory_order_relaxed); }

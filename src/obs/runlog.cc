@@ -13,7 +13,17 @@ std::unique_ptr<RunLog>& GlobalSlot() {
   return *slot;
 }
 
+thread_local RunLogBuffer* tls_runlog_buffer = nullptr;
+
 }  // namespace
+
+RunLogBuffer::RunLogBuffer() : parent_(tls_runlog_buffer) {
+  tls_runlog_buffer = this;
+}
+
+RunLogBuffer::~RunLogBuffer() { tls_runlog_buffer = parent_; }
+
+RunLogBuffer* RunLogBuffer::Current() { return tls_runlog_buffer; }
 
 RunLog::RunLog(std::ostream* out) : out_(out) { AQO_CHECK(out != nullptr); }
 
@@ -39,8 +49,20 @@ void RunLog::CloseGlobal() { GlobalSlot().reset(); }
 
 void RunLog::Write(const JsonValue& record) {
   std::string line = record.Dump();
+  line += '\n';
+  if (RunLogBuffer* buffer = RunLogBuffer::Current()) {
+    buffer->buffer_ += line;
+    return;
+  }
   std::lock_guard<std::mutex> lock(mu_);
-  *out_ << line << '\n';
+  *out_ << line;
+  out_->flush();
+}
+
+void RunLog::WriteRaw(const std::string& lines) {
+  if (lines.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  *out_ << lines;
   out_->flush();
 }
 

@@ -53,7 +53,12 @@ class RunLog {
   static void CloseGlobal();
 
   // Serializes `record` as one line and flushes (crash-safe artifacts).
+  // While a RunLogBuffer is active on the calling thread the line is
+  // captured there instead of reaching the stream.
   void Write(const JsonValue& record);
+
+  // Appends pre-serialized lines (a RunLogBuffer's contents) verbatim.
+  void WriteRaw(const std::string& lines);
 
   // Emits the provenance header. `binary` is the emitting program's name,
   // `args` its raw argv tail.
@@ -66,6 +71,32 @@ class RunLog {
   std::unique_ptr<std::ofstream> file_;  // set when file-backed
   std::ostream* out_;
   std::mutex mu_;
+};
+
+// Captures the calling thread's RunLog::Write()s into an in-memory string
+// while in scope. This is how parallel sweeps keep run-log record order
+// independent of scheduling: each sweep cell runs under its own buffer on
+// whatever worker executes it, and the runner replays the buffers in cell
+// order with RunLog::WriteRaw afterwards (see bench/bench_common.h).
+// Scopes nest per thread (inner captures win); anything not Take()n is
+// discarded at scope exit.
+class RunLogBuffer {
+ public:
+  RunLogBuffer();
+  ~RunLogBuffer();
+
+  RunLogBuffer(const RunLogBuffer&) = delete;
+  RunLogBuffer& operator=(const RunLogBuffer&) = delete;
+
+  // Drains the captured lines (each newline-terminated).
+  std::string Take() { return std::move(buffer_); }
+
+ private:
+  friend class RunLog;
+  static RunLogBuffer* Current();
+
+  std::string buffer_;
+  RunLogBuffer* parent_;
 };
 
 // Instance shape attached to each optimizer_run record.
@@ -93,6 +124,13 @@ void EmitRunRecord(std::string_view optimizer, const InstanceShape& shape,
 // QohOptimizerResult), measuring wall time, counter deltas and the span
 // profile, and emits an optimizer_run record. When no global log is
 // attached this is exactly `fn()`: no snapshots, no timing.
+//
+// Counter deltas are attributed through a per-thread ThreadCounterTally,
+// so the record charges exactly the increments this invocation made (plus
+// any nested instrumented runs), even when other pool workers increment
+// the same counters concurrently. The span profile is the calling
+// thread's (Profiler is thread-local), so worker-side invocations under a
+// sweep get their own consistent trees.
 template <typename Fn>
 auto InstrumentedRun(std::string_view optimizer, const InstanceShape& shape,
                      Fn&& fn) {
@@ -102,17 +140,15 @@ auto InstrumentedRun(std::string_view optimizer, const InstanceShape& shape,
   // nested instrumented runs degrade gracefully instead of corrupting it.
   bool owns_profile = profiler.current() == profiler.root();
   if (owns_profile) profiler.Reset();
-  CounterSnapshot before = Registry::Get().Counters();
+  ThreadCounterTally tally;
   auto start = std::chrono::steady_clock::now();
   auto result = fn();
   double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  CounterSnapshot delta =
-      Registry::Delta(before, Registry::Get().Counters());
   EmitRunRecord(optimizer, shape, result.feasible,
                 result.feasible ? result.cost.Log2() : std::nan(""),
-                result.evaluations, wall_seconds, delta,
+                result.evaluations, wall_seconds, tally.Snapshot(),
                 owns_profile ? profiler.root() : nullptr);
   return result;
 }

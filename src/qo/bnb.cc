@@ -116,7 +116,13 @@ class BnbSearch {
     }
     std::sort(extensions.begin(), extensions.end(),
               [](const Extension& a, const Extension& b) {
-                return a.join_cost < b.join_cost;
+                // Equal join costs explore the lowest relation id first,
+                // so the anytime incumbent under a node budget is a pure
+                // function of the instance (std::sort is unstable).
+                if (a.join_cost != b.join_cost) {
+                  return a.join_cost < b.join_cost;
+                }
+                return a.relation < b.relation;
               });
     for (const Extension& e : extensions) {
       prefix->push_back(e.relation);

@@ -73,10 +73,15 @@ OptimizerResult GeneticOptimizer(const QonInstance& inst, Rng* rng,
       }
     }
   };
-  // Infeasible individuals lose every comparison.
+  // Infeasible individuals lose every comparison. Equal costs break
+  // lexicographically on the sequence (lowest relation id first): a total
+  // order, so the std::sort below — and therefore elite survival — cannot
+  // depend on the unspecified order unstable sorting leaves ties in.
   auto better = [](const Individual& x, const Individual& y) {
     if (x.valid != y.valid) return x.valid;
-    return x.valid && x.cost < y.cost;
+    if (!x.valid) return false;
+    if (x.cost != y.cost) return x.cost < y.cost;
+    return x.sequence < y.sequence;
   };
 
   std::vector<Individual> population(static_cast<size_t>(options.population));

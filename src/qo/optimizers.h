@@ -15,6 +15,8 @@
 
 namespace aqo {
 
+class ThreadPool;
+
 struct OptimizerResult {
   bool feasible = false;    // false when constraints rule out every sequence
   JoinSequence sequence;
@@ -27,6 +29,12 @@ struct OptimizerOptions {
   // the prefix). The paper notes (end of Section 4) the gap persists under
   // this restriction.
   bool forbid_cartesian = false;
+
+  // When set (and num_threads() > 1), DpQonOptimizer runs the
+  // layer-synchronized parallel DP on this pool. The result — cost bits,
+  // sequence, evaluation count — is identical to the serial DP; see
+  // docs/parallelism.md and tests/parallel_differential_test.cc.
+  ThreadPool* pool = nullptr;
 };
 
 // Tries all n! permutations. Guarded to n <= 10.
@@ -37,8 +45,31 @@ OptimizerResult ExhaustiveQonOptimizer(const QonInstance& inst,
 // Correct because the QO_N extension cost depends on the prefix only
 // through its *set*: N(X) and min_{k in X} AccessCost(k, j) are
 // order-independent. O(2^n * n^2); guarded to n <= 24.
+//
+// Ties between equal-cost extensions break toward the lowest relation id
+// (in every variant), so the returned sequence is a pure function of the
+// instance — never of subset enumeration order or thread count.
+// Dispatches to the parallel DP when options.pool is set, the serial DP
+// otherwise; the two are interchangeable bit for bit.
 OptimizerResult DpQonOptimizer(const QonInstance& inst,
                                const OptimizerOptions& options = {});
+
+// The serial reference implementation (what DpQonOptimizer runs without a
+// pool): one pass over subsets in numeric order.
+OptimizerResult DpQonOptimizerSerial(const QonInstance& inst,
+                                     const OptimizerOptions& options = {});
+
+// Layer-synchronized parallel DP: subsets are processed one cardinality
+// layer at a time, each layer's *destination* states partitioned across
+// `pool` in deterministic static chunks. Every destination is written by
+// exactly one thread (its transitions all come from the previous layer),
+// so no merge step can reorder floating-point operations: the dp table,
+// the reconstructed sequence, the evaluation count, and the telemetry
+// counter totals are bit-identical to DpQonOptimizerSerial for every
+// thread count. `pool` may be null (falls back to serial).
+OptimizerResult DpQonOptimizerParallel(const QonInstance& inst,
+                                       ThreadPool* pool,
+                                       const OptimizerOptions& options = {});
 
 // Greedy: tries every relation as the first, then repeatedly appends the
 // relation with the cheapest next join. O(n^3). Polynomial baseline.

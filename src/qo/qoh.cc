@@ -85,7 +85,12 @@ PipelineCostResult PipelineCostImpl(const QohInstance& inst,
   std::vector<size_t> order(joins.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(), [&joins](size_t a, size_t b) {
-    return joins[a].slope > joins[b].slope;
+    // Equal slopes break toward the earlier join so the allocation (and
+    // any cost ties downstream) is a pure function of the instance.
+    if (joins[a].slope != joins[b].slope) {
+      return joins[a].slope > joins[b].slope;
+    }
+    return a < b;
   });
   std::vector<double> extra(joins.size(), 0.0);
   for (size_t i : order) {

@@ -62,6 +62,14 @@ double Rng::UniformReal(double lo, double hi) {
 
 bool Rng::Bernoulli(double p) { return UniformReal() < p; }
 
+uint64_t MixSeed(uint64_t seed, uint64_t stream) {
+  // Two SplitMix64 rounds over a combination of the pair; the golden-ratio
+  // offset keeps (seed, 0) distinct from (seed) used directly.
+  uint64_t x = seed ^ (stream * 0x9e3779b97f4a7c15ULL + 0x9e3779b97f4a7c15ULL);
+  uint64_t first = SplitMix64(&x);
+  return first ^ SplitMix64(&x);
+}
+
 std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
   AQO_CHECK(0 <= k && k <= n);
   // Partial Fisher-Yates over an index vector; O(n) space, fine for the

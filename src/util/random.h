@@ -58,6 +58,12 @@ class Rng {
   uint64_t state_[4];
 };
 
+// Derives the seed of an independent substream `stream` of `seed`
+// (SplitMix64 over the pair). Parallel sweeps give every grid cell its own
+// Rng(MixSeed(base_seed, cell_index)) so results do not depend on which
+// thread runs which cell — or on the thread count at all.
+uint64_t MixSeed(uint64_t seed, uint64_t stream);
+
 }  // namespace aqo
 
 #endif  // AQO_UTIL_RANDOM_H_

@@ -21,6 +21,7 @@
 #include "qo/optimizers.h"
 #include "qo/qon.h"
 #include "util/log_double.h"
+#include "util/thread_pool.h"
 
 namespace aqo {
 namespace {
@@ -280,6 +281,88 @@ TEST(RunLog, InstrumentedRunIsPassthroughWithoutGlobalLog) {
       "qon.greedy", shape, [&] { return GreedyQonOptimizer(inst); });
   EXPECT_EQ(wrapped.feasible, direct.feasible);
   EXPECT_DOUBLE_EQ(wrapped.cost.Log2(), direct.cost.Log2());
+}
+
+// --- Per-thread counter attribution ----------------------------------------
+
+TEST(ThreadCounterTally, AttributesOnlyTheCallingThreadsIncrements) {
+  obs::Counter& counter =
+      obs::Registry::Get().GetCounter("test.tally.concurrent");
+  // Pool workers hammer the same global counter while this thread's tally
+  // is open; the tally must see exactly this thread's increments.
+  ThreadPool pool(4);
+  obs::ThreadCounterTally tally;
+  pool.ParallelForChunks(400, [&](int /*chunk*/, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) counter.Increment();
+  });
+  auto snapshot = tally.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].first, "test.tally.concurrent");
+  // Chunk 0 always runs on the submitting thread: 100 of the 400.
+  EXPECT_EQ(snapshot[0].second, 100u);
+}
+
+TEST(ThreadCounterTally, NestedTallyFoldsIntoParent) {
+  obs::Counter& counter = obs::Registry::Get().GetCounter("test.tally.nested");
+  obs::ThreadCounterTally outer;
+  counter.Add(3);
+  {
+    obs::ThreadCounterTally inner;
+    counter.Add(7);
+    auto inner_snapshot = inner.Snapshot();
+    ASSERT_EQ(inner_snapshot.size(), 1u);
+    EXPECT_EQ(inner_snapshot[0].second, 7u);
+  }
+  auto outer_snapshot = outer.Snapshot();
+  ASSERT_EQ(outer_snapshot.size(), 1u);
+  EXPECT_EQ(outer_snapshot[0].second, 10u);  // own 3 + folded inner 7
+}
+
+// --- Run-log buffering for sweep-order stability ----------------------------
+
+TEST(RunLogBuffer, CapturesAndReplaysInCallerChosenOrder) {
+  std::ostringstream sink;
+  obs::RunLog::AttachGlobal(&sink);
+  obs::RunLog* log = obs::RunLog::Global();
+  ASSERT_NE(log, nullptr);
+
+  auto record = [](int cell) {
+    obs::JsonValue v = obs::JsonValue::Object();
+    v["cell"] = cell;
+    return v;
+  };
+
+  // Capture two cells out of order, replay them in cell order — the
+  // SweepRunner pattern.
+  std::string cell1;
+  {
+    obs::RunLogBuffer buffer;
+    log->Write(record(1));
+    cell1 = buffer.Take();
+  }
+  std::string cell0;
+  {
+    obs::RunLogBuffer buffer;
+    log->Write(record(0));
+    cell0 = buffer.Take();
+  }
+  EXPECT_EQ(sink.str(), "");  // nothing reached the stream yet
+  log->WriteRaw(cell0);
+  log->WriteRaw(cell1);
+  obs::RunLog::CloseGlobal();
+
+  EXPECT_EQ(sink.str(), "{\"cell\":0}\n{\"cell\":1}\n");
+}
+
+TEST(RunLogBuffer, UntakenLinesAreDiscardedAtScopeExit) {
+  std::ostringstream sink;
+  obs::RunLog::AttachGlobal(&sink);
+  {
+    obs::RunLogBuffer buffer;
+    obs::RunLog::Global()->Write(obs::JsonValue::Object());
+  }
+  obs::RunLog::CloseGlobal();
+  EXPECT_EQ(sink.str(), "");
 }
 
 }  // namespace

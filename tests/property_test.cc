@@ -3,13 +3,20 @@
 // the QO_N cost model, gap soundness across (alpha, d) parameterizations,
 // and seed sweeps of the reduction chains.
 
+#include <algorithm>
 #include <cmath>
+#include <regex>
+#include <sstream>
+#include <string>
 #include <tuple>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "bench/bench_common.h"
 #include "graph/clique.h"
 #include "graph/generators.h"
+#include "obs/runlog.h"
 #include "qo/optimizers.h"
 #include "qo/qoh.h"
 #include "qo/workloads.h"
@@ -18,6 +25,7 @@
 #include "sat/dpll.h"
 #include "sat/gen.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace aqo {
 namespace {
@@ -179,6 +187,189 @@ INSTANTIATE_TEST_SUITE_P(ShapeSweep, CliqueReductionSweep,
                            return "v" + std::to_string(info.param.vars) + "m" +
                                   std::to_string(info.param.clauses);
                          });
+
+// --- Metamorphic invariants of the optimizers and the parallel sweep ---
+
+// Relabels relation i as perm[i]. The optimal cost is invariant: the cost
+// model only consults sizes, selectivities and access paths through the
+// relation's identity, never its numeric id.
+QonInstance PermuteQon(const QonInstance& inst, const std::vector<int>& perm) {
+  int n = inst.NumRelations();
+  Graph g(n);
+  for (const auto& [u, v] : inst.graph().Edges()) {
+    g.AddEdge(perm[static_cast<size_t>(u)], perm[static_cast<size_t>(v)]);
+  }
+  std::vector<LogDouble> sizes(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    sizes[static_cast<size_t>(perm[static_cast<size_t>(i)])] = inst.size(i);
+  }
+  QonInstance out(g, std::move(sizes));
+  for (const auto& [u, v] : inst.graph().Edges()) {
+    out.SetSelectivity(perm[static_cast<size_t>(u)],
+                       perm[static_cast<size_t>(v)], inst.selectivity(u, v));
+  }
+  return out;
+}
+
+QonInstance RandomQonInstance(int n, double p, Rng* rng) {
+  Graph g = Gnp(n, p, rng);
+  std::vector<LogDouble> sizes;
+  for (int i = 0; i < n; ++i) {
+    sizes.push_back(LogDouble::FromLinear(
+        static_cast<double>(rng->UniformInt(10, 100000))));
+  }
+  QonInstance inst(g, std::move(sizes));
+  for (const auto& [u, v] : g.Edges()) {
+    inst.SetSelectivity(u, v,
+                        LogDouble::FromLinear(rng->UniformReal(0.001, 0.8)));
+  }
+  return inst;
+}
+
+TEST(RelabelingInvariance, QonOptimalCostSurvivesRelationPermutation) {
+  Rng rng(424242);
+  for (int trial = 0; trial < 30; ++trial) {
+    int n = static_cast<int>(rng.UniformInt(5, 9));
+    QonInstance inst = RandomQonInstance(n, rng.UniformReal(0.3, 0.9), &rng);
+    std::vector<int> perm = IdentitySequence(n);
+    rng.Shuffle(&perm);
+    QonInstance relabeled = PermuteQon(inst, perm);
+
+    OptimizerResult base = DpQonOptimizer(inst);
+    OptimizerResult mapped = DpQonOptimizer(relabeled);
+    ASSERT_TRUE(base.feasible);
+    ASSERT_TRUE(mapped.feasible);
+    EXPECT_TRUE(mapped.cost.ApproxEquals(base.cost, 1e-9))
+        << "n=" << n << " trial=" << trial;
+
+    // The relabeled image of the original optimal sequence costs the
+    // optimum in the relabeled instance.
+    JoinSequence image;
+    for (int v : base.sequence) image.push_back(perm[static_cast<size_t>(v)]);
+    EXPECT_TRUE(
+        QonSequenceCost(relabeled, image).ApproxEquals(mapped.cost, 1e-9));
+  }
+}
+
+TEST(RelabelingInvariance, QohOptimalCostSurvivesRelationPermutation) {
+  Rng rng(535353);
+  int n = 5;
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = ConnectedWithEdgeBudget(
+        n, static_cast<int>(rng.UniformInt(n - 1, n * (n - 1) / 2)), &rng);
+    std::vector<LogDouble> sizes;
+    for (int i = 0; i < n; ++i) {
+      sizes.push_back(LogDouble::FromLinear(
+          static_cast<double>(rng.UniformInt(16, 4096))));
+    }
+    QohInstance inst(g, sizes, /*memory=*/512.0, /*eta=*/0.5);
+    for (const auto& [u, v] : g.Edges()) {
+      inst.SetSelectivity(u, v,
+                          LogDouble::FromLinear(rng.UniformReal(0.01, 0.9)));
+    }
+    std::vector<int> perm = IdentitySequence(n);
+    rng.Shuffle(&perm);
+    Graph pg(n);
+    for (const auto& [u, v] : g.Edges()) {
+      pg.AddEdge(perm[static_cast<size_t>(u)], perm[static_cast<size_t>(v)]);
+    }
+    std::vector<LogDouble> psizes(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      psizes[static_cast<size_t>(perm[static_cast<size_t>(i)])] = sizes[
+          static_cast<size_t>(i)];
+    }
+    QohInstance relabeled(pg, psizes, inst.memory(), inst.eta());
+    for (const auto& [u, v] : g.Edges()) {
+      relabeled.SetSelectivity(perm[static_cast<size_t>(u)],
+                               perm[static_cast<size_t>(v)],
+                               inst.selectivity(u, v));
+    }
+
+    // Brute-force QO_H optimum: best decomposition over all n! sequences.
+    auto optimum = [n](const QohInstance& in) {
+      JoinSequence seq = IdentitySequence(n);
+      bool found = false;
+      LogDouble best;
+      do {
+        QohPlan plan = OptimalDecomposition(in, seq);
+        if (plan.feasible && (!found || plan.cost < best)) {
+          found = true;
+          best = plan.cost;
+        }
+      } while (std::next_permutation(seq.begin(), seq.end()));
+      EXPECT_TRUE(found);
+      return best;
+    };
+    EXPECT_TRUE(optimum(relabeled).ApproxEquals(optimum(inst), 1e-9))
+        << "trial=" << trial;
+  }
+}
+
+// A sweep's results — and the order and content of its run-log records —
+// are identical for every thread count. This is the SweepRunner contract
+// that lets every bench default --threads to the hardware width.
+TEST(ThreadsInvariance, SweepResultsAndRunLogIdenticalAcrossThreadCounts) {
+  constexpr size_t kCells = 24;
+  auto sweep_once = [&](int threads, std::string* log_text) {
+    std::ostringstream log;
+    obs::RunLog::AttachGlobal(&log);
+    ThreadPool pool(threads);
+    bench::SweepRunner sweep(&pool, /*base_seed=*/777);
+    std::vector<double> costs = sweep.Map<double>(
+        kCells, [](size_t index, Rng* rng) {
+          int n = 5 + static_cast<int>(index % 4);
+          QonInstance inst = RandomQonInstance(n, 0.7, rng);
+          obs::InstanceShape shape{.family = "qon",
+                                   .kind = "threads_invariance",
+                                   .side = "",
+                                   .source = "",
+                                   .n = n,
+                                   .edges = inst.graph().NumEdges()};
+          OptimizerResult greedy = obs::InstrumentedRun(
+              "qon.greedy", shape, [&] { return GreedyQonOptimizer(inst); });
+          OptimizerResult dp = obs::InstrumentedRun(
+              "qon.dp", shape, [&] { return DpQonOptimizer(inst); });
+          return greedy.cost.Log2() - dp.cost.Log2();
+        });
+    obs::RunLog::CloseGlobal();
+    // Timings are the one legitimately varying field; blank them before
+    // comparing record streams.
+    *log_text = std::regex_replace(log.str(),
+                                   std::regex("\"wall_seconds\":[0-9.eE+-]+"),
+                                   "\"wall_seconds\":0");
+    return costs;
+  };
+
+  std::string log1;
+  std::vector<double> costs1 = sweep_once(1, &log1);
+  ASSERT_EQ(costs1.size(), kCells);
+  EXPECT_FALSE(log1.empty());
+  for (int threads : {2, 8}) {
+    std::string log_n;
+    std::vector<double> costs_n = sweep_once(threads, &log_n);
+    EXPECT_EQ(costs1, costs_n) << "threads=" << threads;  // exact doubles
+    EXPECT_EQ(log1, log_n) << "threads=" << threads;
+  }
+}
+
+// The parallel DP is a drop-in for the serial DP inside any consumer:
+// same cost bits, same sequence, same evaluations (the differential
+// harness covers this exhaustively; this is the quick tier-agnostic
+// smoke of the same contract).
+TEST(ThreadsInvariance, DpOptimizerIndependentOfPoolSize) {
+  Rng rng(868686);
+  QonInstance inst = RandomQonInstance(11, 0.6, &rng);
+  OptimizerResult serial = DpQonOptimizerSerial(inst);
+  ASSERT_TRUE(serial.feasible);
+  for (int threads : {2, 3, 8}) {
+    ThreadPool pool(threads);
+    OptimizerResult parallel = DpQonOptimizerParallel(inst, &pool);
+    ASSERT_TRUE(parallel.feasible);
+    EXPECT_EQ(parallel.cost.Log2(), serial.cost.Log2());
+    EXPECT_EQ(parallel.sequence, serial.sequence);
+    EXPECT_EQ(parallel.evaluations, serial.evaluations);
+  }
+}
 
 }  // namespace
 }  // namespace aqo

@@ -10,6 +10,9 @@
 // exhaustive (n <= 10), greedy, random, ii (iterative improvement),
 // sa (simulated annealing), ga (genetic), kbz (trees only), cout (exact
 // under the C_out metric). Prints one line per algorithm.
+//
+// --threads=N runs the subset DP on an N-worker pool (default: hardware
+// concurrency); every thread count returns bit-identical results.
 
 #include <iostream>
 #include <sstream>
@@ -57,8 +60,12 @@ int Main(int argc, char** argv) {
   std::string algos = flags.GetString("algo", "dp,greedy,ii");
   bool no_cartesian = flags.GetInt("no-cartesian", 0) != 0;
   Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  // --threads=N sizes the pool the subset DP runs on; the result is
+  // bit-identical for every value (see docs/parallelism.md).
+  ThreadPool pool(flags.Threads());
   OptimizerOptions base;
   base.forbid_cartesian = no_cartesian;
+  base.pool = &pool;
 
   // Run through InstrumentedRun so --json-out records each algorithm.
   auto run = [&](const std::string& name, auto fn) {
