@@ -9,9 +9,17 @@
 // bounds their ratio to the unknown optimum from below... conservatively:
 // ratio to the YES-side K threshold) explode as alpha^{Theta(n)}: exactly
 // the behaviour Theorem 9 proves unavoidable.
+//
+// The heuristic columns come from the optimizer registry: --optimizers=
+// selects the subset (unknown names are a hard error), knob flags like
+// --restarts= / --sa-iterations= override the per-table defaults. With
+// --plan-cache-mb=N the bench appends a duplicate-heavy plan-cache
+// demonstration over relabeled random workloads.
 
 #include <algorithm>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "graph/generators.h"
@@ -49,12 +57,31 @@ QonInstance RandomWorkload(int n, double p, Rng* rng) {
   return inst;
 }
 
+OptimizerResult RunRegistered(const std::string& name, const QonInstance& inst,
+                              const OptimizerOptions& knobs, Rng* rng,
+                              const obs::InstanceShape& shape) {
+  return obs::InstrumentedRun("qon." + name, shape, [&] {
+    return OptimizerRegistry::Qon().Run(name, inst, knobs, rng);
+  });
+}
+
 void RandomWorkloadTable(const bench::Flags& flags,
-                         const bench::SweepRunner& sweep) {
+                         const bench::SweepRunner& sweep,
+                         const std::vector<std::string>& names) {
+  OptimizerOptions defaults;
+  defaults.restarts = 4;
+  defaults.sa.iterations = 4000;
+  defaults.sa.restarts = 2;
+  defaults.samples = 200;
+  OptimizerOptions knobs = bench::ReadQonKnobs(flags, defaults);
+
   TextTable table;
   table.SetTitle("E7a: competitive ratios on random workloads (vs DP optimum)");
-  table.SetHeader({"n", "p", "trials", "greedy p50/p95 (lg ratio)",
-                   "II p50/p95", "SA p50/p95", "random p50/p95"});
+  std::vector<std::string> header = {"n", "p", "trials"};
+  for (const std::string& name : names) {
+    header.push_back(name + " p50/p95 (lg ratio)");
+  }
+  table.SetHeader(header);
   int trials = flags.Quick() ? 5 : 25;
   const std::vector<int> ns = {10, 14};
   const std::vector<double> ps = {0.4, 0.8};
@@ -63,7 +90,7 @@ void RandomWorkloadTable(const bench::Flags& flags,
   auto cell = [&](size_t index, Rng* rng) -> std::vector<std::string> {
     int n = ns[index / ps.size()];
     double p = ps[index % ps.size()];
-    SampleSet greedy_r, ii_r, sa_r, rnd_r;
+    std::vector<SampleSet> ratios(names.size());
     for (int t = 0; t < trials; ++t) {
       QonInstance inst = RandomWorkload(n, p, rng);
       obs::InstanceShape shape = ShapeOf(inst, "gnp_random", "", "");
@@ -71,32 +98,18 @@ void RandomWorkloadTable(const bench::Flags& flags,
           "qon.dp", shape, [&] { return DpQonOptimizer(inst); });
       if (!opt.feasible) continue;
       double base = opt.cost.Log2();
-      greedy_r.Add(obs::InstrumentedRun("qon.greedy", shape, [&] {
-                     return GreedyQonOptimizer(inst);
-                   }).cost.Log2() -
-                   base);
-      ii_r.Add(obs::InstrumentedRun("qon.ii", shape, [&] {
-                 return IterativeImprovementOptimizer(inst, rng, 4);
-               }).cost.Log2() -
-               base);
-      AnnealingOptions sa;
-      sa.iterations = 4000;
-      sa.restarts = 2;
-      sa_r.Add(obs::InstrumentedRun("qon.sa", shape, [&] {
-                 return SimulatedAnnealingOptimizer(inst, rng, sa);
-               }).cost.Log2() -
-               base);
-      rnd_r.Add(obs::InstrumentedRun("qon.random", shape, [&] {
-                  return RandomSamplingOptimizer(inst, rng, 200);
-                }).cost.Log2() -
-                base);
+      for (size_t a = 0; a < names.size(); ++a) {
+        OptimizerResult r = RunRegistered(names[a], inst, knobs, rng, shape);
+        if (r.feasible) ratios[a].Add(r.cost.Log2() - base);
+      }
     }
-    auto fmt = [](const SampleSet& s) {
-      return FormatDouble(s.Percentile(50), 3) + "/" +
-             FormatDouble(s.Percentile(95), 3);
-    };
-    return {std::to_string(n), FormatDouble(p, 2), std::to_string(trials),
-            fmt(greedy_r), fmt(ii_r), fmt(sa_r), fmt(rnd_r)};
+    std::vector<std::string> row = {std::to_string(n), FormatDouble(p, 2),
+                                    std::to_string(trials)};
+    for (const SampleSet& s : ratios) {
+      row.push_back(FormatDouble(s.Percentile(50), 3) + "/" +
+                    FormatDouble(s.Percentile(95), 3));
+    }
+    return row;
   };
   for (const std::vector<std::string>& row :
        sweep.Map<std::vector<std::string>>(ns.size() * ps.size(), cell)) {
@@ -108,12 +121,20 @@ void RandomWorkloadTable(const bench::Flags& flags,
 }
 
 void GapInstanceTable(const bench::Flags& flags,
-                      const bench::SweepRunner& sweep) {
+                      const bench::SweepRunner& sweep,
+                      const std::vector<std::string>& names) {
+  OptimizerOptions defaults;
+  defaults.restarts = 2;
+  defaults.sa.iterations = flags.Quick() ? 2000 : 10000;
+  defaults.samples = 200;
+  OptimizerOptions knobs = bench::ReadQonKnobs(flags, defaults);
+
   TextTable table;
   table.SetTitle(
       "E7b: the same heuristics on f_N NO instances (ratios vs YES-side K)");
-  table.SetHeader({"n", "lg alpha", "floor/K (a units)", "greedy/K (a units)",
-                   "II/K", "SA/K", "random/K"});
+  std::vector<std::string> header = {"n", "lg alpha", "floor/K (a units)"};
+  for (const std::string& name : names) header.push_back(name + "/K");
+  table.SetHeader(header);
   std::vector<int> ns =
       flags.Quick() ? std::vector<int>{30} : std::vector<int>{30, 60, 90};
   auto cell = [&](size_t index, Rng* rng) -> std::vector<std::string> {
@@ -126,16 +147,15 @@ void GapInstanceTable(const bench::Flags& flags,
     QonGapInstance gap = ReduceCliqueToQon(g, params);
     double k = gap.KBound().Log2();
     auto units = [&](double lg) { return FormatDouble((lg - k) / log2_alpha, 4); };
-    OptimizerResult greedy = GreedyQonOptimizer(gap.instance);
-    OptimizerResult ii = IterativeImprovementOptimizer(gap.instance, rng, 2);
-    AnnealingOptions sa_opts;
-    sa_opts.iterations = flags.Quick() ? 2000 : 10000;
-    OptimizerResult sa = SimulatedAnnealingOptimizer(gap.instance, rng, sa_opts);
-    OptimizerResult rnd = RandomSamplingOptimizer(gap.instance, rng, 200);
-    return {std::to_string(n), FormatDouble(log2_alpha, 3),
-            units(gap.CertifiedLowerBound(s).Log2()),
-            units(greedy.cost.Log2()), units(ii.cost.Log2()),
-            units(sa.cost.Log2()), units(rnd.cost.Log2())};
+    obs::InstanceShape shape = ShapeOf(gap.instance, "gap", "no", "f_N");
+    std::vector<std::string> row = {std::to_string(n),
+                                    FormatDouble(log2_alpha, 3),
+                                    units(gap.CertifiedLowerBound(s).Log2())};
+    for (const std::string& name : names) {
+      OptimizerResult r = RunRegistered(name, gap.instance, knobs, rng, shape);
+      row.push_back(units(r.cost.Log2()));
+    }
+    return row;
   };
   for (const std::vector<std::string>& row :
        sweep.Map<std::vector<std::string>>(ns.size(), cell)) {
@@ -154,12 +174,42 @@ int main(int argc, char** argv) {
   aqo::bench::Flags flags(argc, argv);
   aqo::bench::RunLogSession session(flags, "optimizers", /*default_seed=*/7);
   uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  std::vector<std::string> names =
+      aqo::bench::SelectedQonOptimizersOrDie(flags, "greedy,ii,sa,random");
   aqo::ThreadPool pool(flags.Threads());
   // The two tables use disjoint stream ranges of the same base seed, so
   // adding cells to E7a can never perturb E7b's draws.
   aqo::bench::SweepRunner e7a(&pool, aqo::MixSeed(seed, 1));
   aqo::bench::SweepRunner e7b(&pool, aqo::MixSeed(seed, 2));
-  aqo::RandomWorkloadTable(flags, e7a);
-  aqo::GapInstanceTable(flags, e7b);
+  aqo::RandomWorkloadTable(flags, e7a, names);
+  aqo::GapInstanceTable(flags, e7b, names);
+
+  // Duplicate-heavy plan-cache demonstration (--plan-cache-mb=N enables).
+  // All cache flags are read unconditionally so none can warn as unread.
+  auto cache = aqo::bench::PlanCacheFromFlags(flags);
+  int dup_factor = static_cast<int>(flags.GetInt("dup-factor", 3));
+  std::string cache_opt = flags.GetString("cache-optimizer", "dp");
+  if (cache != nullptr) {
+    const aqo::QonOptimizerEntry* entry =
+        aqo::OptimizerRegistry::Qon().Find(cache_opt);
+    if (entry == nullptr) {
+      std::cerr << "error: unknown QO_N optimizer '" << cache_opt
+                << "' in --cache-optimizer=\n";
+      return 2;
+    }
+    std::vector<aqo::QonInstance> bases;
+    aqo::Rng base_rng(aqo::MixSeed(seed, 3));
+    int num_bases = flags.Quick() ? 4 : 8;
+    for (int i = 0; i < num_bases; ++i) {
+      bases.push_back(aqo::RandomWorkload(12, 0.5, &base_rng));
+    }
+    aqo::BatchOptions batch;
+    batch.optimizer = entry->name;
+    batch.qon = aqo::bench::ReadQonKnobs(flags);
+    batch.seed = seed;
+    std::cout << "\n";
+    aqo::bench::RunQonPlanCacheDemo(cache.get(), &pool, batch, bases,
+                                    dup_factor);
+  }
   return 0;
 }

@@ -3,17 +3,26 @@
 // YES side: complete source graphs (omega = n >= 2n/3), the Lemma 12
 // 5-pipeline witness. NO side: complete 3-partite sources (omega = 3
 // provably, epsilon = 2 - 9/n). We report witness cost vs L(alpha, n),
-// the best plan found by sampling + greedy vs the G(alpha, n) floor, and
-// the measured gap exponent vs the predicted n*eps/3 - 1.
+// the best plan found by the selected registry heuristics vs the
+// G(alpha, n) floor, and the measured gap exponent vs the predicted
+// n*eps/3 - 1.
+//
+// --optimizers= selects the QO_H heuristic pool (default random,greedy;
+// unknown names are a hard error). With --plan-cache-mb=N the bench
+// appends a duplicate-heavy plan-cache demonstration over relabeled NO
+// instances.
 
 #include <algorithm>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "graph/generators.h"
 #include "obs/runlog.h"
 #include "qo/optimizers.h"
 #include "qo/qoh_optimizers.h"
+#include "qo/workloads.h"
 #include "reductions/clique_to_qoh.h"
 #include "util/table.h"
 
@@ -30,26 +39,31 @@ obs::InstanceShape ShapeOf(const QohInstance& inst, const std::string& kind,
                             .edges = inst.graph().NumEdges()};
 }
 
-// Best optimal-decomposition cost over sampled feasible sequences
-// (sentinel first, random tail) plus the greedy QO_H optimizer.
-double BestFoundCost(const QohInstance& inst, int samples, Rng* rng,
+// Best optimal-decomposition cost over the selected registry optimizers.
+double BestFoundCost(const QohInstance& inst,
+                     const std::vector<std::string>& names,
+                     const QohOptimizerOptions& knobs, Rng* rng,
                      const obs::InstanceShape& shape) {
-  QohOptimizerResult sampled = obs::InstrumentedRun(
-      "qoh.sample", shape,
-      [&] { return RandomSamplingQohOptimizer(inst, rng, samples, 0); });
-  QohOptimizerResult greedy = obs::InstrumentedRun(
-      "qoh.greedy", shape, [&] { return GreedyQohOptimizer(inst); });
   double best = 1e300;
-  if (sampled.feasible) best = std::min(best, sampled.cost.Log2());
-  if (greedy.feasible) best = std::min(best, greedy.cost.Log2());
+  for (const std::string& name : names) {
+    QohOptimizerResult r = obs::InstrumentedRun("qoh." + name, shape, [&] {
+      return QohOptimizerRegistry::Get().Run(name, inst, knobs, rng);
+    });
+    if (r.feasible) best = std::min(best, r.cost.Log2());
+  }
   return best;
 }
 
-void Run(const bench::Flags& flags) {
+// NO-side instance for a given n: complete 3-partite source, omega = 3.
+QohGapInstance NoInstance(int n) {
+  QohGapParams params;  // alpha = 4, eta = 0.5
+  return ReduceTwoThirdsCliqueToQoh(CompleteMultipartite(n, 3), params);
+}
+
+void Run(const bench::Flags& flags, ThreadPool* pool,
+         const std::vector<std::string>& names,
+         const QohOptimizerOptions& knobs, const std::vector<int>& ns) {
   uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 3));
-  std::vector<int> ns = flags.Quick() ? std::vector<int>{9, 12}
-                                      : std::vector<int>{9, 12, 15, 18, 21};
-  int samples = flags.Quick() ? 40 : 200;
 
   TextTable table;
   table.SetTitle("E3 / Theorem 15: QO_H YES/NO gap under f_H (lg costs)");
@@ -58,8 +72,7 @@ void Run(const bench::Flags& flags) {
 
   // One cell per n, fanned across the pool on an Rng stream of its own;
   // see docs/parallelism.md for why output cannot depend on --threads.
-  ThreadPool pool(flags.Threads());
-  bench::SweepRunner sweep(&pool, seed);
+  bench::SweepRunner sweep(pool, seed);
   auto cell = [&](size_t index, Rng* rng) -> std::vector<std::string> {
     int n = ns[index];
     QohGapParams params;  // alpha = 4, eta = 0.5
@@ -72,16 +85,15 @@ void Run(const bench::Flags& flags) {
     QohWitnessPlan witness = QohYesWitness(yes, clique);
     PipelineCostResult wit_cost =
         DecompositionCost(yes.instance, witness.sequence, witness.decomposition);
-    double yes_best = BestFoundCost(yes.instance, samples, rng,
+    double yes_best = BestFoundCost(yes.instance, names, knobs, rng,
                                     ShapeOf(yes.instance, "complete_yes", "yes"));
     yes_best = std::min(yes_best, wit_cost.feasible ? wit_cost.cost.Log2()
                                                     : 1e300);
 
     // NO: omega = 3 exactly.
-    Graph no_graph = CompleteMultipartite(n, 3);
-    QohGapInstance no = ReduceTwoThirdsCliqueToQoh(no_graph, params);
+    QohGapInstance no = NoInstance(n);
     double epsilon = 2.0 - 9.0 / static_cast<double>(n);
-    double no_best = BestFoundCost(no.instance, samples, rng,
+    double no_best = BestFoundCost(no.instance, names, knobs, rng,
                                    ShapeOf(no.instance, "multipartite_no", "no"));
 
     double l = yes.LBound().Log2();
@@ -111,6 +123,52 @@ void Run(const bench::Flags& flags) {
 int main(int argc, char** argv) {
   aqo::bench::Flags flags(argc, argv);
   aqo::bench::RunLogSession session(flags, "qoh_gap", /*default_seed=*/3);
-  aqo::Run(flags);
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 3));
+  std::vector<std::string> names =
+      aqo::bench::SelectedQohOptimizersOrDie(flags, "random,greedy");
+  aqo::QohOptimizerOptions defaults;
+  defaults.samples = flags.Quick() ? 40 : 200;
+  defaults.sentinel_first = 0;  // pin the sentinel, as the reduction intends
+  aqo::QohOptimizerOptions knobs = aqo::bench::ReadQohKnobs(flags, defaults);
+  std::vector<int> ns = flags.Quick() ? std::vector<int>{9, 12}
+                                      : std::vector<int>{9, 12, 15, 18, 21};
+  aqo::ThreadPool pool(flags.Threads());
+  aqo::Run(flags, &pool, names, knobs, ns);
+
+  // Duplicate-heavy plan-cache demonstration (--plan-cache-mb=N enables).
+  // The bases are random workloads rather than the (vertex-transitive,
+  // hence 1-WL-symmetric) gap instances — see the matching comment in
+  // bench/qon_gap.cc. All cache flags are read unconditionally so none
+  // can warn as unread.
+  auto cache = aqo::bench::PlanCacheFromFlags(flags);
+  int dup_factor = static_cast<int>(flags.GetInt("dup-factor", 3));
+  std::string cache_opt = flags.GetString("cache-optimizer", "greedy");
+  if (cache != nullptr) {
+    const aqo::QohOptimizerEntry* entry =
+        aqo::QohOptimizerRegistry::Get().Find(cache_opt);
+    if (entry == nullptr) {
+      std::cerr << "error: unknown QO_H optimizer '" << cache_opt
+                << "' in --cache-optimizer=\n";
+      return 2;
+    }
+    std::vector<aqo::QohInstance> bases;
+    aqo::Rng base_rng(aqo::MixSeed(seed, 0xcafe));
+    int num_bases = flags.Quick() ? 4 : 8;
+    for (int i = 0; i < num_bases; ++i) {
+      int n = static_cast<int>(base_rng.UniformInt(8, 14));
+      bases.push_back(aqo::RandomQohWorkload(n, &base_rng, 0.5));
+    }
+    aqo::BatchOptions batch;
+    batch.optimizer = entry->name;
+    batch.qoh = knobs;
+    // sentinel_first names a relation in caller labels, which differ
+    // across relabeled duplicates — pinning it would give every duplicate
+    // a distinct cache key and defeat the demonstration.
+    batch.qoh.sentinel_first = -1;
+    batch.seed = seed;
+    std::cout << "\n";
+    aqo::bench::RunQohPlanCacheDemo(cache.get(), &pool, batch, bases,
+                                    dup_factor);
+  }
   return 0;
 }

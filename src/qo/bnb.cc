@@ -145,6 +145,11 @@ class BnbSearch {
 }  // namespace
 
 BnbResult BranchAndBoundQonOptimizer(const QonInstance& inst,
+                                     const OptimizerOptions& options) {
+  return BranchAndBoundQonOptimizer(inst, options.bnb_node_limit, options);
+}
+
+BnbResult BranchAndBoundQonOptimizer(const QonInstance& inst,
                                      uint64_t node_limit,
                                      const OptimizerOptions& options) {
   BnbSearch search(inst, node_limit, options);

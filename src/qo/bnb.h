@@ -31,6 +31,11 @@ BnbResult BranchAndBoundQonOptimizer(const QonInstance& inst,
                                      uint64_t node_limit = 0,
                                      const OptimizerOptions& options = {});
 
+// Registry-uniform entry point: the node budget is read from
+// options.bnb_node_limit (no positional knob).
+BnbResult BranchAndBoundQonOptimizer(const QonInstance& inst,
+                                     const OptimizerOptions& options);
+
 }  // namespace aqo
 
 #endif  // AQO_QO_BNB_H_

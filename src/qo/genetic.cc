@@ -43,6 +43,19 @@ JoinSequence OrderCrossover(const JoinSequence& a, const JoinSequence& b,
 }  // namespace
 
 OptimizerResult GeneticOptimizer(const QonInstance& inst, Rng* rng,
+                                 const OptimizerOptions& options) {
+  GeneticOptions legacy;
+  legacy.population = options.ga.population;
+  legacy.generations = options.ga.generations;
+  legacy.crossover_rate = options.ga.crossover_rate;
+  legacy.mutation_rate = options.ga.mutation_rate;
+  legacy.tournament = options.ga.tournament;
+  legacy.elites = options.ga.elites;
+  legacy.base = options;
+  return GeneticOptimizer(inst, rng, legacy);
+}
+
+OptimizerResult GeneticOptimizer(const QonInstance& inst, Rng* rng,
                                  const GeneticOptions& options) {
   int n = inst.NumRelations();
   AQO_CHECK(n >= 2);

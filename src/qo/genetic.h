@@ -12,6 +12,9 @@
 
 namespace aqo {
 
+// DEPRECATED (one PR of grace): the GA knobs now live on
+// OptimizerOptions.ga (see optimizers.h); this struct only feeds the
+// legacy overload below.
 struct GeneticOptions {
   int population = 64;
   int generations = 120;
@@ -24,6 +27,12 @@ struct GeneticOptions {
 
 OptimizerResult GeneticOptimizer(const QonInstance& inst, Rng* rng,
                                  const GeneticOptions& options = {});
+
+// Registry-uniform entry point: knobs read from options.ga. (No default
+// argument — the two-argument call keeps resolving to the legacy overload
+// until that one is removed.)
+OptimizerResult GeneticOptimizer(const QonInstance& inst, Rng* rng,
+                                 const OptimizerOptions& options);
 
 }  // namespace aqo
 

@@ -441,11 +441,18 @@ OptimizerResult GreedyQonOptimizer(const QonInstance& inst,
 OptimizerResult RandomSamplingOptimizer(const QonInstance& inst, Rng* rng,
                                         int samples,
                                         const OptimizerOptions& options) {
-  AQO_CHECK(samples >= 1);
+  OptimizerOptions merged = options;
+  merged.samples = samples;
+  return RandomSamplingOptimizer(inst, rng, merged);
+}
+
+OptimizerResult RandomSamplingOptimizer(const QonInstance& inst, Rng* rng,
+                                        const OptimizerOptions& options) {
+  AQO_CHECK(options.samples >= 1);
   static obs::Counter& drawn = CounterRef("qon.random.samples");
   static obs::Counter& rejected = CounterRef("qon.random.rejected");
   OptimizerResult result;
-  for (int s = 0; s < samples; ++s) {
+  for (int s = 0; s < options.samples; ++s) {
     drawn.Increment();
     JoinSequence seq = RandomSequence(inst, rng, options.forbid_cartesian);
     if (!SequenceAllowed(inst, seq, options)) {
@@ -465,6 +472,16 @@ OptimizerResult RandomSamplingOptimizer(const QonInstance& inst, Rng* rng,
 
 OptimizerResult SimulatedAnnealingOptimizer(const QonInstance& inst, Rng* rng,
                                             const AnnealingOptions& options) {
+  OptimizerOptions merged = options.base;
+  merged.sa.iterations = options.iterations;
+  merged.sa.initial_temperature = options.initial_temperature;
+  merged.sa.cooling = options.cooling;
+  merged.sa.restarts = options.restarts;
+  return SimulatedAnnealingOptimizer(inst, rng, merged);
+}
+
+OptimizerResult SimulatedAnnealingOptimizer(const QonInstance& inst, Rng* rng,
+                                            const OptimizerOptions& options) {
   int n = inst.NumRelations();
   AQO_CHECK(n >= 2);
   static obs::Counter& restarts = CounterRef("qon.sa.restarts");
@@ -472,10 +489,10 @@ OptimizerResult SimulatedAnnealingOptimizer(const QonInstance& inst, Rng* rng,
   static obs::Counter& rejects = CounterRef("qon.sa.rejects");
   static obs::Counter& uphill = CounterRef("qon.sa.uphill_accepts");
   OptimizerResult result;
-  for (int restart = 0; restart < options.restarts; ++restart) {
+  for (int restart = 0; restart < options.sa.restarts; ++restart) {
     restarts.Increment();
-    JoinSequence current = RandomSequence(inst, rng, options.base.forbid_cartesian);
-    if (!SequenceAllowed(inst, current, options.base)) continue;
+    JoinSequence current = RandomSequence(inst, rng, options.forbid_cartesian);
+    if (!SequenceAllowed(inst, current, options)) continue;
     LogDouble current_cost = QonSequenceCost(inst, current);
     ++result.evaluations;
     if (!result.feasible || current_cost < result.cost) {
@@ -483,8 +500,8 @@ OptimizerResult SimulatedAnnealingOptimizer(const QonInstance& inst, Rng* rng,
       result.cost = current_cost;
       result.sequence = current;
     }
-    double temperature = options.initial_temperature;
-    for (int it = 0; it < options.iterations; ++it) {
+    double temperature = options.sa.initial_temperature;
+    for (int it = 0; it < options.sa.iterations; ++it) {
       JoinSequence candidate = current;
       if (rng->Bernoulli(0.5)) {
         // Swap two positions.
@@ -499,8 +516,8 @@ OptimizerResult SimulatedAnnealingOptimizer(const QonInstance& inst, Rng* rng,
         candidate.erase(candidate.begin() + static_cast<int64_t>(from));
         candidate.insert(candidate.begin() + static_cast<int64_t>(to), v);
       }
-      temperature *= options.cooling;
-      if (!SequenceAllowed(inst, candidate, options.base)) continue;
+      temperature *= options.sa.cooling;
+      if (!SequenceAllowed(inst, candidate, options)) continue;
       LogDouble candidate_cost = QonSequenceCost(inst, candidate);
       ++result.evaluations;
       // Energy is log2 cost; accept uphill moves with the Boltzmann rule.
@@ -526,13 +543,21 @@ OptimizerResult SimulatedAnnealingOptimizer(const QonInstance& inst, Rng* rng,
 OptimizerResult IterativeImprovementOptimizer(const QonInstance& inst,
                                               Rng* rng, int restarts,
                                               const OptimizerOptions& options) {
+  OptimizerOptions merged = options;
+  merged.restarts = restarts;
+  return IterativeImprovementOptimizer(inst, rng, merged);
+}
+
+OptimizerResult IterativeImprovementOptimizer(const QonInstance& inst,
+                                              Rng* rng,
+                                              const OptimizerOptions& options) {
   int n = inst.NumRelations();
   AQO_CHECK(n >= 2);
   static obs::Counter& restart_count = CounterRef("qon.ii.restarts");
   static obs::Counter& improvements = CounterRef("qon.ii.improvements");
   static obs::Counter& local_optima = CounterRef("qon.ii.local_optima");
   OptimizerResult result;
-  for (int restart = 0; restart < restarts; ++restart) {
+  for (int restart = 0; restart < options.restarts; ++restart) {
     restart_count.Increment();
     JoinSequence current = RandomSequence(inst, rng, options.forbid_cartesian);
     if (!SequenceAllowed(inst, current, options)) continue;

@@ -24,6 +24,29 @@ struct OptimizerResult {
   uint64_t evaluations = 0;  // sequences (or DP states) costed
 };
 
+// Simulated-annealing knobs, nested in OptimizerOptions so the registry
+// signature (instance, OptimizerOptions, Rng*) stays closed as knobs grow.
+struct SaKnobs {
+  int iterations = 20000;
+  double initial_temperature = 5.0;  // in log2-cost units
+  double cooling = 0.999;
+  int restarts = 3;
+};
+
+// Genetic-optimizer knobs (see qo/genetic.h for the algorithm).
+struct GaKnobs {
+  int population = 64;
+  int generations = 120;
+  double crossover_rate = 0.9;
+  double mutation_rate = 0.3;
+  int tournament = 3;
+  int elites = 2;
+};
+
+// The full QO_N optimizer knob surface. Every optimizer reads the knobs it
+// understands and ignores the rest, so one options value drives any
+// registry entry (see qo/registry.h) without per-algorithm positional
+// parameters leaking into call sites.
 struct OptimizerOptions {
   // Disallow cartesian products (every non-first relation must connect to
   // the prefix). The paper notes (end of Section 4) the gap persists under
@@ -35,6 +58,18 @@ struct OptimizerOptions {
   // sequence, evaluation count — is identical to the serial DP; see
   // docs/parallelism.md and tests/parallel_differential_test.cc.
   ThreadPool* pool = nullptr;
+
+  // RandomSamplingOptimizer: number of random sequences drawn.
+  int samples = 1000;
+
+  // IterativeImprovementOptimizer: number of random restarts.
+  int restarts = 8;
+
+  SaKnobs sa;
+  GaKnobs ga;
+
+  // BranchAndBoundQonOptimizer: node budget; 0 = unlimited (exact).
+  uint64_t bnb_node_limit = 0;
 };
 
 // Tries all n! permutations. Guarded to n <= 10.
@@ -76,11 +111,18 @@ OptimizerResult DpQonOptimizerParallel(const QonInstance& inst,
 OptimizerResult GreedyQonOptimizer(const QonInstance& inst,
                                    const OptimizerOptions& options = {});
 
-// Best of `samples` uniformly random (feasible) sequences.
+// Best of `options.samples` uniformly random (feasible) sequences.
+OptimizerResult RandomSamplingOptimizer(const QonInstance& inst, Rng* rng,
+                                        const OptimizerOptions& options = {});
+
+// DEPRECATED positional-knob wrapper (one PR of grace): use
+// OptimizerOptions.samples instead.
 OptimizerResult RandomSamplingOptimizer(const QonInstance& inst, Rng* rng,
                                         int samples,
                                         const OptimizerOptions& options = {});
 
+// DEPRECATED (one PR of grace): the SA knobs now live on
+// OptimizerOptions.sa; this struct only feeds the legacy overload below.
 struct AnnealingOptions {
   int iterations = 20000;
   double initial_temperature = 5.0;  // in log2-cost units
@@ -90,14 +132,24 @@ struct AnnealingOptions {
 };
 
 // Simulated annealing over permutations (swap + relocate moves), with the
-// standard accept rule applied to log2-cost differences.
+// standard accept rule applied to log2-cost differences. Knobs:
+// options.sa.
 OptimizerResult SimulatedAnnealingOptimizer(const QonInstance& inst, Rng* rng,
-                                            const AnnealingOptions& options = {});
+                                            const OptimizerOptions& options = {});
+
+// DEPRECATED wrapper for the struct above.
+OptimizerResult SimulatedAnnealingOptimizer(const QonInstance& inst, Rng* rng,
+                                            const AnnealingOptions& options);
 
 // Iterative improvement (first-improvement local search over swap moves)
-// from random starts until a local optimum; keeps the best of `restarts`.
+// from random starts until a local optimum; keeps the best of
+// `options.restarts` starts.
 OptimizerResult IterativeImprovementOptimizer(
-    const QonInstance& inst, Rng* rng, int restarts = 8,
+    const QonInstance& inst, Rng* rng, const OptimizerOptions& options = {});
+
+// DEPRECATED positional-knob wrapper: use OptimizerOptions.restarts.
+OptimizerResult IterativeImprovementOptimizer(
+    const QonInstance& inst, Rng* rng, int restarts,
     const OptimizerOptions& options = {});
 
 // --- QO_H ---

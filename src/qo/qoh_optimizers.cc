@@ -54,13 +54,21 @@ size_t FirstMovable(int sentinel_first) { return sentinel_first >= 0 ? 1 : 0; }
 QohOptimizerResult RandomSamplingQohOptimizer(const QohInstance& inst,
                                               Rng* rng, int samples,
                                               int sentinel_first) {
-  AQO_CHECK(samples >= 1);
+  QohOptimizerOptions merged;
+  merged.samples = samples;
+  merged.sentinel_first = sentinel_first;
+  return RandomSamplingQohOptimizer(inst, rng, merged);
+}
+
+QohOptimizerResult RandomSamplingQohOptimizer(
+    const QohInstance& inst, Rng* rng, const QohOptimizerOptions& options) {
+  AQO_CHECK(options.samples >= 1);
   static obs::Counter& drawn = CounterRef("qoh.sample.samples");
   int n = inst.NumRelations();
   QohOptimizerResult best;
-  for (int s = 0; s < samples; ++s) {
+  for (int s = 0; s < options.samples; ++s) {
     drawn.Increment();
-    Consider(inst, RandomQohSequence(n, rng, sentinel_first), &best);
+    Consider(inst, RandomQohSequence(n, rng, options.sentinel_first), &best);
   }
   return best;
 }
@@ -68,14 +76,22 @@ QohOptimizerResult RandomSamplingQohOptimizer(const QohInstance& inst,
 QohOptimizerResult IterativeImprovementQohOptimizer(const QohInstance& inst,
                                                     Rng* rng, int restarts,
                                                     int sentinel_first) {
-  AQO_CHECK(restarts >= 1);
+  QohOptimizerOptions merged;
+  merged.restarts = restarts;
+  merged.sentinel_first = sentinel_first;
+  return IterativeImprovementQohOptimizer(inst, rng, merged);
+}
+
+QohOptimizerResult IterativeImprovementQohOptimizer(
+    const QohInstance& inst, Rng* rng, const QohOptimizerOptions& options) {
+  AQO_CHECK(options.restarts >= 1);
   static obs::Counter& restart_count = CounterRef("qoh.ii.restarts");
   static obs::Counter& improvements = CounterRef("qoh.ii.improvements");
   int n = inst.NumRelations();
   QohOptimizerResult best;
-  for (int r = 0; r < restarts; ++r) {
+  for (int r = 0; r < options.restarts; ++r) {
     restart_count.Increment();
-    JoinSequence current = RandomQohSequence(n, rng, sentinel_first);
+    JoinSequence current = RandomQohSequence(n, rng, options.sentinel_first);
     QohPlan plan = OptimalDecomposition(inst, current);
     ++best.evaluations;
     if (!plan.feasible) continue;
@@ -87,7 +103,7 @@ QohOptimizerResult IterativeImprovementQohOptimizer(const QohInstance& inst,
       best.decomposition = plan.decomposition;
     }
     bool improved = true;
-    size_t lo = FirstMovable(sentinel_first);
+    size_t lo = FirstMovable(options.sentinel_first);
     while (improved) {
       improved = false;
       for (size_t a = lo; a + 1 < current.size() && !improved; ++a) {
@@ -114,13 +130,24 @@ QohOptimizerResult IterativeImprovementQohOptimizer(const QohInstance& inst,
 
 QohOptimizerResult SimulatedAnnealingQohOptimizer(
     const QohInstance& inst, Rng* rng, const QohAnnealingOptions& options) {
+  QohOptimizerOptions merged;
+  merged.sentinel_first = options.sentinel_first;
+  merged.sa.iterations = options.iterations;
+  merged.sa.initial_temperature = options.initial_temperature;
+  merged.sa.cooling = options.cooling;
+  merged.sa.restarts = options.restarts;
+  return SimulatedAnnealingQohOptimizer(inst, rng, merged);
+}
+
+QohOptimizerResult SimulatedAnnealingQohOptimizer(
+    const QohInstance& inst, Rng* rng, const QohOptimizerOptions& options) {
   static obs::Counter& restarts = CounterRef("qoh.sa.restarts");
   static obs::Counter& accepts = CounterRef("qoh.sa.accepts");
   static obs::Counter& rejects = CounterRef("qoh.sa.rejects");
   int n = inst.NumRelations();
   QohOptimizerResult best;
   size_t lo = FirstMovable(options.sentinel_first);
-  for (int r = 0; r < options.restarts; ++r) {
+  for (int r = 0; r < options.sa.restarts; ++r) {
     restarts.Increment();
     JoinSequence current = RandomQohSequence(n, rng, options.sentinel_first);
     QohPlan plan = OptimalDecomposition(inst, current);
@@ -133,9 +160,9 @@ QohOptimizerResult SimulatedAnnealingQohOptimizer(
       best.sequence = current;
       best.decomposition = plan.decomposition;
     }
-    double temperature = options.initial_temperature;
-    for (int it = 0; it < options.iterations; ++it) {
-      temperature *= options.cooling;
+    double temperature = options.sa.initial_temperature;
+    for (int it = 0; it < options.sa.iterations; ++it) {
+      temperature *= options.sa.cooling;
       JoinSequence candidate = current;
       if (static_cast<size_t>(n) - lo < 2) break;
       size_t a = static_cast<size_t>(

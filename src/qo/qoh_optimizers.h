@@ -14,20 +14,55 @@
 
 namespace aqo {
 
-// Best of `samples` random sequences. Sequences start from a random
-// relation; when `sentinel_first` >= 0 every sample starts with that
-// relation (the f_H instances admit nothing else).
+// QO_H simulated-annealing knobs, nested in QohOptimizerOptions.
+struct QohSaKnobs {
+  int iterations = 3000;
+  double initial_temperature = 5.0;  // log2-cost units
+  int restarts = 2;
+  double cooling = 0.998;
+};
+
+// The full QO_H optimizer knob surface — the QO_H analogue of
+// OptimizerOptions. Every QO_H heuristic reads the knobs it understands
+// and ignores the rest, keeping the registry signature (see
+// qo/registry.h) closed as knobs grow.
+struct QohOptimizerOptions {
+  // RandomSamplingQohOptimizer: number of random sequences drawn.
+  int samples = 200;
+
+  // IterativeImprovementQohOptimizer: number of random restarts.
+  int restarts = 4;
+
+  // When >= 0, every candidate sequence starts with this relation (the
+  // f_H reduction instances admit nothing else as a first relation).
+  int sentinel_first = -1;
+
+  QohSaKnobs sa;
+};
+
+// Best of `options.samples` random sequences. Sequences start from a
+// random relation unless options.sentinel_first pins the first position.
+QohOptimizerResult RandomSamplingQohOptimizer(
+    const QohInstance& inst, Rng* rng, const QohOptimizerOptions& options = {});
+
+// DEPRECATED positional-knob wrapper (one PR of grace): use
+// QohOptimizerOptions.samples / .sentinel_first instead.
 QohOptimizerResult RandomSamplingQohOptimizer(const QohInstance& inst,
                                               Rng* rng, int samples,
                                               int sentinel_first = -1);
 
-// First-improvement local search over adjacent transpositions and random
-// relocations, from `restarts` random starts.
+// First-improvement local search over adjacent transpositions, from
+// `options.restarts` random starts.
+QohOptimizerResult IterativeImprovementQohOptimizer(
+    const QohInstance& inst, Rng* rng, const QohOptimizerOptions& options = {});
+
+// DEPRECATED positional-knob wrapper: use QohOptimizerOptions.restarts.
 QohOptimizerResult IterativeImprovementQohOptimizer(const QohInstance& inst,
-                                                    Rng* rng,
-                                                    int restarts = 4,
+                                                    Rng* rng, int restarts,
                                                     int sentinel_first = -1);
 
+// DEPRECATED (one PR of grace): knobs now live on QohOptimizerOptions.sa;
+// this struct only feeds the legacy overload below.
 struct QohAnnealingOptions {
   int iterations = 3000;
   double initial_temperature = 5.0;  // log2-cost units
@@ -36,8 +71,14 @@ struct QohAnnealingOptions {
   int sentinel_first = -1;
 };
 
+// Simulated annealing over sequences (swap moves above the sentinel),
+// each candidate costed with its optimal decomposition. Knobs: options.sa.
 QohOptimizerResult SimulatedAnnealingQohOptimizer(
-    const QohInstance& inst, Rng* rng, const QohAnnealingOptions& options = {});
+    const QohInstance& inst, Rng* rng, const QohOptimizerOptions& options = {});
+
+// DEPRECATED wrapper for the struct above.
+QohOptimizerResult SimulatedAnnealingQohOptimizer(
+    const QohInstance& inst, Rng* rng, const QohAnnealingOptions& options);
 
 }  // namespace aqo
 

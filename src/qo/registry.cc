@@ -1,0 +1,223 @@
+#include "qo/registry.h"
+
+#include <utility>
+
+#include "qo/analysis.h"
+#include "qo/bnb.h"
+#include "qo/genetic.h"
+#include "qo/ikkbz.h"
+#include "util/check.h"
+
+namespace aqo {
+
+namespace {
+
+// --- QO_N wrappers: adapt each optimizer to the uniform signature ---
+
+OptimizerResult RunExhaustive(const QonInstance& inst,
+                              const OptimizerOptions& options, Rng*) {
+  return ExhaustiveQonOptimizer(inst, options);
+}
+
+OptimizerResult RunDp(const QonInstance& inst, const OptimizerOptions& options,
+                      Rng*) {
+  return DpQonOptimizer(inst, options);
+}
+
+OptimizerResult RunGreedy(const QonInstance& inst,
+                          const OptimizerOptions& options, Rng*) {
+  return GreedyQonOptimizer(inst, options);
+}
+
+OptimizerResult RunRandom(const QonInstance& inst,
+                          const OptimizerOptions& options, Rng* rng) {
+  return RandomSamplingOptimizer(inst, rng, options);
+}
+
+OptimizerResult RunIi(const QonInstance& inst, const OptimizerOptions& options,
+                      Rng* rng) {
+  return IterativeImprovementOptimizer(inst, rng, options);
+}
+
+OptimizerResult RunSa(const QonInstance& inst, const OptimizerOptions& options,
+                      Rng* rng) {
+  return SimulatedAnnealingOptimizer(inst, rng, options);
+}
+
+OptimizerResult RunGenetic(const QonInstance& inst,
+                           const OptimizerOptions& options, Rng* rng) {
+  return GeneticOptimizer(inst, rng, options);
+}
+
+OptimizerResult RunBnb(const QonInstance& inst,
+                       const OptimizerOptions& options, Rng*) {
+  return BranchAndBoundQonOptimizer(inst, options).result;
+}
+
+OptimizerResult RunCout(const QonInstance& inst, const OptimizerOptions&,
+                        Rng*) {
+  return CoutOptimalJoinOrder(inst);
+}
+
+OptimizerResult RunKbz(const QonInstance& inst, const OptimizerOptions&,
+                       Rng*) {
+  // IK/KBZ only applies to tree query graphs; a non-tree instance is
+  // infeasible for it, not an error (so it can ride in --optimizers=
+  // lists over mixed workloads).
+  if (!IsTreeQueryGraph(inst.graph())) return OptimizerResult{};
+  return IkkbzOptimizer(inst);
+}
+
+// --- QO_H wrappers ---
+
+QohOptimizerResult RunQohExhaustive(const QohInstance& inst,
+                                    const QohOptimizerOptions&, Rng*) {
+  return ExhaustiveQohOptimizer(inst);
+}
+
+QohOptimizerResult RunQohGreedy(const QohInstance& inst,
+                                const QohOptimizerOptions&, Rng*) {
+  return GreedyQohOptimizer(inst);
+}
+
+QohOptimizerResult RunQohRandom(const QohInstance& inst,
+                                const QohOptimizerOptions& options, Rng* rng) {
+  return RandomSamplingQohOptimizer(inst, rng, options);
+}
+
+QohOptimizerResult RunQohIi(const QohInstance& inst,
+                            const QohOptimizerOptions& options, Rng* rng) {
+  return IterativeImprovementQohOptimizer(inst, rng, options);
+}
+
+QohOptimizerResult RunQohSa(const QohInstance& inst,
+                            const QohOptimizerOptions& options, Rng* rng) {
+  return SimulatedAnnealingQohOptimizer(inst, rng, options);
+}
+
+template <typename Entry>
+const Entry* FindIn(const std::vector<Entry>& entries,
+                    const std::vector<std::pair<std::string, std::string>>&
+                        aliases,
+                    std::string_view name) {
+  for (const auto& [alias, canonical] : aliases) {
+    if (alias == name) {
+      name = canonical;
+      break;
+    }
+  }
+  for (const Entry& e : entries) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+template <typename Entry>
+std::vector<std::string> NamesOf(const std::vector<Entry>& entries) {
+  std::vector<std::string> names;
+  names.reserve(entries.size());
+  for (const Entry& e : entries) names.push_back(e.name);
+  return names;
+}
+
+}  // namespace
+
+const OptimizerRegistry& OptimizerRegistry::Qon() {
+  static const OptimizerRegistry* registry = [] {
+    auto* r = new OptimizerRegistry();
+    r->entries_ = {
+        {"exhaustive", "all n! permutations (n <= 10)", true, RunExhaustive},
+        {"dp", "exact left-deep subset DP (n <= 24)", true, RunDp},
+        {"greedy", "cheapest-next-join from every start", true, RunGreedy},
+        {"random", "best of options.samples random sequences", false,
+         RunRandom},
+        {"ii", "first-improvement local search, options.restarts starts",
+         false, RunIi},
+        {"sa", "simulated annealing (knobs: options.sa)", false, RunSa},
+        {"genetic", "genetic algorithm (knobs: options.ga)", false,
+         RunGenetic},
+        {"bnb", "branch & bound (options.bnb_node_limit, 0 = exact)", true,
+         RunBnb},
+        {"cout", "exact optimum under the C_out cost metric", true, RunCout},
+        {"kbz", "IK/KBZ, exact on tree query graphs (else infeasible)", true,
+         RunKbz},
+    };
+    r->aliases_ = {{"ga", "genetic"}};
+    return r;
+  }();
+  return *registry;
+}
+
+const QonOptimizerEntry* OptimizerRegistry::Find(std::string_view name) const {
+  return FindIn(entries_, aliases_, name);
+}
+
+std::vector<std::string> OptimizerRegistry::Names() const {
+  return NamesOf(entries_);
+}
+
+OptimizerResult OptimizerRegistry::Run(std::string_view name,
+                                       const QonInstance& inst,
+                                       const OptimizerOptions& options,
+                                       Rng* rng) const {
+  const QonOptimizerEntry* entry = Find(name);
+  AQO_CHECK(entry != nullptr) << "unknown QO_N optimizer: " << name;
+  return entry->run(inst, options, rng);
+}
+
+const QohOptimizerRegistry& QohOptimizerRegistry::Get() {
+  static const QohOptimizerRegistry* registry = [] {
+    auto* r = new QohOptimizerRegistry();
+    r->entries_ = {
+        {"exhaustive", "all n! permutations, optimal decomposition (n <= 9)",
+         true, RunQohExhaustive},
+        {"greedy", "min-next-intermediate construction", true, RunQohGreedy},
+        {"random", "best of options.samples random sequences", false,
+         RunQohRandom},
+        {"ii", "adjacent-transposition local search", false, RunQohIi},
+        {"sa", "simulated annealing (knobs: options.sa)", false, RunQohSa},
+    };
+    r->aliases_ = {{"sample", "random"}};
+    return r;
+  }();
+  return *registry;
+}
+
+const QohOptimizerEntry* QohOptimizerRegistry::Find(
+    std::string_view name) const {
+  return FindIn(entries_, aliases_, name);
+}
+
+std::vector<std::string> QohOptimizerRegistry::Names() const {
+  return NamesOf(entries_);
+}
+
+QohOptimizerResult QohOptimizerRegistry::Run(std::string_view name,
+                                             const QohInstance& inst,
+                                             const QohOptimizerOptions& options,
+                                             Rng* rng) const {
+  const QohOptimizerEntry* entry = Find(name);
+  AQO_CHECK(entry != nullptr) << "unknown QO_H optimizer: " << name;
+  return entry->run(inst, options, rng);
+}
+
+std::vector<std::string> ParseOptimizerList(std::string_view csv) {
+  std::vector<std::string> names;
+  size_t pos = 0;
+  while (pos <= csv.size()) {
+    size_t comma = csv.find(',', pos);
+    if (comma == std::string_view::npos) comma = csv.size();
+    std::string_view piece = csv.substr(pos, comma - pos);
+    while (!piece.empty() && (piece.front() == ' ' || piece.front() == '\t')) {
+      piece.remove_prefix(1);
+    }
+    while (!piece.empty() && (piece.back() == ' ' || piece.back() == '\t')) {
+      piece.remove_suffix(1);
+    }
+    if (!piece.empty()) names.emplace_back(piece);
+    pos = comma + 1;
+  }
+  return names;
+}
+
+}  // namespace aqo

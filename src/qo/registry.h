@@ -1,0 +1,92 @@
+#ifndef AQO_QO_REGISTRY_H_
+#define AQO_QO_REGISTRY_H_
+
+// Name -> optimizer registries with one uniform call signature per
+// problem family:
+//
+//   QO_N:  (const QonInstance&, const OptimizerOptions&, Rng*)
+//              -> OptimizerResult
+//   QO_H:  (const QohInstance&, const QohOptimizerOptions&, Rng*)
+//              -> QohOptimizerResult
+//
+// Benches and tools select optimizers by name (--optimizers=a,b,c)
+// instead of hand-rolling call lists; the batch service (qo/service.h)
+// resolves its optimizer the same way, so every optimizer is cacheable
+// and batchable for free. Deterministic optimizers ignore the Rng (it
+// may be null for them); stochastic ones consume it, and equal (instance,
+// options, rng-state) triples produce bit-identical results — the
+// registry wrappers add no randomness and no reordering of their own.
+//
+// Unknown names are a contract violation: Find returns nullptr so
+// front-ends can exit nonzero with the valid-name list (never a silent
+// skip), while Run CHECK-fails for programmatic callers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "qo/optimizers.h"
+#include "qo/qoh_optimizers.h"
+#include "util/random.h"
+
+namespace aqo {
+
+struct QonOptimizerEntry {
+  std::string name;         // canonical registry name
+  std::string description;  // one line, shown in --help style listings
+  bool deterministic;       // true: ignores the Rng entirely
+  OptimizerResult (*run)(const QonInstance&, const OptimizerOptions&, Rng*);
+};
+
+struct QohOptimizerEntry {
+  std::string name;
+  std::string description;
+  bool deterministic;
+  QohOptimizerResult (*run)(const QohInstance&, const QohOptimizerOptions&,
+                            Rng*);
+};
+
+class OptimizerRegistry {
+ public:
+  // The built-in QO_N registry: exhaustive, dp, greedy, random, ii, sa,
+  // genetic (alias: ga), bnb, cout, kbz.
+  static const OptimizerRegistry& Qon();
+
+  // Resolves a name or alias; nullptr when unknown.
+  const QonOptimizerEntry* Find(std::string_view name) const;
+
+  // Canonical names in registration order (aliases excluded).
+  std::vector<std::string> Names() const;
+
+  // Runs a registered optimizer; CHECK-fails on unknown names.
+  OptimizerResult Run(std::string_view name, const QonInstance& inst,
+                      const OptimizerOptions& options, Rng* rng) const;
+
+ private:
+  std::vector<QonOptimizerEntry> entries_;
+  std::vector<std::pair<std::string, std::string>> aliases_;
+};
+
+class QohOptimizerRegistry {
+ public:
+  // The built-in QO_H registry: exhaustive, greedy, random (alias:
+  // sample), ii, sa.
+  static const QohOptimizerRegistry& Get();
+
+  const QohOptimizerEntry* Find(std::string_view name) const;
+  std::vector<std::string> Names() const;
+  QohOptimizerResult Run(std::string_view name, const QohInstance& inst,
+                         const QohOptimizerOptions& options, Rng* rng) const;
+
+ private:
+  std::vector<QohOptimizerEntry> entries_;
+  std::vector<std::pair<std::string, std::string>> aliases_;
+};
+
+// Splits a comma-separated --optimizers= value into trimmed, non-empty
+// names ("greedy, ii" -> {"greedy", "ii"}).
+std::vector<std::string> ParseOptimizerList(std::string_view csv);
+
+}  // namespace aqo
+
+#endif  // AQO_QO_REGISTRY_H_

@@ -1,0 +1,89 @@
+#ifndef AQO_QO_SERVICE_H_
+#define AQO_QO_SERVICE_H_
+
+// Batch optimization service: optimize many instances at once, fanning
+// across a ThreadPool and consulting a PlanCache first.
+//
+// Determinism contract (the batch analogue of SweepRunner's):
+//
+//   * Every instance is optimized on its *canonical* form
+//     (qo/fingerprint.h) with an Rng seeded Rng(MixSeed(options.seed,
+//     fingerprint.lo)). Relabeled duplicates therefore share both the
+//     exact problem bytes and the exact RNG stream, so they produce
+//     bit-identical canonical results by construction — the cache merely
+//     memoizes what recomputation would reproduce anyway. That is why
+//     results are bit-identical (costs, sequences, evaluation counts)
+//     whether the cache is on, off, cold, warm, or shared across
+//     threads, and for every thread count (tests/service_differential_test.cc).
+//   * Each computed instance runs under its own obs::RunLogBuffer; the
+//     buffers are replayed in instance order afterwards, so the run-log
+//     record stream is also independent of scheduling.
+//   * Cache probes and inserts happen serially in instance order, so the
+//     qo.plan_cache.* counter totals of a batch are deterministic too.
+//
+// Sequences returned to the caller are mapped back from canonical labels
+// through the instance's own relabeling permutation; both cost models
+// evaluate sequences in strict position order, so the mapped-back
+// sequence costs bitwise the same as the canonical one.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qo/fingerprint.h"
+#include "qo/plan_cache.h"
+#include "qo/registry.h"
+
+namespace aqo {
+
+class ThreadPool;
+
+struct BatchOptions {
+  // Registry name of the optimizer to run (qo/registry.h).
+  std::string optimizer = "dp";
+
+  // Knobs for the selected optimizer (family-appropriate struct).
+  OptimizerOptions qon;
+  QohOptimizerOptions qoh;
+
+  // Base seed: instance i's stream is Rng(MixSeed(seed, fingerprint.lo)).
+  uint64_t seed = 0;
+
+  // Fan computation across this pool when set (null or 1 thread =
+  // serial). Never changes any result bit.
+  ThreadPool* pool = nullptr;
+
+  // Consult/populate this cache when set. Never changes any result bit.
+  PlanCache* cache = nullptr;
+};
+
+struct QonBatchItem {
+  OptimizerResult result;  // in the caller's labels
+  bool from_cache = false;
+  Hash128 fingerprint;
+};
+
+struct QohBatchItem {
+  QohOptimizerResult result;
+  bool from_cache = false;
+  Hash128 fingerprint;
+};
+
+std::vector<QonBatchItem> OptimizeQonBatch(
+    const std::vector<QonInstance>& instances, const BatchOptions& options);
+
+std::vector<QohBatchItem> OptimizeQohBatch(
+    const std::vector<QohInstance>& instances, const BatchOptions& options);
+
+// The full cache key: instance fingerprint + problem family + optimizer
+// name + every knob the result depends on + the seed (deterministic
+// optimizers fold a fixed sentinel instead, so their entries are shared
+// across seeds). CHECK-fails on unknown optimizer names.
+Hash128 QonPlanCacheKey(const Hash128& fingerprint, std::string_view optimizer,
+                        const OptimizerOptions& options, uint64_t seed);
+Hash128 QohPlanCacheKey(const Hash128& fingerprint, std::string_view optimizer,
+                        const QohOptimizerOptions& options, uint64_t seed);
+
+}  // namespace aqo
+
+#endif  // AQO_QO_SERVICE_H_

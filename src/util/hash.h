@@ -1,0 +1,81 @@
+#ifndef AQO_UTIL_HASH_H_
+#define AQO_UTIL_HASH_H_
+
+// Deterministic 64/128-bit hashing for structural fingerprints (see
+// qo/fingerprint.h). Not cryptographic: the mixer is the SplitMix64
+// finalizer, which is bijective on 64-bit words and passes avalanche
+// tests — adequate for content-addressed cache keys, where a collision
+// costs a wrong cache hit. The 128-bit digest keeps the collision
+// probability negligible at any realistic cache population (~2^-64 per
+// pair).
+//
+// Everything here is pure and platform-independent: no seeding from the
+// environment, no pointer values, doubles hashed by bit pattern. Equal
+// inputs hash equally across runs, processes, and machines, which is what
+// lets fingerprints serve as stable cache keys and appear in run logs.
+
+#include <bit>
+#include <cstdint>
+#include <functional>
+
+namespace aqo {
+
+// SplitMix64 finalizer: bijective avalanche mixer.
+inline constexpr uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+struct Hash128 {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  friend bool operator==(const Hash128& a, const Hash128& b) = default;
+};
+
+// For unordered containers keyed by Hash128. The value is already mixed;
+// passing `lo` through is enough.
+struct Hash128Hasher {
+  size_t operator()(const Hash128& h) const {
+    return static_cast<size_t>(h.lo);
+  }
+};
+
+// Order-sensitive accumulator: feed a canonical serialization word by
+// word, then take the 128-bit digest. Two independent 64-bit chains with
+// position-dependent mixing, so permuted inputs digest differently.
+class HashAccumulator {
+ public:
+  explicit HashAccumulator(uint64_t seed = 0) {
+    lo_ = Mix64(seed ^ 0x6a09e667f3bcc908ULL);
+    hi_ = Mix64(seed ^ 0xbb67ae8584caa73bULL);
+  }
+
+  void Add(uint64_t word) {
+    ++length_;
+    lo_ = Mix64(lo_ ^ word);
+    hi_ = Mix64(hi_ + (word ^ Mix64(length_)));
+  }
+
+  // Hashes the exact bit pattern (so -0.0 != +0.0 and every NaN payload is
+  // distinct — fingerprints must be at least as fine as bit equality).
+  void AddDouble(double v) { Add(std::bit_cast<uint64_t>(v)); }
+
+  Hash128 Digest() const {
+    // Cross-mix the chains so neither half is independent of the other.
+    uint64_t a = Mix64(lo_ ^ Mix64(hi_ ^ length_));
+    uint64_t b = Mix64(hi_ ^ Mix64(lo_ + length_));
+    return Hash128{a, b};
+  }
+
+ private:
+  uint64_t lo_;
+  uint64_t hi_;
+  uint64_t length_ = 0;
+};
+
+}  // namespace aqo
+
+#endif  // AQO_UTIL_HASH_H_

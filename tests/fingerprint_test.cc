@@ -1,0 +1,156 @@
+// Canonical relabeling + fingerprint invariants (qo/fingerprint.h): a
+// relabeled instance canonicalizes to bit-identical bytes and the same
+// 128-bit fingerprint; the retained permutations are inverse bijections;
+// sequences mapped back from canonical labels cost bitwise the same on
+// the original instance.
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qo/fingerprint.h"
+#include "qo/optimizers.h"
+#include "qo/qoh_optimizers.h"
+#include "qo/workloads.h"
+#include "util/random.h"
+
+namespace aqo {
+namespace {
+
+std::vector<int> RandomPermutation(int n, Rng* rng) {
+  std::vector<int> perm(static_cast<size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  rng->Shuffle(&perm);
+  return perm;
+}
+
+void ExpectSameQonBytes(const QonInstance& a, const QonInstance& b) {
+  ASSERT_EQ(a.NumRelations(), b.NumRelations());
+  int n = a.NumRelations();
+  ASSERT_EQ(a.graph().Edges(), b.graph().Edges());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(a.size(i).Log2(), b.size(i).Log2()) << "size " << i;
+  }
+  for (const auto& [u, v] : a.graph().Edges()) {
+    EXPECT_EQ(a.selectivity(u, v).Log2(), b.selectivity(u, v).Log2());
+    EXPECT_EQ(a.AccessCost(u, v).Log2(), b.AccessCost(u, v).Log2());
+    EXPECT_EQ(a.AccessCost(v, u).Log2(), b.AccessCost(v, u).Log2());
+  }
+}
+
+TEST(FingerprintQon, RelabeledDuplicatesShareFingerprintAndBytes) {
+  Rng rng(71);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = static_cast<int>(rng.UniformInt(3, 14));
+    QonInstance inst = RandomQonWorkload(n, &rng);
+    std::vector<int> perm = RandomPermutation(n, &rng);
+    QonInstance relabeled = PermuteQonInstance(inst, perm);
+
+    CanonicalQon a = CanonicalizeQon(inst);
+    CanonicalQon b = CanonicalizeQon(relabeled);
+    EXPECT_EQ(a.fingerprint, b.fingerprint);
+    ExpectSameQonBytes(a.instance, b.instance);
+  }
+}
+
+TEST(FingerprintQon, PermutationsAreInverseBijections) {
+  Rng rng(72);
+  QonInstance inst = RandomQonWorkload(9, &rng);
+  CanonicalQon canon = CanonicalizeQon(inst);
+  int n = inst.NumRelations();
+  ASSERT_EQ(static_cast<int>(canon.to_canonical.size()), n);
+  ASSERT_EQ(static_cast<int>(canon.from_canonical.size()), n);
+  for (int v = 0; v < n; ++v) {
+    EXPECT_EQ(canon.from_canonical[static_cast<size_t>(
+                  canon.to_canonical[static_cast<size_t>(v)])],
+              v);
+  }
+}
+
+TEST(FingerprintQon, MappedBackSequencesCostBitwiseTheSame) {
+  Rng rng(73);
+  for (int trial = 0; trial < 10; ++trial) {
+    int n = static_cast<int>(rng.UniformInt(4, 10));
+    QonInstance inst = RandomQonWorkload(n, &rng);
+    CanonicalQon canon = CanonicalizeQon(inst);
+    OptimizerResult on_canonical = GreedyQonOptimizer(canon.instance);
+    ASSERT_TRUE(on_canonical.feasible);
+    JoinSequence mapped =
+        MapSequenceFromCanonical(on_canonical.sequence, canon.from_canonical);
+    EXPECT_EQ(QonSequenceCost(inst, mapped).Log2(),
+              on_canonical.cost.Log2());
+  }
+}
+
+TEST(FingerprintQon, DistinctInstancesGetDistinctFingerprints) {
+  Rng rng(74);
+  QonInstance a = RandomQonWorkload(8, &rng);
+  QonInstance b = RandomQonWorkload(8, &rng);
+  EXPECT_FALSE(CanonicalizeQon(a).fingerprint ==
+               CanonicalizeQon(b).fingerprint);
+}
+
+TEST(FingerprintQoh, RelabeledDuplicatesShareFingerprintAndBytes) {
+  Rng rng(75);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = static_cast<int>(rng.UniformInt(3, 12));
+    QohInstance inst = RandomQohWorkload(n, &rng, 0.5);
+    std::vector<int> perm = RandomPermutation(n, &rng);
+    QohInstance relabeled = PermuteQohInstance(inst, perm);
+
+    CanonicalQoh a = CanonicalizeQoh(inst);
+    CanonicalQoh b = CanonicalizeQoh(relabeled);
+    EXPECT_EQ(a.fingerprint, b.fingerprint);
+    ASSERT_EQ(a.instance.graph().Edges(), b.instance.graph().Edges());
+    EXPECT_EQ(a.instance.memory(), b.instance.memory());
+    EXPECT_EQ(a.instance.eta(), b.instance.eta());
+    for (int i = 0; i < a.instance.NumRelations(); ++i) {
+      EXPECT_EQ(a.instance.size(i).Log2(), b.instance.size(i).Log2());
+    }
+    for (const auto& [u, v] : a.instance.graph().Edges()) {
+      EXPECT_EQ(a.instance.selectivity(u, v).Log2(),
+                b.instance.selectivity(u, v).Log2());
+    }
+  }
+}
+
+TEST(FingerprintQoh, MappedBackSequencesCostBitwiseTheSame) {
+  Rng rng(76);
+  for (int trial = 0; trial < 10; ++trial) {
+    int n = static_cast<int>(rng.UniformInt(4, 9));
+    QohInstance inst = RandomQohWorkload(n, &rng, 0.6);
+    CanonicalQoh canon = CanonicalizeQoh(inst);
+    QohOptimizerResult on_canonical = GreedyQohOptimizer(canon.instance);
+    if (!on_canonical.feasible) continue;
+    JoinSequence mapped =
+        MapSequenceFromCanonical(on_canonical.sequence, canon.from_canonical);
+    PipelineCostResult replay =
+        DecompositionCost(inst, mapped, on_canonical.decomposition);
+    ASSERT_TRUE(replay.feasible);
+    EXPECT_EQ(replay.cost.Log2(), on_canonical.cost.Log2());
+  }
+}
+
+TEST(FingerprintQoh, DifferentMemoryBudgetsGetDistinctFingerprints) {
+  Rng rng(77);
+  QohInstance a = RandomQohWorkload(7, &rng, 0.5);
+  QohInstance b(a.graph(),
+                [&] {
+                  std::vector<LogDouble> sizes;
+                  for (int i = 0; i < a.NumRelations(); ++i) {
+                    sizes.push_back(a.size(i));
+                  }
+                  return sizes;
+                }(),
+                a.memory() * 2.0, a.eta());
+  for (const auto& [u, v] : a.graph().Edges()) {
+    b.SetSelectivity(u, v, a.selectivity(u, v));
+  }
+  EXPECT_FALSE(CanonicalizeQoh(a).fingerprint ==
+               CanonicalizeQoh(b).fingerprint);
+}
+
+}  // namespace
+}  // namespace aqo

@@ -1,0 +1,111 @@
+// PlanCache (qo/plan_cache.h): hit/miss accounting, LRU refresh +
+// eviction under the byte budget, oversized-plan rejection, and a
+// multi-threaded hammer for the sharded locking.
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qo/plan_cache.h"
+#include "util/log_double.h"
+
+namespace aqo {
+namespace {
+
+Hash128 Key(uint64_t x) {
+  HashAccumulator acc(0x706c616e5f746573ULL);
+  acc.Add(x);
+  return acc.Digest();
+}
+
+// A plan whose sequence payload dominates the entry's byte estimate, so
+// budget math in the tests is insensitive to bookkeeping constants.
+CachedPlan BigPlan(int fill, size_t ints = 1000) {
+  CachedPlan plan;
+  plan.feasible = true;
+  plan.sequence.assign(ints, fill);
+  plan.cost = LogDouble::FromLog2(static_cast<double>(fill));
+  plan.evaluations = 7;
+  return plan;
+}
+
+TEST(PlanCache, MissThenHitRoundTripsThePlan) {
+  PlanCache cache(PlanCacheOptions{.byte_budget = 1 << 20, .shards = 4});
+  CachedPlan out;
+  EXPECT_FALSE(cache.Lookup(Key(1), &out));
+  cache.Insert(Key(1), BigPlan(42, 5));
+  ASSERT_TRUE(cache.Lookup(Key(1), &out));
+  EXPECT_TRUE(out.feasible);
+  EXPECT_EQ(out.sequence, std::vector<int>(5, 42));
+  EXPECT_EQ(out.cost.Log2(), 42.0);
+  EXPECT_EQ(out.evaluations, 7u);
+
+  PlanCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(PlanCache, LookupRefreshesRecencySoLruEvictsTheColdEntry) {
+  // ~4 KB per entry, 10 KB budget, one shard: at most two entries fit.
+  PlanCache cache(PlanCacheOptions{.byte_budget = 10 << 10, .shards = 1});
+  cache.Insert(Key(1), BigPlan(1));
+  cache.Insert(Key(2), BigPlan(2));
+  ASSERT_TRUE(cache.Lookup(Key(1), nullptr));  // 1 is now most-recent
+  cache.Insert(Key(3), BigPlan(3));            // must evict 2, not 1
+  EXPECT_TRUE(cache.Lookup(Key(1), nullptr));
+  EXPECT_FALSE(cache.Lookup(Key(2), nullptr));
+  EXPECT_TRUE(cache.Lookup(Key(3), nullptr));
+  PlanCache::Stats stats = cache.GetStats();
+  EXPECT_GE(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(PlanCache, ReinsertingAKeyRefreshesInsteadOfDuplicating) {
+  PlanCache cache(PlanCacheOptions{.byte_budget = 1 << 20, .shards = 1});
+  cache.Insert(Key(1), BigPlan(1, 8));
+  cache.Insert(Key(1), BigPlan(1, 8));
+  PlanCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(PlanCache, PlansLargerThanAShardAreNotCached) {
+  PlanCache cache(PlanCacheOptions{.byte_budget = 2 << 10, .shards = 1});
+  cache.Insert(Key(1), BigPlan(1, 1 << 14));  // ~64 KB >> 2 KB shard
+  EXPECT_FALSE(cache.Lookup(Key(1), nullptr));
+  EXPECT_EQ(cache.GetStats().entries, 0u);
+}
+
+TEST(PlanCache, ConcurrentLookupsAndInsertsStayConsistent) {
+  PlanCache cache(PlanCacheOptions{.byte_budget = 1 << 20, .shards = 8});
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 2000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        uint64_t k = static_cast<uint64_t>((t * 31 + i) % 64);
+        CachedPlan out;
+        if (!cache.Lookup(Key(k), &out)) {
+          cache.Insert(Key(k), BigPlan(static_cast<int>(k), 16));
+        } else {
+          // Payload integrity under concurrency.
+          EXPECT_EQ(out.cost.Log2(), static_cast<double>(k));
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  PlanCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads * kOpsPerThread));
+  EXPECT_LE(stats.entries, 64u);
+}
+
+}  // namespace
+}  // namespace aqo

@@ -371,5 +371,52 @@ TEST(ThreadsInvariance, DpOptimizerIndependentOfPoolSize) {
   }
 }
 
+// --- Plan cache under relabeling (qo/service.h) ---
+//
+// Property: optimize an instance, then submit a relabeled duplicate
+// through the same cache. The duplicate must be served from the cache,
+// its mapped-back sequence must cost bitwise what the result claims on
+// the *relabeled* instance, and the whole result must be bit-identical
+// to a cold (cache-off) run — the cache can only memoize what
+// recomputation would reproduce.
+TEST(PlanCacheProperty, CacheHitUnderRelabelingMatchesColdRun) {
+  Rng rng(507);
+  for (int trial = 0; trial < 15; ++trial) {
+    int n = static_cast<int>(rng.UniformInt(4, 12));
+    QonInstance base = RandomQonWorkload(n, &rng);
+    std::vector<int> perm(static_cast<size_t>(n));
+    for (int v = 0; v < n; ++v) perm[static_cast<size_t>(v)] = v;
+    rng.Shuffle(&perm);
+    QonInstance relabeled = PermuteQonInstance(base, perm);
+
+    BatchOptions options;
+    options.optimizer = (trial % 2 == 0) ? "sa" : "greedy";
+    options.qon.sa.iterations = 400;
+    options.qon.sa.restarts = 1;
+    options.seed = static_cast<uint64_t>(trial);
+    PlanCache cache;
+    options.cache = &cache;
+
+    std::vector<QonBatchItem> first = OptimizeQonBatch({base}, options);
+    std::vector<QonBatchItem> second = OptimizeQonBatch({relabeled}, options);
+    ASSERT_EQ(second.size(), 1u);
+    ASSERT_TRUE(second[0].from_cache) << "trial " << trial;
+    EXPECT_EQ(first[0].fingerprint, second[0].fingerprint);
+
+    BatchOptions cold = options;
+    cold.cache = nullptr;
+    std::vector<QonBatchItem> fresh = OptimizeQonBatch({relabeled}, cold);
+    ASSERT_TRUE(fresh[0].result.feasible);
+    ASSERT_TRUE(second[0].result.feasible);
+    EXPECT_EQ(second[0].result.cost.Log2(), fresh[0].result.cost.Log2());
+    EXPECT_EQ(second[0].result.sequence, fresh[0].result.sequence);
+    EXPECT_EQ(second[0].result.evaluations, fresh[0].result.evaluations);
+    // The mapped-back sequence really evaluates to the claimed bits on
+    // the relabeled instance.
+    EXPECT_EQ(QonSequenceCost(relabeled, second[0].result.sequence).Log2(),
+              second[0].result.cost.Log2());
+  }
+}
+
 }  // namespace
 }  // namespace aqo

@@ -1,0 +1,210 @@
+// OptimizerRegistry (qo/registry.h): every registered entry must produce
+// exactly the bits (cost, sequence, evaluation count) of the direct call
+// it wraps, for both families; aliases resolve; unknown names return
+// null; the CSV parser trims.
+//
+// The equivalence tables below enumerate the direct calls by registry
+// name — a registry entry without a direct counterpart here fails the
+// test, so new optimizers must be added to both.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qo/analysis.h"
+#include "qo/bnb.h"
+#include "qo/genetic.h"
+#include "qo/ikkbz.h"
+#include "qo/optimizers.h"
+#include "qo/qoh_optimizers.h"
+#include "qo/registry.h"
+#include "qo/workloads.h"
+#include "util/random.h"
+
+namespace aqo {
+namespace {
+
+constexpr uint64_t kSeed = 12345;
+
+OptimizerOptions FastQonKnobs() {
+  OptimizerOptions o;
+  o.samples = 100;
+  o.restarts = 3;
+  o.sa.iterations = 500;
+  o.sa.restarts = 2;
+  o.ga.population = 16;
+  o.ga.generations = 10;
+  return o;
+}
+
+void ExpectSameResult(const std::string& name, const OptimizerResult& reg,
+                      const OptimizerResult& direct) {
+  EXPECT_EQ(reg.feasible, direct.feasible) << name;
+  if (!reg.feasible || !direct.feasible) return;
+  EXPECT_EQ(reg.cost.Log2(), direct.cost.Log2()) << name;
+  EXPECT_EQ(reg.sequence, direct.sequence) << name;
+  EXPECT_EQ(reg.evaluations, direct.evaluations) << name;
+}
+
+using QonDirect = std::function<OptimizerResult(
+    const QonInstance&, const OptimizerOptions&, Rng*)>;
+
+const std::map<std::string, QonDirect>& QonDirectCalls() {
+  static const std::map<std::string, QonDirect> calls = {
+      {"exhaustive",
+       [](const QonInstance& i, const OptimizerOptions& o, Rng*) {
+         return ExhaustiveQonOptimizer(i, o);
+       }},
+      {"dp",
+       [](const QonInstance& i, const OptimizerOptions& o, Rng*) {
+         return DpQonOptimizer(i, o);
+       }},
+      {"greedy",
+       [](const QonInstance& i, const OptimizerOptions& o, Rng*) {
+         return GreedyQonOptimizer(i, o);
+       }},
+      {"random",
+       [](const QonInstance& i, const OptimizerOptions& o, Rng* rng) {
+         return RandomSamplingOptimizer(i, rng, o);
+       }},
+      {"ii",
+       [](const QonInstance& i, const OptimizerOptions& o, Rng* rng) {
+         return IterativeImprovementOptimizer(i, rng, o);
+       }},
+      {"sa",
+       [](const QonInstance& i, const OptimizerOptions& o, Rng* rng) {
+         return SimulatedAnnealingOptimizer(i, rng, o);
+       }},
+      {"genetic",
+       [](const QonInstance& i, const OptimizerOptions& o, Rng* rng) {
+         return GeneticOptimizer(i, rng, o);
+       }},
+      {"bnb",
+       [](const QonInstance& i, const OptimizerOptions& o, Rng*) {
+         return BranchAndBoundQonOptimizer(i, o).result;
+       }},
+      {"cout",
+       [](const QonInstance& i, const OptimizerOptions&, Rng*) {
+         return CoutOptimalJoinOrder(i);
+       }},
+      {"kbz",
+       [](const QonInstance& i, const OptimizerOptions&, Rng*) {
+         if (!IsTreeQueryGraph(i.graph())) return OptimizerResult{};
+         return IkkbzOptimizer(i);
+       }},
+  };
+  return calls;
+}
+
+void CheckQonEquivalenceOn(const QonInstance& inst) {
+  OptimizerOptions knobs = FastQonKnobs();
+  for (const std::string& name : OptimizerRegistry::Qon().Names()) {
+    auto it = QonDirectCalls().find(name);
+    ASSERT_NE(it, QonDirectCalls().end())
+        << "registry optimizer '" << name
+        << "' has no direct-call counterpart in this test; add it";
+    Rng reg_rng(kSeed);
+    OptimizerResult reg =
+        OptimizerRegistry::Qon().Run(name, inst, knobs, &reg_rng);
+    Rng direct_rng(kSeed);
+    OptimizerResult direct = it->second(inst, knobs, &direct_rng);
+    ExpectSameResult(name, reg, direct);
+  }
+}
+
+TEST(QonRegistry, EveryEntryMatchesItsDirectCall) {
+  Rng rng(31);
+  CheckQonEquivalenceOn(RandomQonWorkload(8, &rng));
+}
+
+TEST(QonRegistry, EveryEntryMatchesItsDirectCallOnATree) {
+  // Trees exercise kbz's feasible path (non-trees return infeasible).
+  Rng rng(32);
+  WorkloadOptions options;
+  options.shape = WorkloadShape::kTree;
+  QonInstance inst = RandomQonWorkload(8, &rng, options);
+  ASSERT_TRUE(IsTreeQueryGraph(inst.graph()));
+  CheckQonEquivalenceOn(inst);
+}
+
+using QohDirect = std::function<QohOptimizerResult(
+    const QohInstance&, const QohOptimizerOptions&, Rng*)>;
+
+const std::map<std::string, QohDirect>& QohDirectCalls() {
+  static const std::map<std::string, QohDirect> calls = {
+      {"exhaustive",
+       [](const QohInstance& i, const QohOptimizerOptions&, Rng*) {
+         return ExhaustiveQohOptimizer(i);
+       }},
+      {"greedy",
+       [](const QohInstance& i, const QohOptimizerOptions&, Rng*) {
+         return GreedyQohOptimizer(i);
+       }},
+      {"random",
+       [](const QohInstance& i, const QohOptimizerOptions& o, Rng* rng) {
+         return RandomSamplingQohOptimizer(i, rng, o);
+       }},
+      {"ii",
+       [](const QohInstance& i, const QohOptimizerOptions& o, Rng* rng) {
+         return IterativeImprovementQohOptimizer(i, rng, o);
+       }},
+      {"sa",
+       [](const QohInstance& i, const QohOptimizerOptions& o, Rng* rng) {
+         return SimulatedAnnealingQohOptimizer(i, rng, o);
+       }},
+  };
+  return calls;
+}
+
+TEST(QohRegistry, EveryEntryMatchesItsDirectCall) {
+  Rng rng(33);
+  QohInstance inst = RandomQohWorkload(7, &rng, 0.5);
+  QohOptimizerOptions knobs;
+  knobs.samples = 60;
+  knobs.restarts = 2;
+  knobs.sa.iterations = 300;
+  knobs.sa.restarts = 1;
+  for (const std::string& name : QohOptimizerRegistry::Get().Names()) {
+    auto it = QohDirectCalls().find(name);
+    ASSERT_NE(it, QohDirectCalls().end())
+        << "registry optimizer '" << name
+        << "' has no direct-call counterpart in this test; add it";
+    Rng reg_rng(kSeed);
+    QohOptimizerResult reg =
+        QohOptimizerRegistry::Get().Run(name, inst, knobs, &reg_rng);
+    Rng direct_rng(kSeed);
+    QohOptimizerResult direct = it->second(inst, knobs, &direct_rng);
+    EXPECT_EQ(reg.feasible, direct.feasible) << name;
+    if (!reg.feasible) continue;
+    EXPECT_EQ(reg.cost.Log2(), direct.cost.Log2()) << name;
+    EXPECT_EQ(reg.sequence, direct.sequence) << name;
+    EXPECT_EQ(reg.evaluations, direct.evaluations) << name;
+    EXPECT_EQ(reg.decomposition.starts, direct.decomposition.starts) << name;
+  }
+}
+
+TEST(Registry, AliasesResolveToCanonicalEntries) {
+  const QonOptimizerEntry* ga = OptimizerRegistry::Qon().Find("ga");
+  ASSERT_NE(ga, nullptr);
+  EXPECT_EQ(ga->name, "genetic");
+  const QohOptimizerEntry* sample = QohOptimizerRegistry::Get().Find("sample");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->name, "random");
+}
+
+TEST(Registry, UnknownNamesReturnNull) {
+  EXPECT_EQ(OptimizerRegistry::Qon().Find("no-such-optimizer"), nullptr);
+  EXPECT_EQ(QohOptimizerRegistry::Get().Find(""), nullptr);
+}
+
+TEST(Registry, ParseOptimizerListTrimsAndDropsEmpties) {
+  EXPECT_EQ(ParseOptimizerList(" a, b ,,c\t"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(ParseOptimizerList("").empty());
+}
+
+}  // namespace
+}  // namespace aqo

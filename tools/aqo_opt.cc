@@ -1,32 +1,36 @@
 // aqo_opt — join-order optimizer CLI.
 //
 // Reads a QO_N instance (library text format, see io/serialization.h) from
-// stdin and optimizes it:
+// stdin and optimizes it with every optimizer named in --optimizers=
+// (--algo= is an alias):
 //
-//   aqo_gen --kind=random --n=14 | aqo_opt --algo=dp
-//   aqo_gen --kind=gap-no --n=60 | aqo_opt --algo=greedy,ii,sa
+//   aqo_gen --kind=random --n=14 | aqo_opt --optimizers=dp
+//   aqo_gen --kind=gap-no --n=60 | aqo_opt --optimizers=greedy,ii,sa
 //
-// Algorithms: dp (exact, n <= 24), bnb (exact branch & bound, anytime),
-// exhaustive (n <= 10), greedy, random, ii (iterative improvement),
-// sa (simulated annealing), ga (genetic), kbz (trees only), cout (exact
-// under the C_out metric). Prints one line per algorithm.
+// The names come from the optimizer registry (qo/registry.h): dp (exact,
+// n <= 24), bnb (exact branch & bound, anytime under --bnb-node-limit),
+// exhaustive (n <= 10), greedy, random, ii, sa, genetic/ga, kbz (trees
+// only, else infeasible), cout (exact under the C_out metric). Unknown
+// names are a hard error listing the valid set. Knob flags (--samples=,
+// --restarts=, --sa-iterations=, ...) apply to whichever optimizers read
+// them. Prints one line per optimizer.
+//
+// --plan-cache-mb=N demonstrates the canonical-fingerprint plan cache:
+// the instance is expanded into --repeat relabeled duplicates and the
+// batch is optimized through the cache (see docs/api.md).
 //
 // --threads=N runs the subset DP on an N-worker pool (default: hardware
 // concurrency); every thread count returns bit-identical results.
 
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "io/serialization.h"
 #include "obs/runlog.h"
-#include "qo/analysis.h"
-#include "qo/bnb.h"
-#include "qo/genetic.h"
-#include "qo/ikkbz.h"
 #include "qo/optimizers.h"
+#include "qo/registry.h"
 #include "util/random.h"
 
 namespace aqo {
@@ -47,6 +51,10 @@ int Main(int argc, char** argv) {
   bench::Flags flags(argc, argv);
   bench::RunLogSession session(flags, "aqo_opt", /*default_seed=*/1);
 
+  // --optimizers= takes precedence; --algo= is the historical alias.
+  std::string def = flags.GetString("algo", "dp,greedy,ii");
+  std::vector<std::string> names = bench::SelectedQonOptimizersOrDie(flags, def);
+
   QonInstance inst = ReadQonInstance(std::cin);
   std::cout << "instance: " << inst.NumRelations() << " relations, "
             << inst.graph().NumEdges() << " predicates\n";
@@ -57,64 +65,37 @@ int Main(int argc, char** argv) {
                            .n = inst.NumRelations(),
                            .edges = inst.graph().NumEdges()};
 
-  std::string algos = flags.GetString("algo", "dp,greedy,ii");
-  bool no_cartesian = flags.GetInt("no-cartesian", 0) != 0;
-  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  Rng rng(seed);
   // --threads=N sizes the pool the subset DP runs on; the result is
   // bit-identical for every value (see docs/parallelism.md).
   ThreadPool pool(flags.Threads());
-  OptimizerOptions base;
-  base.forbid_cartesian = no_cartesian;
-  base.pool = &pool;
+  OptimizerOptions defaults;
+  defaults.samples = 1000;
+  defaults.restarts = 4;
+  OptimizerOptions knobs = bench::ReadQonKnobs(flags, defaults);
+  knobs.pool = &pool;
 
   // Run through InstrumentedRun so --json-out records each algorithm.
-  auto run = [&](const std::string& name, auto fn) {
-    Report(name, obs::InstrumentedRun("qon." + name, shape, fn));
-  };
+  for (const std::string& name : names) {
+    Report(name, obs::InstrumentedRun("qon." + name, shape, [&] {
+             return OptimizerRegistry::Qon().Run(name, inst, knobs, &rng);
+           }));
+  }
 
-  std::stringstream ss(algos);
-  std::string algo;
-  while (std::getline(ss, algo, ',')) {
-    if (algo == "dp") {
-      run("dp", [&] { return DpQonOptimizer(inst, base); });
-    } else if (algo == "exhaustive") {
-      run("exhaustive", [&] { return ExhaustiveQonOptimizer(inst, base); });
-    } else if (algo == "greedy") {
-      run("greedy", [&] { return GreedyQonOptimizer(inst, base); });
-    } else if (algo == "random") {
-      run("random",
-          [&] { return RandomSamplingOptimizer(inst, &rng, 1000, base); });
-    } else if (algo == "ii") {
-      run("ii",
-          [&] { return IterativeImprovementOptimizer(inst, &rng, 4, base); });
-    } else if (algo == "sa") {
-      AnnealingOptions sa;
-      sa.base = base;
-      run("sa", [&] { return SimulatedAnnealingOptimizer(inst, &rng, sa); });
-    } else if (algo == "ga") {
-      GeneticOptions ga;
-      ga.base = base;
-      run("ga", [&] { return GeneticOptimizer(inst, &rng, ga); });
-    } else if (algo == "bnb") {
-      bool proven = false;
-      OptimizerResult bnb = obs::InstrumentedRun("qon.bnb", shape, [&] {
-        BnbResult full = BranchAndBoundQonOptimizer(inst, 0, base);
-        proven = full.proven_optimal;
-        return full.result;
-      });
-      Report(proven ? "bnb (proven optimal)" : "bnb (anytime)", bnb);
-    } else if (algo == "cout") {
-      run("cout", [&] { return CoutOptimalJoinOrder(inst); });
-    } else if (algo == "kbz") {
-      if (IsTreeQueryGraph(inst.graph())) {
-        run("kbz", [&] { return IkkbzOptimizer(inst); });
-      } else {
-        std::cout << "kbz: skipped (query graph is not a tree)\n";
-      }
-    } else {
-      std::cerr << "unknown algorithm '" << algo << "'\n";
-      return 1;
-    }
+  // Plan-cache demonstration: --repeat relabeled duplicates of the input
+  // instance, optimized as one batch through the cache with the first
+  // selected optimizer. Flags are read unconditionally (never warn).
+  auto cache = bench::PlanCacheFromFlags(flags);
+  int repeat = static_cast<int>(flags.GetInt("repeat", 4));
+  if (cache != nullptr) {
+    BatchOptions batch;
+    batch.optimizer = names.front();
+    batch.qon = knobs;
+    batch.qon.pool = nullptr;  // batch-level pool fans the instances instead
+    batch.seed = seed;
+    std::cout << "\n";
+    bench::RunQonPlanCacheDemo(cache.get(), &pool, batch, {inst}, repeat);
   }
   return 0;
 }
