@@ -233,6 +233,12 @@ inline OptimizerOptions ReadQonKnobs(const Flags& flags,
   o.ga.mutation_rate = flags.GetDouble("ga-mutation", o.ga.mutation_rate);
   o.bnb_node_limit = static_cast<uint64_t>(flags.GetInt(
       "bnb-node-limit", static_cast<int64_t>(o.bnb_node_limit)));
+  // Anytime knobs (docs/robustness.md): --budget-evals= is the
+  // deterministic evaluation cap, --deadline-ms= the wall-clock deadline.
+  // Both default to 0 = unlimited, which changes nothing bit-for-bit.
+  o.budget.max_evaluations = static_cast<uint64_t>(flags.GetInt(
+      "budget-evals", static_cast<int64_t>(o.budget.max_evaluations)));
+  o.budget.deadline_ms = flags.GetDouble("deadline-ms", o.budget.deadline_ms);
   return o;
 }
 
@@ -250,6 +256,9 @@ inline QohOptimizerOptions ReadQohKnobs(const Flags& flags,
       flags.GetDouble("sa-temperature", o.sa.initial_temperature);
   o.sa.cooling = flags.GetDouble("sa-cooling", o.sa.cooling);
   o.sa.restarts = static_cast<int>(flags.GetInt("sa-restarts", o.sa.restarts));
+  o.budget.max_evaluations = static_cast<uint64_t>(flags.GetInt(
+      "budget-evals", static_cast<int64_t>(o.budget.max_evaluations)));
+  o.budget.deadline_ms = flags.GetDouble("deadline-ms", o.budget.deadline_ms);
   return o;
 }
 

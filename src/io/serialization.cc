@@ -1,13 +1,16 @@
 #include "io/serialization.h"
 
+#include <atomic>
 #include <cmath>
-#include <tuple>
+#include <cstdlib>
 #include <istream>
 #include <limits>
 #include <ostream>
 #include <sstream>
+#include <tuple>
 
 #include "util/check.h"
+#include "util/fault_injection.h"
 
 namespace aqo {
 
@@ -36,6 +39,32 @@ void WriteLog2(std::ostream& os, LogDouble v) {
   os << buf;
 }
 
+// The "io.parse" fault site: ordinals count Parse* entries process-wide,
+// so "fail the k-th parse" is exact regardless of which reader runs.
+// Returns a ready-made error string when the armed ordinal is hit.
+std::atomic<uint64_t> parse_ordinal{0};
+
+bool InjectedParseFault(std::string* error) {
+  uint64_t ordinal = parse_ordinal.fetch_add(1, std::memory_order_relaxed);
+  if (!FaultInjector::Get().ShouldFail("io.parse", ordinal)) return false;
+  std::ostringstream os;
+  os << "injected fault at io.parse#" << ordinal;
+  *error = os.str();
+  return true;
+}
+
+template <typename T>
+ParseResult<T> Fail(const std::string& reason) {
+  ParseResult<T> r;
+  r.error = reason;
+  return r;
+}
+
+template <typename T>
+ParseResult<T> Fail(const std::string& reason, const std::string& line) {
+  return Fail<T>(reason + ": " + line);
+}
+
 }  // namespace
 
 void WriteGraph(const Graph& g, std::ostream& os) {
@@ -43,25 +72,41 @@ void WriteGraph(const Graph& g, std::ostream& os) {
   for (const auto& [u, v] : g.Edges()) os << "e " << u << " " << v << "\n";
 }
 
-Graph ReadGraph(std::istream& is) {
+ParseResult<Graph> ParseGraph(std::istream& is) {
+  using R = ParseResult<Graph>;
+  R out;
+  if (InjectedParseFault(&out.error)) return out;
   std::string line;
-  AQO_CHECK(NextLine(is, &line)) << "missing graph header";
+  if (!NextLine(is, &line)) return Fail<Graph>("missing graph header");
   std::istringstream header(line);
   std::string tag;
   int n = -1, m = -1;
   header >> tag >> n >> m;
-  AQO_CHECK(tag == "graph" && n >= 0 && m >= 0) << "bad graph header: " << line;
+  if (header.fail() || tag != "graph" || n < 0 || m < 0) {
+    return Fail<Graph>("bad graph header", line);
+  }
   Graph g(n);
   for (int i = 0; i < m; ++i) {
-    AQO_CHECK(NextLine(is, &line)) << "truncated graph edge list";
+    if (!NextLine(is, &line)) return Fail<Graph>("truncated graph edge list");
     std::istringstream edge(line);
     int u = -1, v = -1;
     edge >> tag >> u >> v;
-    AQO_CHECK(tag == "e") << "bad edge line: " << line;
+    if (edge.fail() || tag != "e") return Fail<Graph>("bad edge line", line);
+    if (u < 0 || u >= n || v < 0 || v >= n) {
+      return Fail<Graph>("edge vertex out of range", line);
+    }
+    if (u == v) return Fail<Graph>("self-loop edge", line);
+    if (g.HasEdge(u, v)) return Fail<Graph>("duplicate edge in input", line);
     g.AddEdge(u, v);
   }
-  AQO_CHECK_EQ(g.NumEdges(), m) << "duplicate edges in input";
-  return g;
+  out.value = std::move(g);
+  return out;
+}
+
+Graph ReadGraph(std::istream& is) {
+  ParseResult<Graph> r = ParseGraph(is);
+  AQO_CHECK(r.ok()) << r.error;
+  return *std::move(r.value);
 }
 
 void WriteDimacs(const CnfFormula& f, std::ostream& os) {
@@ -72,15 +117,19 @@ void WriteDimacs(const CnfFormula& f, std::ostream& os) {
   }
 }
 
-CnfFormula ReadDimacs(std::istream& is) {
+ParseResult<CnfFormula> ParseDimacs(std::istream& is) {
+  using R = ParseResult<CnfFormula>;
+  R out;
+  if (InjectedParseFault(&out.error)) return out;
   std::string line;
-  AQO_CHECK(NextLine(is, &line)) << "missing DIMACS header";
+  if (!NextLine(is, &line)) return Fail<CnfFormula>("missing DIMACS header");
   std::istringstream header(line);
   std::string p, cnf;
   int vars = -1, clauses = -1;
   header >> p >> cnf >> vars >> clauses;
-  AQO_CHECK(p == "p" && cnf == "cnf" && vars >= 0 && clauses >= 0)
-      << "bad DIMACS header: " << line;
+  if (header.fail() || p != "p" || cnf != "cnf" || vars < 0 || clauses < 0) {
+    return Fail<CnfFormula>("bad DIMACS header", line);
+  }
   CnfFormula f(vars);
   Clause current;
   int read = 0;
@@ -89,16 +138,30 @@ CnfFormula ReadDimacs(std::istream& is) {
     Lit l;
     while (body >> l) {
       if (l == 0) {
+        if (current.empty()) {
+          return Fail<CnfFormula>("empty DIMACS clause", line);
+        }
         f.AddClause(current);
         current.clear();
         ++read;
       } else {
+        if (std::abs(l) > vars) {
+          return Fail<CnfFormula>("DIMACS literal out of range", line);
+        }
         current.push_back(l);
       }
     }
+    if (!body.eof()) return Fail<CnfFormula>("bad DIMACS body line", line);
   }
-  AQO_CHECK_EQ(read, clauses) << "truncated DIMACS body";
-  return f;
+  if (read != clauses) return Fail<CnfFormula>("truncated DIMACS body");
+  out.value = std::move(f);
+  return out;
+}
+
+CnfFormula ReadDimacs(std::istream& is) {
+  ParseResult<CnfFormula> r = ParseDimacs(is);
+  AQO_CHECK(r.ok()) << r.error;
+  return *std::move(r.value);
 }
 
 void WriteQonInstance(const QonInstance& inst, std::ostream& os) {
@@ -128,14 +191,19 @@ void WriteQonInstance(const QonInstance& inst, std::ostream& os) {
   }
 }
 
-QonInstance ReadQonInstance(std::istream& is) {
+ParseResult<QonInstance> ParseQonInstance(std::istream& is) {
+  using R = ParseResult<QonInstance>;
+  R out;
+  if (InjectedParseFault(&out.error)) return out;
   std::string line;
-  AQO_CHECK(NextLine(is, &line)) << "missing qon header";
+  if (!NextLine(is, &line)) return Fail<QonInstance>("missing qon header");
   std::istringstream header(line);
   std::string tag;
   int n = -1;
   header >> tag >> n;
-  AQO_CHECK(tag == "qon" && n >= 1) << "bad qon header: " << line;
+  if (header.fail() || tag != "qon" || n < 1) {
+    return Fail<QonInstance>("bad qon header", line);
+  }
 
   std::vector<LogDouble> sizes(static_cast<size_t>(n), LogDouble::One());
   std::vector<std::tuple<int, int, double>> edges;
@@ -144,36 +212,73 @@ QonInstance ReadQonInstance(std::istream& is) {
     std::istringstream body(line);
     body >> tag;
     if (tag == "rel") {
-      int i;
-      double lg;
+      int i = -1;
+      double lg = 0.0;
       body >> i >> lg;
-      AQO_CHECK(0 <= i && i < n) << "bad rel line: " << line;
+      if (body.fail() || i < 0 || i >= n || !std::isfinite(lg)) {
+        return Fail<QonInstance>("bad rel line", line);
+      }
       sizes[static_cast<size_t>(i)] = LogDouble::FromLog2(lg);
     } else if (tag == "edge") {
-      int i, j;
-      double lg;
+      int i = -1, j = -1;
+      double lg = 0.0;
       body >> i >> j >> lg;
+      if (body.fail() || i < 0 || i >= n || j < 0 || j >= n || i == j ||
+          !std::isfinite(lg)) {
+        return Fail<QonInstance>("bad edge line", line);
+      }
+      if (lg > 0.0) {
+        return Fail<QonInstance>("edge selectivity above 1", line);
+      }
       edges.emplace_back(i, j, lg);
     } else if (tag == "w") {
-      int i, j;
-      double lg;
+      int i = -1, j = -1;
+      double lg = 0.0;
       body >> i >> j >> lg;
+      if (body.fail() || i < 0 || i >= n || j < 0 || j >= n || i == j ||
+          !std::isfinite(lg)) {
+        return Fail<QonInstance>("bad w line", line);
+      }
       costs.emplace_back(i, j, lg);
     } else {
-      AQO_CHECK(false) << "unknown qon line: " << line;
+      return Fail<QonInstance>("unknown qon line", line);
     }
   }
   Graph g(n);
-  for (const auto& [i, j, lg] : edges) g.AddEdge(i, j);
+  for (const auto& [i, j, lg] : edges) {
+    if (g.HasEdge(i, j)) {
+      std::ostringstream os;
+      os << "duplicate edge " << i << " " << j;
+      return Fail<QonInstance>(os.str());
+    }
+    g.AddEdge(i, j);
+  }
   QonInstance inst(std::move(g), std::move(sizes));
   for (const auto& [i, j, lg] : edges) {
     inst.SetSelectivity(i, j, LogDouble::FromLog2(lg));
   }
   for (const auto& [i, j, lg] : costs) {
-    inst.SetAccessCost(i, j, LogDouble::FromLog2(lg));
+    // SetAccessCost CHECK-fails outside [t_j s, t_j]; pre-validate so a
+    // malformed file reports instead of aborting.
+    LogDouble w = LogDouble::FromLog2(lg);
+    LogDouble lo = inst.size(j) * inst.selectivity(i, j);
+    LogDouble hi = inst.size(j);
+    if (!(lo <= w && w <= hi)) {
+      std::ostringstream os;
+      os << "access cost out of [t_j s, t_j] at (" << i << "," << j << ")";
+      return Fail<QonInstance>(os.str());
+    }
+    inst.SetAccessCost(i, j, w);
   }
   inst.Validate();
-  return inst;
+  out.value = std::move(inst);
+  return out;
+}
+
+QonInstance ReadQonInstance(std::istream& is) {
+  ParseResult<QonInstance> r = ParseQonInstance(is);
+  AQO_CHECK(r.ok()) << r.error;
+  return *std::move(r.value);
 }
 
 void WriteQohInstance(const QohInstance& inst, std::ostream& os) {
@@ -195,15 +300,21 @@ void WriteQohInstance(const QohInstance& inst, std::ostream& os) {
   }
 }
 
-QohInstance ReadQohInstance(std::istream& is) {
+ParseResult<QohInstance> ParseQohInstance(std::istream& is) {
+  using R = ParseResult<QohInstance>;
+  R out;
+  if (InjectedParseFault(&out.error)) return out;
   std::string line;
-  AQO_CHECK(NextLine(is, &line)) << "missing qoh header";
+  if (!NextLine(is, &line)) return Fail<QohInstance>("missing qoh header");
   std::istringstream header(line);
   std::string tag;
   int n = -1;
   double memory = 0.0, eta = 0.5;
   header >> tag >> n >> memory >> eta;
-  AQO_CHECK(tag == "qoh" && n >= 1) << "bad qoh header: " << line;
+  if (header.fail() || tag != "qoh" || n < 1 || !std::isfinite(memory) ||
+      memory <= 0.0 || !std::isfinite(eta) || eta <= 0.0 || eta >= 1.0) {
+    return Fail<QohInstance>("bad qoh header", line);
+  }
 
   std::vector<LogDouble> sizes(static_cast<size_t>(n), LogDouble::One());
   std::vector<std::tuple<int, int, double>> edges;
@@ -211,28 +322,51 @@ QohInstance ReadQohInstance(std::istream& is) {
     std::istringstream body(line);
     body >> tag;
     if (tag == "rel") {
-      int i;
-      double lg;
+      int i = -1;
+      double lg = 0.0;
       body >> i >> lg;
-      AQO_CHECK(0 <= i && i < n) << "bad rel line: " << line;
+      if (body.fail() || i < 0 || i >= n || !std::isfinite(lg)) {
+        return Fail<QohInstance>("bad rel line", line);
+      }
       sizes[static_cast<size_t>(i)] = LogDouble::FromLog2(lg);
     } else if (tag == "edge") {
-      int i, j;
-      double lg;
+      int i = -1, j = -1;
+      double lg = 0.0;
       body >> i >> j >> lg;
+      if (body.fail() || i < 0 || i >= n || j < 0 || j >= n || i == j ||
+          !std::isfinite(lg)) {
+        return Fail<QohInstance>("bad edge line", line);
+      }
+      if (lg > 0.0) {
+        return Fail<QohInstance>("edge selectivity above 1", line);
+      }
       edges.emplace_back(i, j, lg);
     } else {
-      AQO_CHECK(false) << "unknown qoh line: " << line;
+      return Fail<QohInstance>("unknown qoh line", line);
     }
   }
   Graph g(n);
-  for (const auto& [i, j, lg] : edges) g.AddEdge(i, j);
+  for (const auto& [i, j, lg] : edges) {
+    if (g.HasEdge(i, j)) {
+      std::ostringstream os;
+      os << "duplicate edge " << i << " " << j;
+      return Fail<QohInstance>(os.str());
+    }
+    g.AddEdge(i, j);
+  }
   QohInstance inst(std::move(g), std::move(sizes), memory, eta);
   for (const auto& [i, j, lg] : edges) {
     inst.SetSelectivity(i, j, LogDouble::FromLog2(lg));
   }
   inst.Validate();
-  return inst;
+  out.value = std::move(inst);
+  return out;
+}
+
+QohInstance ReadQohInstance(std::istream& is) {
+  ParseResult<QohInstance> r = ParseQohInstance(is);
+  AQO_CHECK(r.ok()) << r.error;
+  return *std::move(r.value);
 }
 
 std::string GraphToString(const Graph& g) {

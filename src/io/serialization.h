@@ -16,9 +16,19 @@
 //
 // Sizes/selectivities/costs are written as log2 values: the gap instances
 // do not fit in any linear-domain notation.
+//
+// Error handling: the Parse* readers never abort on malformed input —
+// they validate every line (tags, indices, ranges, duplicates, semantic
+// constraints like selectivity <= 1) and return a ParseResult carrying
+// either the value or a one-line reason. The legacy Read* readers are
+// thin AQO_CHECK wrappers over them, for callers whose inputs are
+// program-generated and therefore trusted. User-facing tools must use
+// Parse* and report `error: <file>: <reason>`.
 
 #include <iosfwd>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "graph/graph.h"
 #include "qo/qoh.h"
@@ -27,8 +37,27 @@
 
 namespace aqo {
 
+// Outcome of a recoverable parse: exactly one of `value` / `error` is
+// set. `error` is a single line suitable for `error: <file>: <reason>`.
+template <typename T>
+struct ParseResult {
+  std::optional<T> value;
+  std::string error;
+
+  bool ok() const { return value.has_value(); }
+};
+
+// Recoverable readers: structured error instead of abort, for any
+// malformed input reachable from files a user hands to a tool. Also the
+// "io.parse" fault-injection site (util/fault_injection.h): the k-th
+// Parse* call process-wide can be armed to fail with an injected error.
+ParseResult<Graph> ParseGraph(std::istream& is);
+ParseResult<CnfFormula> ParseDimacs(std::istream& is);
+ParseResult<QonInstance> ParseQonInstance(std::istream& is);
+ParseResult<QohInstance> ParseQohInstance(std::istream& is);
+
 void WriteGraph(const Graph& g, std::ostream& os);
-// Aborts on malformed input.
+// Aborts on malformed input (AQO_CHECK wrapper over ParseGraph).
 Graph ReadGraph(std::istream& is);
 
 void WriteDimacs(const CnfFormula& f, std::ostream& os);

@@ -98,7 +98,7 @@ JsonValue ProfileJson(const ProfileNode& node) {
 void EmitRunRecord(std::string_view optimizer, const InstanceShape& shape,
                    bool feasible, double cost_log2, uint64_t evaluations,
                    double wall_seconds, const CounterSnapshot& counters,
-                   const ProfileNode* profile) {
+                   const ProfileNode* profile, PlanStatus status) {
   RunLog* log = RunLog::Global();
   if (log == nullptr) return;
 
@@ -116,6 +116,11 @@ void EmitRunRecord(std::string_view optimizer, const InstanceShape& shape,
   rec["feasible"] = feasible;
   rec["cost_log2"] = feasible ? JsonValue(cost_log2) : JsonValue();
   rec["evaluations"] = evaluations;
+  // Only cut-short / failed runs carry a status key: complete runs keep
+  // the pre-status record bytes (the determinism contract of PRs 2-3).
+  if (status != PlanStatus::kComplete) {
+    rec["status"] = PlanStatusName(status);
+  }
   rec["wall_seconds"] = wall_seconds;
   JsonValue cs = JsonValue::Object();
   for (const auto& [name, value] : counters) cs[name] = value;

@@ -32,6 +32,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "util/cancellation.h"
 
 namespace aqo::obs {
 
@@ -114,10 +115,13 @@ JsonValue ProfileJson(const ProfileNode& node);
 
 // Builds and writes an optimizer_run record to the global log (no-op
 // without one). `cost_log2` is ignored when !feasible (serialized null).
+// A "status" key is added ONLY when `status` != kComplete, so records of
+// complete (unbudgeted) runs are byte-identical to the pre-status schema.
 void EmitRunRecord(std::string_view optimizer, const InstanceShape& shape,
                    bool feasible, double cost_log2, uint64_t evaluations,
                    double wall_seconds, const CounterSnapshot& counters,
-                   const ProfileNode* profile);
+                   const ProfileNode* profile,
+                   PlanStatus status = PlanStatus::kComplete);
 
 // Runs `fn` (an optimizer invocation returning a result with `feasible`,
 // `cost` (LogDouble) and `evaluations` members — OptimizerResult or
@@ -146,10 +150,13 @@ auto InstrumentedRun(std::string_view optimizer, const InstanceShape& shape,
   double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  // Results that predate PlanStatus (or test fakes) log as complete.
+  PlanStatus status = PlanStatus::kComplete;
+  if constexpr (requires { result.status; }) status = result.status;
   EmitRunRecord(optimizer, shape, result.feasible,
                 result.feasible ? result.cost.Log2() : std::nan(""),
                 result.evaluations, wall_seconds, tally.Snapshot(),
-                owns_profile ? profiler.root() : nullptr);
+                owns_profile ? profiler.root() : nullptr, status);
   return result;
 }
 

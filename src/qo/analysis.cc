@@ -67,10 +67,59 @@ LogDouble CoutSequenceCost(const QonInstance& inst, const JoinSequence& seq) {
   return total;
 }
 
-OptimizerResult CoutOptimalJoinOrder(const QonInstance& inst) {
+namespace {
+
+// Anytime fallback for a C_out DP cut short mid-table: greedy
+// min-next-intermediate construction (the natural C_out greedy), a pure
+// function of the instance. Starts from the smallest relation; all ties
+// break toward the lowest relation id.
+OptimizerResult CoutGreedyCutShort(const QonInstance& inst, PlanStatus status,
+                                   uint64_t dp_evaluations) {
+  int n = inst.NumRelations();
+  OptimizerResult result;
+  int first = 0;
+  for (int j = 1; j < n; ++j) {
+    if (inst.size(j) < inst.size(first)) first = j;
+  }
+  JoinSequence seq = {first};
+  std::vector<bool> placed(static_cast<size_t>(n), false);
+  placed[static_cast<size_t>(first)] = true;
+  LogDouble intermediate = inst.size(first);
+  while (static_cast<int>(seq.size()) < n) {
+    int best_j = -1;
+    LogDouble best_next;
+    for (int j = 0; j < n; ++j) {
+      if (placed[static_cast<size_t>(j)]) continue;
+      LogDouble next = intermediate * inst.size(j);
+      for (int k : seq) {
+        if (inst.graph().HasEdge(k, j)) next *= inst.selectivity(k, j);
+      }
+      if (best_j < 0 || next < best_next) {
+        best_j = j;
+        best_next = next;
+      }
+    }
+    seq.push_back(best_j);
+    placed[static_cast<size_t>(best_j)] = true;
+    intermediate = best_next;
+  }
+  result.feasible = true;
+  result.sequence = seq;
+  result.cost = CoutSequenceCost(inst, seq);
+  result.evaluations = dp_evaluations + static_cast<uint64_t>(n) - 1;
+  result.status = status;
+  return result;
+}
+
+}  // namespace
+
+OptimizerResult CoutOptimalJoinOrder(const QonInstance& inst,
+                                     const Budget& budget,
+                                     CancelToken* cancel) {
   int n = inst.NumRelations();
   AQO_CHECK(n >= 2);
   AQO_CHECK(n <= 24) << "subset DP is 2^n";
+  RunGuard guard(budget, cancel);
   size_t full = (size_t{1} << n) - 1;
 
   std::vector<LogDouble> subset_size(full + 1, LogDouble::One());
@@ -91,6 +140,9 @@ OptimizerResult CoutOptimalJoinOrder(const QonInstance& inst) {
   std::vector<int8_t> last(full + 1, -1);
   OptimizerResult result;
   for (size_t mask = 1; mask <= full; ++mask) {
+    if (guard.ShouldStop(result.evaluations)) {
+      return CoutGreedyCutShort(inst, guard.status(), result.evaluations);
+    }
     int bits = std::popcount(mask);
     if (bits == 1) {
       dp[mask] = LogDouble::Zero();

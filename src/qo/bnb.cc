@@ -15,15 +15,23 @@ class BnbSearch {
  public:
   BnbSearch(const QonInstance& inst, uint64_t node_limit,
             const OptimizerOptions& options)
-      : inst_(inst), node_limit_(node_limit), options_(options) {}
+      : inst_(inst),
+        node_limit_(node_limit),
+        options_(options),
+        guard_(options.budget, options.cancel) {}
 
   BnbResult Run() {
     int n = inst_.NumRelations();
     AQO_CHECK(n >= 2);
     AQO_CHECK(n <= 62) << "mask-based search limited to 62 relations";
 
-    // Greedy incumbent.
-    OptimizerResult greedy = GreedyQonOptimizer(inst_, options_);
+    // Greedy incumbent. Runs unbudgeted: it is the polynomial seed that
+    // makes a budget-capped search anytime (the guard meters the
+    // exponential part, nodes_, below).
+    OptimizerOptions incumbent_options = options_;
+    incumbent_options.budget = {};
+    incumbent_options.cancel = nullptr;
+    OptimizerResult greedy = GreedyQonOptimizer(inst_, incumbent_options);
     if (greedy.feasible) {
       best_ = greedy;
     }
@@ -39,6 +47,7 @@ class BnbSearch {
     BnbResult out;
     out.result = best_;
     out.result.evaluations = nodes_;
+    out.result.status = guard_.status();
     out.nodes = nodes_;
     out.proven_optimal = best_.feasible && !aborted_;
     return out;
@@ -61,6 +70,13 @@ class BnbSearch {
     if (node_limit_ > 0 && nodes_ > node_limit_) {
       aborted_ = true;
       aborts.Increment();
+      return;
+    }
+    // Anytime budget/deadline (distinct from the legacy node_limit knob:
+    // that one stays status-kComplete for bit-compatibility; the guard
+    // reports its trip through result.status).
+    if (guard_.ShouldStop(nodes_)) {
+      aborted_ = true;
       return;
     }
     // Cost prune.
@@ -136,6 +152,7 @@ class BnbSearch {
   const QonInstance& inst_;
   uint64_t node_limit_;
   OptimizerOptions options_;
+  RunGuard guard_;
   OptimizerResult best_;
   std::unordered_map<uint64_t, LogDouble> seen_;
   uint64_t nodes_ = 0;

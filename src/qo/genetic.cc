@@ -104,7 +104,12 @@ OptimizerResult GeneticOptimizer(const QonInstance& inst, Rng* rng,
     evaluate(&ind);
   }
 
+  // Checked once per generation (after the initial population, so a capped
+  // run always carries the best initial individual). `evaluate` folds the
+  // best-so-far continuously, making the cut lossless.
+  RunGuard guard(options.base.budget, options.base.cancel);
   for (int gen = 0; gen < options.generations; ++gen) {
+    if (guard.ShouldStop(result.evaluations)) break;
     generations.Increment();
     std::sort(population.begin(), population.end(),
               [&](const Individual& x, const Individual& y) {
@@ -143,6 +148,7 @@ OptimizerResult GeneticOptimizer(const QonInstance& inst, Rng* rng,
     }
     population = std::move(next);
   }
+  result.status = guard.status();
   return result;
 }
 

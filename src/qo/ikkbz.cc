@@ -94,7 +94,9 @@ Chain Normalize(Module head, Chain tail) {
 
 class IkkbzSolver {
  public:
-  explicit IkkbzSolver(const QonInstance& inst) : inst_(inst) {}
+  IkkbzSolver(const QonInstance& inst, const Budget& budget,
+              CancelToken* cancel)
+      : inst_(inst), guard_(budget, cancel) {}
 
   OptimizerResult Solve() {
     static obs::Counter& roots =
@@ -102,6 +104,9 @@ class IkkbzSolver {
     int n = inst_.NumRelations();
     OptimizerResult result;
     for (int root = 0; root < n; ++root) {
+      // Between roots only — the first root always completes, so a
+      // cut-short run still returns a full feasible sequence.
+      if (guard_.ShouldStop(result.evaluations)) break;
       roots.Increment();
       JoinSequence seq = SolveForRoot(root);
       LogDouble cost = QonSequenceCost(inst_, seq);
@@ -112,6 +117,7 @@ class IkkbzSolver {
         result.sequence = std::move(seq);
       }
     }
+    result.status = guard_.status();
     return result;
   }
 
@@ -146,6 +152,7 @@ class IkkbzSolver {
   }
 
   const QonInstance& inst_;
+  RunGuard guard_;
 };
 
 }  // namespace
@@ -155,10 +162,11 @@ bool IsTreeQueryGraph(const Graph& g) {
          g.IsConnected();
 }
 
-OptimizerResult IkkbzOptimizer(const QonInstance& inst) {
+OptimizerResult IkkbzOptimizer(const QonInstance& inst, const Budget& budget,
+                               CancelToken* cancel) {
   AQO_CHECK(IsTreeQueryGraph(inst.graph())) << "IK/KBZ requires a tree query graph";
   AQO_CHECK(inst.NumRelations() >= 2);
-  IkkbzSolver solver(inst);
+  IkkbzSolver solver(inst, budget, cancel);
   return solver.Solve();
 }
 

@@ -93,9 +93,11 @@ OptimizerResult ExhaustiveQonOptimizer(const QonInstance& inst,
   AQO_CHECK(n <= 10) << "exhaustive search is n! — use DpQonOptimizer";
   static obs::Counter& permutations = CounterRef("qon.exhaustive.permutations");
   static obs::Counter& skipped = CounterRef("qon.exhaustive.skipped");
+  RunGuard guard(options.budget, options.cancel);
   OptimizerResult result;
   JoinSequence seq = IdentitySequence(n);
   do {
+    if (guard.ShouldStop(result.evaluations)) break;
     permutations.Increment();
     if (!SequenceAllowed(inst, seq, options)) {
       skipped.Increment();
@@ -109,6 +111,7 @@ OptimizerResult ExhaustiveQonOptimizer(const QonInstance& inst,
       result.sequence = seq;
     }
   } while (std::next_permutation(seq.begin(), seq.end()));
+  result.status = guard.status();
   return result;
 }
 
@@ -198,6 +201,24 @@ OptimizerResult FinishDp(const QonInstance& inst,
   return result;
 }
 
+// Best-so-far plan for a DP cut short mid-table: the partial dp table has
+// no full-set plan yet, so the anytime answer is the greedy plan (run
+// unbudgeted — it is polynomial and already the DP's quality floor).
+// Deterministic: a pure function of the instance. `dp_evaluations` keeps
+// the total evaluation count honest about the DP work already spent.
+OptimizerResult FinishDpCutShort(const QonInstance& inst,
+                                 const OptimizerOptions& options,
+                                 PlanStatus status, uint64_t dp_evaluations) {
+  OptimizerOptions fallback = options;
+  fallback.budget = {};
+  fallback.cancel = nullptr;
+  fallback.pool = nullptr;
+  OptimizerResult result = GreedyQonOptimizer(inst, fallback);
+  result.evaluations += dp_evaluations;
+  result.status = status;
+  return result;
+}
+
 void FlushDpCounters(uint64_t states, uint64_t transitions, uint64_t pruned) {
   static obs::Counter& dp_states = CounterRef("qon.dp.states");
   static obs::Counter& dp_transitions = CounterRef("qon.dp.transitions");
@@ -237,9 +258,14 @@ OptimizerResult DpQonOptimizerSerial(const QonInstance& inst,
     last[mask] = static_cast<int8_t>(i);
   }
 
+  RunGuard guard(options.budget, options.cancel);
   uint64_t local_states = 0, local_pruned = 0;
   uint64_t evaluations = 0;
   for (size_t mask = 1; mask <= full; ++mask) {
+    if (guard.ShouldStop(evaluations)) {
+      FlushDpCounters(local_states, evaluations, local_pruned);
+      return FinishDpCutShort(inst, options, guard.status(), evaluations);
+    }
     if (!reachable[mask]) continue;
     for (int j = 0; j < n; ++j) {
       size_t bit = static_cast<size_t>(1) << j;
@@ -310,11 +336,21 @@ OptimizerResult DpQonOptimizerParallel(const QonInstance& inst,
   // per state, no cross-thread merge of float values at all. Per-chunk
   // counter locals are summed (order-free uint64 adds) and flushed once on
   // this thread.
+  // Cancellation is checked at layer boundaries only: each layer's
+  // evaluation total is a pure function of the instance, so even the
+  // budget path trips at the same point for every thread count. (The
+  // dispatcher still routes budget-capped runs to the serial DP for the
+  // tighter per-mask granularity.)
+  RunGuard guard(options.budget, options.cancel);
   size_t chunk_count = static_cast<size_t>(pool->num_threads());
   std::vector<uint64_t> chunk_states(chunk_count), chunk_evals(chunk_count),
       chunk_pruned(chunk_count);
   uint64_t total_states = 0, total_evals = 0, total_pruned = 0;
   for (int k = 1; k < n; ++k) {
+    if (guard.ShouldStop(total_evals)) {
+      FlushDpCounters(total_states, total_evals, total_pruned);
+      return FinishDpCutShort(inst, options, guard.status(), total_evals);
+    }
     EnumerateLayer(n, k + 1, &layer);
     std::fill(chunk_states.begin(), chunk_states.end(), 0);
     std::fill(chunk_evals.begin(), chunk_evals.end(), 0);
@@ -371,7 +407,11 @@ OptimizerResult DpQonOptimizerParallel(const QonInstance& inst,
 
 OptimizerResult DpQonOptimizer(const QonInstance& inst,
                                const OptimizerOptions& options) {
-  if (options.pool != nullptr && options.pool->num_threads() > 1) {
+  // Budget-capped runs always take the serial DP: its per-mask check
+  // gives the cap real bite on small caps, and the capped trajectory is
+  // trivially thread-count independent (see docs/robustness.md).
+  if (options.budget.max_evaluations == 0 && options.pool != nullptr &&
+      options.pool->num_threads() > 1) {
     return DpQonOptimizerParallel(inst, options.pool, options);
   }
   return DpQonOptimizerSerial(inst, options);
@@ -384,8 +424,12 @@ OptimizerResult GreedyQonOptimizer(const QonInstance& inst,
   static obs::Counter& starts = CounterRef("qon.greedy.starts");
   static obs::Counter& extensions = CounterRef("qon.greedy.extensions");
   static obs::Counter& dead_ends = CounterRef("qon.greedy.dead_ends");
+  RunGuard guard(options.budget, options.cancel);
   OptimizerResult result;
   for (int start = 0; start < n; ++start) {
+    // Between starts only: a cut-short greedy still returns complete
+    // constructions, never a partial prefix.
+    if (guard.ShouldStop(result.evaluations)) break;
     starts.Increment();
     std::vector<int> prefix = {start};
     DynamicBitset placed(n);
@@ -435,6 +479,7 @@ OptimizerResult GreedyQonOptimizer(const QonInstance& inst,
       result.sequence = prefix;
     }
   }
+  result.status = guard.status();
   return result;
 }
 
@@ -451,8 +496,10 @@ OptimizerResult RandomSamplingOptimizer(const QonInstance& inst, Rng* rng,
   AQO_CHECK(options.samples >= 1);
   static obs::Counter& drawn = CounterRef("qon.random.samples");
   static obs::Counter& rejected = CounterRef("qon.random.rejected");
+  RunGuard guard(options.budget, options.cancel);
   OptimizerResult result;
   for (int s = 0; s < options.samples; ++s) {
+    if (guard.ShouldStop(result.evaluations)) break;
     drawn.Increment();
     JoinSequence seq = RandomSequence(inst, rng, options.forbid_cartesian);
     if (!SequenceAllowed(inst, seq, options)) {
@@ -467,6 +514,7 @@ OptimizerResult RandomSamplingOptimizer(const QonInstance& inst, Rng* rng,
       result.sequence = std::move(seq);
     }
   }
+  result.status = guard.status();
   return result;
 }
 
@@ -488,8 +536,10 @@ OptimizerResult SimulatedAnnealingOptimizer(const QonInstance& inst, Rng* rng,
   static obs::Counter& accepts = CounterRef("qon.sa.accepts");
   static obs::Counter& rejects = CounterRef("qon.sa.rejects");
   static obs::Counter& uphill = CounterRef("qon.sa.uphill_accepts");
+  RunGuard guard(options.budget, options.cancel);
   OptimizerResult result;
   for (int restart = 0; restart < options.sa.restarts; ++restart) {
+    if (guard.ShouldStop(result.evaluations)) break;
     restarts.Increment();
     JoinSequence current = RandomSequence(inst, rng, options.forbid_cartesian);
     if (!SequenceAllowed(inst, current, options)) continue;
@@ -502,6 +552,9 @@ OptimizerResult SimulatedAnnealingOptimizer(const QonInstance& inst, Rng* rng,
     }
     double temperature = options.sa.initial_temperature;
     for (int it = 0; it < options.sa.iterations; ++it) {
+      // Checked before the move draw, so a capped trajectory is an exact
+      // prefix of the uncapped one (the guard never consumes RNG state).
+      if (guard.ShouldStop(result.evaluations)) break;
       JoinSequence candidate = current;
       if (rng->Bernoulli(0.5)) {
         // Swap two positions.
@@ -537,6 +590,7 @@ OptimizerResult SimulatedAnnealingOptimizer(const QonInstance& inst, Rng* rng,
       }
     }
   }
+  result.status = guard.status();
   return result;
 }
 
@@ -556,15 +610,24 @@ OptimizerResult IterativeImprovementOptimizer(const QonInstance& inst,
   static obs::Counter& restart_count = CounterRef("qon.ii.restarts");
   static obs::Counter& improvements = CounterRef("qon.ii.improvements");
   static obs::Counter& local_optima = CounterRef("qon.ii.local_optima");
+  RunGuard guard(options.budget, options.cancel);
   OptimizerResult result;
   for (int restart = 0; restart < options.restarts; ++restart) {
+    if (guard.ShouldStop(result.evaluations)) break;
     restart_count.Increment();
     JoinSequence current = RandomSequence(inst, rng, options.forbid_cartesian);
     if (!SequenceAllowed(inst, current, options)) continue;
     LogDouble current_cost = QonSequenceCost(inst, current);
     ++result.evaluations;
     bool improved = true;
+    bool cut_short = false;
     while (improved) {
+      // A cut mid-descent still folds `current` into the result below, so
+      // the best-so-far reflects every accepted improvement.
+      if (guard.ShouldStop(result.evaluations)) {
+        cut_short = true;
+        break;
+      }
       improved = false;
       for (size_t a = 0; a < current.size() && !improved; ++a) {
         for (size_t b = a + 1; b < current.size() && !improved; ++b) {
@@ -584,24 +647,29 @@ OptimizerResult IterativeImprovementOptimizer(const QonInstance& inst,
         }
       }
     }
-    local_optima.Increment();
+    if (!cut_short) local_optima.Increment();
     if (!result.feasible || current_cost < result.cost) {
       result.feasible = true;
       result.cost = current_cost;
       result.sequence = current;
     }
   }
+  result.status = guard.status();
   return result;
 }
 
-QohOptimizerResult ExhaustiveQohOptimizer(const QohInstance& inst) {
+QohOptimizerResult ExhaustiveQohOptimizer(const QohInstance& inst,
+                                          const Budget& budget,
+                                          CancelToken* cancel) {
   int n = inst.NumRelations();
   AQO_CHECK(n >= 2);
   AQO_CHECK(n <= 9) << "exhaustive QO_H search is n! * n^2";
   static obs::Counter& permutations = CounterRef("qoh.exhaustive.permutations");
+  RunGuard guard(budget, cancel);
   QohOptimizerResult result;
   JoinSequence seq = IdentitySequence(n);
   do {
+    if (guard.ShouldStop(result.evaluations)) break;
     permutations.Increment();
     QohPlan plan = OptimalDecomposition(inst, seq);
     ++result.evaluations;
@@ -612,15 +680,20 @@ QohOptimizerResult ExhaustiveQohOptimizer(const QohInstance& inst) {
       result.decomposition = plan.decomposition;
     }
   } while (std::next_permutation(seq.begin(), seq.end()));
+  result.status = guard.status();
   return result;
 }
 
-QohOptimizerResult GreedyQohOptimizer(const QohInstance& inst) {
+QohOptimizerResult GreedyQohOptimizer(const QohInstance& inst,
+                                      const Budget& budget,
+                                      CancelToken* cancel) {
   int n = inst.NumRelations();
   AQO_CHECK(n >= 2);
   static obs::Counter& starts = CounterRef("qoh.greedy.starts");
+  RunGuard guard(budget, cancel);
   QohOptimizerResult result;
   for (int start = 0; start < n; ++start) {
+    if (guard.ShouldStop(result.evaluations)) break;
     starts.Increment();
     JoinSequence seq = {start};
     DynamicBitset placed(n);
@@ -653,6 +726,7 @@ QohOptimizerResult GreedyQohOptimizer(const QohInstance& inst) {
       result.decomposition = plan.decomposition;
     }
   }
+  result.status = guard.status();
   return result;
 }
 

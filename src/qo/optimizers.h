@@ -11,6 +11,7 @@
 
 #include "qo/qoh.h"
 #include "qo/qon.h"
+#include "util/cancellation.h"
 #include "util/random.h"
 
 namespace aqo {
@@ -22,6 +23,11 @@ struct OptimizerResult {
   JoinSequence sequence;
   LogDouble cost;
   uint64_t evaluations = 0;  // sequences (or DP states) costed
+  // kComplete for a full run; kBudgetExhausted / kDeadlineExceeded when the
+  // run was cut short (sequence/cost are then the best-so-far plan, still
+  // cost-consistent: cost == QonSequenceCost(inst, sequence)). kFailed is
+  // only produced by the batch service (qo/service.h) after a retry fails.
+  PlanStatus status = PlanStatus::kComplete;
 };
 
 // Simulated-annealing knobs, nested in OptimizerOptions so the registry
@@ -70,6 +76,19 @@ struct OptimizerOptions {
 
   // BranchAndBoundQonOptimizer: node budget; 0 = unlimited (exact).
   uint64_t bnb_node_limit = 0;
+
+  // Anytime limits (util/cancellation.h). budget.max_evaluations caps the
+  // run deterministically at that many cost evaluations; budget.deadline_ms
+  // adds a (nondeterministic) wall-clock limit. A default Budget changes
+  // nothing: results, run-logs, and counters are bit-identical to an
+  // unbudgeted build. Note: a capped DpQonOptimizer always takes the
+  // serial path — mid-layer cutoffs in the parallel DP would not be
+  // reproducible across thread counts.
+  Budget budget;
+
+  // Optional shared stop signal (e.g. a batch-wide deadline owned by
+  // qo/service.h). Not owned; may be null. An un-armed token is inert.
+  CancelToken* cancel = nullptr;
 };
 
 // Tries all n! permutations. Guarded to n <= 10.
@@ -160,15 +179,25 @@ struct QohOptimizerResult {
   PipelineDecomposition decomposition;
   LogDouble cost;
   uint64_t evaluations = 0;
+  // Same semantics as OptimizerResult::status; best-so-far plans carry
+  // their own optimal decomposition, so cost stays consistent.
+  PlanStatus status = PlanStatus::kComplete;
 };
 
 // Exhaustive over permutations, each costed with its optimal decomposition.
-// Guarded to n <= 9.
-QohOptimizerResult ExhaustiveQohOptimizer(const QohInstance& inst);
+// Guarded to n <= 9. The optional budget/cancel pair makes it anytime
+// (checked once per permutation); the heuristics in qoh_optimizers.h take
+// theirs through QohOptimizerOptions instead.
+QohOptimizerResult ExhaustiveQohOptimizer(const QohInstance& inst,
+                                          const Budget& budget = {},
+                                          CancelToken* cancel = nullptr);
 
 // Greedy sequence construction for QO_H (min next intermediate size), then
-// optimal decomposition. Polynomial baseline.
-QohOptimizerResult GreedyQohOptimizer(const QohInstance& inst);
+// optimal decomposition. Polynomial baseline. Budget checked between
+// starts.
+QohOptimizerResult GreedyQohOptimizer(const QohInstance& inst,
+                                      const Budget& budget = {},
+                                      CancelToken* cancel = nullptr);
 
 }  // namespace aqo
 

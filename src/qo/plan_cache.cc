@@ -3,6 +3,7 @@
 #include "obs/metrics.h"
 #include "obs/runlog.h"
 #include "util/check.h"
+#include "util/fault_injection.h"
 
 namespace aqo {
 
@@ -55,6 +56,18 @@ bool PlanCache::Lookup(const Hash128& key, CachedPlan* out) {
 void PlanCache::Insert(const Hash128& key, const CachedPlan& plan) {
   static obs::Counter& inserts = CounterRef("qo.plan_cache.inserts");
   static obs::Counter& evictions = CounterRef("qo.plan_cache.evictions");
+  static obs::Counter& dropped = CounterRef("qo.plan_cache.insert_dropped");
+  // Fault site "plan_cache.insert": the k-th insert *attempt* on this
+  // cache instance is dropped. Dropping an insert is the cache's graceful
+  // degradation — results stay correct, later probes just miss. The
+  // attempt counter (not the success counter) keys the ordinal so refresh
+  // and oversize paths count too; the service performs inserts serially
+  // in representative order, keeping the ordinal deterministic.
+  uint64_t attempt = insert_attempts_.fetch_add(1, std::memory_order_relaxed);
+  if (FaultInjector::Get().ShouldFail("plan_cache.insert", attempt)) {
+    dropped.Increment();
+    return;
+  }
   size_t bytes = PlanBytes(plan);
   if (bytes > shard_budget_) return;  // would evict an entire shard
   Shard& shard = ShardFor(key);

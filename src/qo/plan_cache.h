@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "qo/join_sequence.h"
+#include "util/cancellation.h"
 #include "util/hash.h"
 #include "util/log_double.h"
 
@@ -53,6 +54,11 @@ struct CachedPlan {
   std::vector<int> pipeline_starts;
   LogDouble cost;
   uint64_t evaluations = 0;
+  // Cacheable statuses are kComplete and kBudgetExhausted only — both are
+  // deterministic functions of (instance, options, seed). The service
+  // never inserts kDeadlineExceeded (wall-clock dependent) or kFailed
+  // plans (see qo/service.cc).
+  PlanStatus status = PlanStatus::kComplete;
 };
 
 class PlanCache {
@@ -118,6 +124,9 @@ class PlanCache {
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> inserts_{0};
   std::atomic<uint64_t> evictions_{0};
+  // Insert *attempts* (including refreshes and oversize rejections):
+  // the deterministic ordinal for the "plan_cache.insert" fault site.
+  std::atomic<uint64_t> insert_attempts_{0};
 };
 
 }  // namespace aqo

@@ -65,11 +65,14 @@ QohOptimizerResult RandomSamplingQohOptimizer(
   AQO_CHECK(options.samples >= 1);
   static obs::Counter& drawn = CounterRef("qoh.sample.samples");
   int n = inst.NumRelations();
+  RunGuard guard(options.budget, options.cancel);
   QohOptimizerResult best;
   for (int s = 0; s < options.samples; ++s) {
+    if (guard.ShouldStop(best.evaluations)) break;
     drawn.Increment();
     Consider(inst, RandomQohSequence(n, rng, options.sentinel_first), &best);
   }
+  best.status = guard.status();
   return best;
 }
 
@@ -88,8 +91,10 @@ QohOptimizerResult IterativeImprovementQohOptimizer(
   static obs::Counter& restart_count = CounterRef("qoh.ii.restarts");
   static obs::Counter& improvements = CounterRef("qoh.ii.improvements");
   int n = inst.NumRelations();
+  RunGuard guard(options.budget, options.cancel);
   QohOptimizerResult best;
   for (int r = 0; r < options.restarts; ++r) {
+    if (guard.ShouldStop(best.evaluations)) break;
     restart_count.Increment();
     JoinSequence current = RandomQohSequence(n, rng, options.sentinel_first);
     QohPlan plan = OptimalDecomposition(inst, current);
@@ -105,6 +110,9 @@ QohOptimizerResult IterativeImprovementQohOptimizer(
     bool improved = true;
     size_t lo = FirstMovable(options.sentinel_first);
     while (improved) {
+      // `best` already folds every accepted improvement, so a mid-descent
+      // cut loses nothing.
+      if (guard.ShouldStop(best.evaluations)) break;
       improved = false;
       for (size_t a = lo; a + 1 < current.size() && !improved; ++a) {
         std::swap(current[a], current[a + 1]);
@@ -125,6 +133,7 @@ QohOptimizerResult IterativeImprovementQohOptimizer(
       }
     }
   }
+  best.status = guard.status();
   return best;
 }
 
@@ -145,9 +154,11 @@ QohOptimizerResult SimulatedAnnealingQohOptimizer(
   static obs::Counter& accepts = CounterRef("qoh.sa.accepts");
   static obs::Counter& rejects = CounterRef("qoh.sa.rejects");
   int n = inst.NumRelations();
+  RunGuard guard(options.budget, options.cancel);
   QohOptimizerResult best;
   size_t lo = FirstMovable(options.sentinel_first);
   for (int r = 0; r < options.sa.restarts; ++r) {
+    if (guard.ShouldStop(best.evaluations)) break;
     restarts.Increment();
     JoinSequence current = RandomQohSequence(n, rng, options.sentinel_first);
     QohPlan plan = OptimalDecomposition(inst, current);
@@ -162,6 +173,9 @@ QohOptimizerResult SimulatedAnnealingQohOptimizer(
     }
     double temperature = options.sa.initial_temperature;
     for (int it = 0; it < options.sa.iterations; ++it) {
+      // Before the move draw: the guard never consumes RNG state, so a
+      // capped trajectory is an exact prefix of the uncapped one.
+      if (guard.ShouldStop(best.evaluations)) break;
       temperature *= options.sa.cooling;
       JoinSequence candidate = current;
       if (static_cast<size_t>(n) - lo < 2) break;
@@ -189,6 +203,7 @@ QohOptimizerResult SimulatedAnnealingQohOptimizer(
       }
     }
   }
+  best.status = guard.status();
   return best;
 }
 

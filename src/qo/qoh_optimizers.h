@@ -38,6 +38,12 @@ struct QohOptimizerOptions {
   int sentinel_first = -1;
 
   QohSaKnobs sa;
+
+  // Anytime limits — same semantics as OptimizerOptions.budget/.cancel
+  // (util/cancellation.h): a default Budget and an un-armed token change
+  // nothing, bit for bit.
+  Budget budget;
+  CancelToken* cancel = nullptr;
 };
 
 // Best of `options.samples` random sequences. Sequences start from a

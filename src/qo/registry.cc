@@ -54,30 +54,30 @@ OptimizerResult RunBnb(const QonInstance& inst,
   return BranchAndBoundQonOptimizer(inst, options).result;
 }
 
-OptimizerResult RunCout(const QonInstance& inst, const OptimizerOptions&,
-                        Rng*) {
-  return CoutOptimalJoinOrder(inst);
+OptimizerResult RunCout(const QonInstance& inst,
+                        const OptimizerOptions& options, Rng*) {
+  return CoutOptimalJoinOrder(inst, options.budget, options.cancel);
 }
 
-OptimizerResult RunKbz(const QonInstance& inst, const OptimizerOptions&,
-                       Rng*) {
+OptimizerResult RunKbz(const QonInstance& inst,
+                       const OptimizerOptions& options, Rng*) {
   // IK/KBZ only applies to tree query graphs; a non-tree instance is
   // infeasible for it, not an error (so it can ride in --optimizers=
   // lists over mixed workloads).
   if (!IsTreeQueryGraph(inst.graph())) return OptimizerResult{};
-  return IkkbzOptimizer(inst);
+  return IkkbzOptimizer(inst, options.budget, options.cancel);
 }
 
 // --- QO_H wrappers ---
 
 QohOptimizerResult RunQohExhaustive(const QohInstance& inst,
-                                    const QohOptimizerOptions&, Rng*) {
-  return ExhaustiveQohOptimizer(inst);
+                                    const QohOptimizerOptions& options, Rng*) {
+  return ExhaustiveQohOptimizer(inst, options.budget, options.cancel);
 }
 
 QohOptimizerResult RunQohGreedy(const QohInstance& inst,
-                                const QohOptimizerOptions&, Rng*) {
-  return GreedyQohOptimizer(inst);
+                                const QohOptimizerOptions& options, Rng*) {
+  return GreedyQohOptimizer(inst, options.budget, options.cancel);
 }
 
 QohOptimizerResult RunQohRandom(const QohInstance& inst,

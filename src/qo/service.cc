@@ -1,10 +1,14 @@
 #include "qo/service.h"
 
+#include <exception>
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "obs/runlog.h"
+#include "util/cancellation.h"
 #include "util/check.h"
+#include "util/fault_injection.h"
 #include "util/thread_pool.h"
 
 namespace aqo {
@@ -87,14 +91,30 @@ std::vector<typename Traits::Item> RunBatch(
     }
   }
 
+  // Batch-wide wall-clock deadline, observed cooperatively by every
+  // computed item. Local to the batch; un-armed (deadline_ms <= 0) means
+  // the token is never attached and nothing changes.
+  CancelToken batch_cancel;
+  if (options.deadline_ms > 0) batch_cancel.ArmDeadline(options.deadline_ms);
+
   // Compute the misses, each under its own run-log buffer and its own
   // fingerprint-derived RNG stream.
+  //
+  // Per-item isolation: a throwing item (real exception or the
+  // "service.item" fault site, keyed by the item's instance index so the
+  // ordinal is thread-schedule independent) is retried once with the same
+  // RNG stream and a fresh run-log buffer; a second failure marks that
+  // item kFailed (infeasible, no run record, never cached) and leaves
+  // every sibling untouched. The pool propagates nothing: failures are
+  // absorbed inside the lambda.
+  static obs::Counter& retries =
+      obs::Registry::Get().GetCounter("qo.service.retries");
+  static obs::Counter& failures =
+      obs::Registry::Get().GetCounter("qo.service.failures");
   std::vector<std::string> logs(reps.size());
   ForEach(options.pool, reps.size(), [&](size_t r) {
     if (hit[r]) return;
     const auto& c = canon[reps[r]];
-    obs::RunLogBuffer buffer;
-    Rng rng(MixSeed(options.seed, c.fingerprint.lo));
     obs::InstanceShape shape{.family = std::string(Traits::kFamily),
                              .kind = "batch",
                              .side = "",
@@ -102,11 +122,31 @@ std::vector<typename Traits::Item> RunBatch(
                              .n = c.instance.NumRelations(),
                              .edges = c.instance.graph().NumEdges()};
     auto knobs = Traits::Knobs(options, c);
-    auto result = obs::InstrumentedRun(
-        std::string(Traits::kFamily) + "." + entry->name, shape,
-        [&] { return entry->run(c.instance, knobs, &rng); });
-    plans[r] = Traits::ToPlan(result);
-    logs[r] = buffer.Take();
+    if (options.deadline_ms > 0) knobs.cancel = &batch_cancel;
+    auto attempt = [&] {
+      obs::RunLogBuffer buffer;
+      Rng rng(MixSeed(options.seed, c.fingerprint.lo));
+      FaultInjector::Get().MaybeThrow("service.item", reps[r]);
+      auto result = obs::InstrumentedRun(
+          std::string(Traits::kFamily) + "." + entry->name, shape,
+          [&] { return entry->run(c.instance, knobs, &rng); });
+      plans[r] = Traits::ToPlan(result);
+      logs[r] = buffer.Take();
+    };
+    try {
+      attempt();
+    } catch (const std::exception&) {
+      retries.Increment();
+      try {
+        attempt();
+      } catch (const std::exception&) {
+        failures.Increment();
+        CachedPlan failed;
+        failed.status = PlanStatus::kFailed;
+        plans[r] = failed;
+        logs[r].clear();
+      }
+    }
   });
 
   // Replay buffered records in representative (= first occurrence) order,
@@ -119,7 +159,16 @@ std::vector<typename Traits::Item> RunBatch(
   }
   if (options.cache != nullptr) {
     for (size_t r = 0; r < reps.size(); ++r) {
-      if (!hit[r]) options.cache->Insert(keys[reps[r]], plans[r]);
+      if (hit[r]) continue;
+      // Only deterministic outcomes are cacheable: complete and
+      // budget-exhausted plans are pure functions of (instance, options,
+      // seed). Deadline-cut plans depend on the wall clock and failed
+      // items must stay retryable — neither may poison the cache.
+      if (plans[r].status != PlanStatus::kComplete &&
+          plans[r].status != PlanStatus::kBudgetExhausted) {
+        continue;
+      }
+      options.cache->Insert(keys[reps[r]], plans[r]);
     }
   }
 
@@ -164,7 +213,8 @@ struct QonTraits {
     return options.qon;
   }
   static CachedPlan ToPlan(const OptimizerResult& r) {
-    return CachedPlan{r.feasible, r.sequence, {}, r.cost, r.evaluations};
+    return CachedPlan{r.feasible, r.sequence, {}, r.cost, r.evaluations,
+                      r.status};
   }
   static void FromPlan(const CachedPlan& plan,
                        const std::vector<int>& from_canonical,
@@ -172,6 +222,7 @@ struct QonTraits {
     out->feasible = plan.feasible;
     out->cost = plan.cost;
     out->evaluations = plan.evaluations;
+    out->status = plan.status;
     out->sequence = MapSequenceFromCanonical(plan.sequence, from_canonical);
   }
 };
@@ -211,7 +262,7 @@ struct QohTraits {
   }
   static CachedPlan ToPlan(const QohOptimizerResult& r) {
     return CachedPlan{r.feasible, r.sequence, r.decomposition.starts, r.cost,
-                      r.evaluations};
+                      r.evaluations, r.status};
   }
   static void FromPlan(const CachedPlan& plan,
                        const std::vector<int>& from_canonical,
@@ -219,6 +270,7 @@ struct QohTraits {
     out->feasible = plan.feasible;
     out->cost = plan.cost;
     out->evaluations = plan.evaluations;
+    out->status = plan.status;
     out->sequence = MapSequenceFromCanonical(plan.sequence, from_canonical);
     // Decompositions are positional (fragment boundaries by join index),
     // so they survive relabeling unchanged.
@@ -260,6 +312,11 @@ Hash128 QonPlanCacheKey(const Hash128& fingerprint, std::string_view optimizer,
   acc.Add(static_cast<uint64_t>(options.ga.tournament));
   acc.Add(static_cast<uint64_t>(options.ga.elites));
   acc.Add(options.bnb_node_limit);
+  // Deterministic eval cap: different caps yield different (valid)
+  // best-so-far plans, so they must not alias. Deadlines and cancel
+  // tokens are deliberately absent — deadline-cut plans are never
+  // inserted in the first place.
+  acc.Add(options.budget.max_evaluations);
   acc.Add(seed);
   return acc.Digest();
 }
@@ -280,6 +337,8 @@ Hash128 QohPlanCacheKey(const Hash128& fingerprint, std::string_view optimizer,
   acc.AddDouble(options.sa.initial_temperature);
   acc.AddDouble(options.sa.cooling);
   acc.Add(static_cast<uint64_t>(options.sa.restarts));
+  // See QonPlanCacheKey: the eval cap shapes the cached plan bits.
+  acc.Add(options.budget.max_evaluations);
   acc.Add(seed);
   return acc.Digest();
 }

@@ -55,8 +55,21 @@ struct BatchOptions {
 
   // Consult/populate this cache when set. Never changes any result bit.
   PlanCache* cache = nullptr;
+
+  // Wall-clock deadline for the whole batch (<= 0 = none). When armed, a
+  // batch-wide CancelToken is threaded into every computed item: items
+  // past the deadline return best-so-far plans with status
+  // kDeadlineExceeded, and such plans are never inserted into the cache
+  // (they are not deterministic). Deterministic per-item budgets belong on
+  // qon.budget / qoh.budget instead.
+  double deadline_ms = 0.0;
 };
 
+// Per-item fault isolation: an item whose optimizer throws (or trips an
+// injected fault, util/fault_injection.h) is retried exactly once with
+// the same RNG stream; a second failure yields an infeasible result with
+// result.status == PlanStatus::kFailed for that item only — sibling
+// items, the cache, and counter totals are unaffected.
 struct QonBatchItem {
   OptimizerResult result;  // in the caller's labels
   bool from_cache = false;

@@ -1,0 +1,78 @@
+#include "util/cancellation.h"
+
+#include "obs/metrics.h"
+
+namespace aqo {
+
+const char* PlanStatusName(PlanStatus status) {
+  switch (status) {
+    case PlanStatus::kComplete:
+      return "complete";
+    case PlanStatus::kBudgetExhausted:
+      return "budget_exhausted";
+    case PlanStatus::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case PlanStatus::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+RunGuard::RunGuard(const Budget& budget, CancelToken* token)
+    : max_evaluations_(budget.max_evaluations), token_(token) {
+  if (budget.deadline_ms > 0) {
+    has_deadline_ = true;
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(budget.deadline_ms));
+  }
+  // A token with nothing armed (no deadline, no stop request) leaves the
+  // guard inert so unbudgeted runs stay bit-identical to a null token.
+  bool token_active = token_ != nullptr && token_->armed();
+  active_ = max_evaluations_ > 0 || has_deadline_ || token_active;
+  if (has_deadline_ || token_active) {
+    static obs::Counter& armed =
+        obs::Registry::Get().GetCounter("qo.deadline.armed");
+    armed.Increment();
+  }
+}
+
+bool RunGuard::ShouldStopSlow(uint64_t evaluations) {
+  if (status_ != PlanStatus::kComplete) return true;
+  // Deterministic cap first: it must trip at the same evaluation count
+  // regardless of how fast the wall clock is moving.
+  if (max_evaluations_ != 0 && evaluations >= max_evaluations_) {
+    Trip(PlanStatus::kBudgetExhausted);
+    return true;
+  }
+  if (!has_deadline_ && token_ == nullptr) return false;
+  // Poll the clock (and the shared token) on an evaluation stride so the
+  // per-check cost stays a compare, however many evaluations one check
+  // covers.
+  if (evaluations < next_poll_evals_) return false;
+  next_poll_evals_ = evaluations + kDeadlinePollStride;
+  if (token_ != nullptr && token_->Expired()) {
+    Trip(PlanStatus::kDeadlineExceeded);
+    return true;
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    Trip(PlanStatus::kDeadlineExceeded);
+    return true;
+  }
+  return false;
+}
+
+void RunGuard::Trip(PlanStatus status) {
+  status_ = status;
+  if (status == PlanStatus::kBudgetExhausted) {
+    static obs::Counter& budget =
+        obs::Registry::Get().GetCounter("qo.cancel.budget_exhausted");
+    budget.Increment();
+  } else if (status == PlanStatus::kDeadlineExceeded) {
+    static obs::Counter& deadline =
+        obs::Registry::Get().GetCounter("qo.cancel.deadline_exceeded");
+    deadline.Increment();
+  }
+}
+
+}  // namespace aqo

@@ -1,0 +1,140 @@
+#ifndef AQO_UTIL_CANCELLATION_H_
+#define AQO_UTIL_CANCELLATION_H_
+
+// Cooperative cancellation for anytime optimization. Every optimizer run
+// can carry a Budget: a deterministic cost-evaluation cap and/or a
+// wall-clock deadline. Optimizers poll a RunGuard inside their hot loops
+// and, when cut short, return their best-so-far plan together with an
+// explicit PlanStatus instead of running to completion.
+//
+// Determinism contract (docs/robustness.md): the evaluation cap is an
+// integer compare against a monotone counter the optimizer already
+// maintains, so a capped run is a pure function of (instance, options,
+// seed) — bit-identical across threads, runs, and cache state. Wall-clock
+// deadlines are inherently nondeterministic and are never exercised by
+// tier-1 tests. When neither is armed the guard is inert: no counters, no
+// clock reads, no behavior change.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace aqo {
+
+// Outcome of an optimizer run (or of a batch item). `kComplete` is the
+// zero value so default-constructed results read as complete.
+enum class PlanStatus : uint8_t {
+  kComplete = 0,          // ran to its natural end
+  kBudgetExhausted = 1,   // evaluation cap hit; result is best-so-far
+  kDeadlineExceeded = 2,  // wall-clock deadline hit; result is best-so-far
+  kFailed = 3,            // run threw (or was faulted) and retry failed
+};
+
+// Stable lowercase name, e.g. "budget_exhausted" (used in run-log JSON).
+const char* PlanStatusName(PlanStatus status);
+
+// Resource limits for one optimizer run. Zero values mean unlimited; a
+// default Budget imposes nothing and perturbs nothing.
+struct Budget {
+  // Stop after this many cost evaluations (0 = unlimited). Deterministic.
+  uint64_t max_evaluations = 0;
+  // Stop after this much wall time (<= 0 = none). Nondeterministic.
+  double deadline_ms = 0.0;
+
+  bool limited() const { return max_evaluations > 0 || deadline_ms > 0; }
+};
+
+// Shared stop signal, e.g. one per service batch. Arms an absolute
+// wall-clock deadline and/or an explicit stop request; many RunGuards may
+// observe one token concurrently. Copying is disabled — share by pointer.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  // Arms a wall-clock deadline `deadline_ms` from now (<= 0 clears it).
+  void ArmDeadline(double deadline_ms) {
+    if (deadline_ms > 0) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::milli>(deadline_ms));
+      has_deadline_.store(true, std::memory_order_release);
+    } else {
+      has_deadline_.store(false, std::memory_order_release);
+    }
+  }
+
+  // Explicit stop, independent of any deadline.
+  void RequestStop() { stop_.store(true, std::memory_order_release); }
+
+  bool stop_requested() const {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+  // True once a deadline is armed (whether or not it has passed).
+  bool armed() const {
+    return has_deadline_.load(std::memory_order_acquire) || stop_requested();
+  }
+
+  // True when stopped or past the armed deadline. Reads the clock, so
+  // callers should poll it on a stride, not per iteration.
+  bool Expired() const {
+    if (stop_requested()) return true;
+    if (!has_deadline_.load(std::memory_order_acquire)) return false;
+    return std::chrono::steady_clock::now() >= deadline_;
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> has_deadline_{false};
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+// Per-invocation guard combining an options-level Budget with an optional
+// shared CancelToken. Cheap to construct; the hot-path check is a single
+// branch when inactive and an integer compare when only the evaluation
+// cap is armed. Not thread-safe: one guard per optimizer invocation.
+class RunGuard {
+ public:
+  // How many evaluations between wall-clock polls. Strided on the
+  // caller's evaluation count, not on ShouldStop() calls: optimizers
+  // whose checks each cover O(n^2) evaluations (greedy, ii) would
+  // otherwise make too few calls per run to ever reach a call-count
+  // stride. Deadline precision is bounded by the cost of `stride`
+  // evaluations plus the span of one check interval.
+  static constexpr uint64_t kDeadlinePollStride = 256;
+
+  RunGuard(const Budget& budget, CancelToken* token);
+
+  // Returns true when the run should stop; `evaluations` is the caller's
+  // monotone evaluation count. The first tripping call latches the status
+  // and bumps the matching qo.cancel.* counter; later calls return true
+  // without re-counting. Never consumes RNG state.
+  bool ShouldStop(uint64_t evaluations) {
+    if (!active_) return false;
+    return ShouldStopSlow(evaluations);
+  }
+
+  // kComplete until the guard trips.
+  PlanStatus status() const { return status_; }
+
+  // True when any limit (budget, deadline, or token) is armed.
+  bool active() const { return active_; }
+
+ private:
+  bool ShouldStopSlow(uint64_t evaluations);
+  void Trip(PlanStatus status);
+
+  uint64_t max_evaluations_ = 0;  // 0 = unlimited
+  CancelToken* token_ = nullptr;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  bool active_ = false;
+  uint64_t next_poll_evals_ = 0;
+  PlanStatus status_ = PlanStatus::kComplete;
+};
+
+}  // namespace aqo
+
+#endif  // AQO_UTIL_CANCELLATION_H_

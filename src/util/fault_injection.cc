@@ -1,0 +1,43 @@
+#include "util/fault_injection.h"
+
+namespace aqo {
+
+FaultInjector& FaultInjector::Get() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(const std::string& site, uint64_t ordinal, int times) {
+  std::lock_guard<std::mutex> lock(mu_);
+  site_ = site;
+  ordinal_ = ordinal;
+  remaining_ = times;
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  site_.clear();
+  remaining_ = 0;
+  armed_.store(false, std::memory_order_release);
+}
+
+bool FaultInjector::ShouldFail(const char* site, uint64_t ordinal) {
+  if (!armed_.load(std::memory_order_acquire)) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (remaining_ <= 0 || site_ != site ||
+      (ordinal_ != kAnyOrdinal && ordinal != ordinal_)) {
+    return false;
+  }
+  --remaining_;
+  return true;
+}
+
+void FaultInjector::MaybeThrow(const char* site, uint64_t ordinal) {
+  if (ShouldFail(site, ordinal)) {
+    throw FaultInjectedError(std::string("injected fault at ") + site + "#" +
+                             std::to_string(ordinal));
+  }
+}
+
+}  // namespace aqo

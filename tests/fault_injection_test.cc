@@ -1,0 +1,204 @@
+// Fault-injection proofs for the batch service (qo/service.h) and the
+// plan cache, driven by the deterministic injector
+// (util/fault_injection.h):
+//
+//   * an injected per-item fault is retried exactly once with the same
+//     RNG stream, so a single-shot fault recovers bit-identically;
+//   * a two-shot (permanent) fault marks that item kFailed while every
+//     sibling item stays bit-identical — across threads {1, 2, 4} and
+//     cache on/off — and the failed item stays retryable;
+//   * a dropped cache insert degrades gracefully: results never change,
+//     later probes just miss.
+//
+// Ordinals come from program structure (batch item index, per-cache
+// insert sequence), so every scenario reproduces bit-identically
+// regardless of thread schedule.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "qo/plan_cache.h"
+#include "qo/registry.h"
+#include "qo/service.h"
+#include "qo/workloads.h"
+#include "util/fault_injection.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace aqo {
+namespace {
+
+constexpr uint64_t kSeed = 7;
+const int kThreadCounts[] = {1, 2, 4};
+
+// Distinct (non-duplicate) instances so every item is its own
+// representative: the "service.item" ordinal equals the item index
+// whether or not a cache deduplicates the batch.
+std::vector<QonInstance> DistinctInstances() {
+  Rng rng(51);
+  std::vector<QonInstance> batch;
+  for (int i = 0; i < 6; ++i) {
+    batch.push_back(RandomQonWorkload(6 + (i % 3), &rng));
+  }
+  return batch;
+}
+
+BatchOptions BaseOptions() {
+  BatchOptions options;
+  options.optimizer = "sa";  // stochastic: retry-with-same-stream matters
+  options.qon.sa.iterations = 200;
+  options.qon.sa.restarts = 1;
+  options.seed = kSeed;
+  return options;
+}
+
+uint64_t CounterValue(const char* name) {
+  return obs::Registry::Get().GetCounter(name).Value();
+}
+
+void ExpectItemBits(const QonBatchItem& want, const QonBatchItem& got,
+                    const std::string& label) {
+  EXPECT_EQ(want.result.feasible, got.result.feasible) << label;
+  EXPECT_EQ(want.result.cost.Log2(), got.result.cost.Log2()) << label;
+  EXPECT_EQ(want.result.sequence, got.result.sequence) << label;
+  EXPECT_EQ(want.result.evaluations, got.result.evaluations) << label;
+  EXPECT_EQ(want.result.status, got.result.status) << label;
+}
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Get().Disarm(); }
+  void TearDown() override { FaultInjector::Get().Disarm(); }
+};
+
+TEST_F(FaultInjectionTest, SingleShotFaultRetriesOnceAndRecoversBitwise) {
+  std::vector<QonInstance> batch = DistinctInstances();
+  BatchOptions options = BaseOptions();
+  std::vector<QonBatchItem> reference = OptimizeQonBatch(batch, options);
+
+  constexpr uint64_t kVictim = 2;
+  for (int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    options.pool = &pool;
+    std::string label = "threads=" + std::to_string(threads);
+
+    uint64_t retries_before = CounterValue("qo.service.retries");
+    uint64_t failures_before = CounterValue("qo.service.failures");
+    FaultInjector::Get().Arm("service.item", kVictim, /*times=*/1);
+    std::vector<QonBatchItem> got = OptimizeQonBatch(batch, options);
+    FaultInjector::Get().Disarm();
+
+    // Exactly one retry, no failure, and — because the retry re-seeds the
+    // identical RNG stream — every item, victim included, is bit-equal.
+    EXPECT_EQ(CounterValue("qo.service.retries") - retries_before, 1u)
+        << label;
+    EXPECT_EQ(CounterValue("qo.service.failures") - failures_before, 0u)
+        << label;
+    ASSERT_EQ(got.size(), reference.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      ExpectItemBits(reference[i], got[i],
+                     label + " item " + std::to_string(i));
+      EXPECT_EQ(got[i].result.status, PlanStatus::kComplete) << label;
+    }
+  }
+}
+
+TEST_F(FaultInjectionTest, PermanentFaultFailsOnlyTheVictim) {
+  std::vector<QonInstance> batch = DistinctInstances();
+  BatchOptions options = BaseOptions();
+  std::vector<QonBatchItem> reference = OptimizeQonBatch(batch, options);
+
+  constexpr uint64_t kVictim = 3;
+  for (int threads : kThreadCounts) {
+    for (bool use_cache : {false, true}) {
+      ThreadPool pool(threads);
+      PlanCache cache;
+      options.pool = &pool;
+      options.cache = use_cache ? &cache : nullptr;
+      std::string label = "threads=" + std::to_string(threads) +
+                          " cache=" + (use_cache ? "on" : "off");
+
+      uint64_t retries_before = CounterValue("qo.service.retries");
+      uint64_t failures_before = CounterValue("qo.service.failures");
+      FaultInjector::Get().Arm("service.item", kVictim, /*times=*/2);
+      std::vector<QonBatchItem> got = OptimizeQonBatch(batch, options);
+      FaultInjector::Get().Disarm();
+
+      EXPECT_EQ(CounterValue("qo.service.retries") - retries_before, 1u)
+          << label;
+      EXPECT_EQ(CounterValue("qo.service.failures") - failures_before, 1u)
+          << label;
+      ASSERT_EQ(got.size(), reference.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        if (i == kVictim) {
+          EXPECT_FALSE(got[i].result.feasible) << label;
+          EXPECT_EQ(got[i].result.status, PlanStatus::kFailed) << label;
+          continue;
+        }
+        ExpectItemBits(reference[i], got[i],
+                       label + " sibling " + std::to_string(i));
+      }
+
+      if (use_cache) {
+        // kFailed is never cached, so the victim stays retryable: the
+        // next (fault-free) run through the same cache recomputes it and
+        // matches the reference bit for bit.
+        std::vector<QonBatchItem> healed = OptimizeQonBatch(batch, options);
+        for (size_t i = 0; i < healed.size(); ++i) {
+          ExpectItemBits(reference[i], healed[i],
+                         label + " healed " + std::to_string(i));
+        }
+        EXPECT_FALSE(got[kVictim].from_cache) << label;
+      }
+      options.cache = nullptr;
+    }
+  }
+}
+
+TEST_F(FaultInjectionTest, DroppedCacheInsertDegradesGracefully) {
+  std::vector<QonInstance> batch = DistinctInstances();
+  BatchOptions options = BaseOptions();
+  std::vector<QonBatchItem> reference = OptimizeQonBatch(batch, options);
+
+  PlanCache cache;
+  options.cache = &cache;
+  uint64_t dropped_before = CounterValue("qo.plan_cache.insert_dropped");
+  // Drop the first insert *attempt* on this cache instance.
+  FaultInjector::Get().Arm("plan_cache.insert", /*ordinal=*/0, /*times=*/1);
+  std::vector<QonBatchItem> cold = OptimizeQonBatch(batch, options);
+  FaultInjector::Get().Disarm();
+
+  EXPECT_EQ(CounterValue("qo.plan_cache.insert_dropped") - dropped_before, 1u);
+  EXPECT_EQ(cache.GetStats().inserts, batch.size() - 1);
+  ASSERT_EQ(cold.size(), reference.size());
+  for (size_t i = 0; i < cold.size(); ++i) {
+    ExpectItemBits(reference[i], cold[i], "cold item " + std::to_string(i));
+  }
+
+  // The dropped entry is simply recomputed on the next run — same bits —
+  // and this time its insert goes through.
+  std::vector<QonBatchItem> warm = OptimizeQonBatch(batch, options);
+  for (size_t i = 0; i < warm.size(); ++i) {
+    ExpectItemBits(reference[i], warm[i], "warm item " + std::to_string(i));
+  }
+  EXPECT_EQ(cache.GetStats().inserts, batch.size());
+}
+
+TEST_F(FaultInjectionTest, MaybeThrowThrowsOnlyAtTheArmedOrdinal) {
+  FaultInjector::Get().Arm("service.item", 5, /*times=*/1);
+  EXPECT_NO_THROW(FaultInjector::Get().MaybeThrow("service.item", 4));
+  EXPECT_NO_THROW(FaultInjector::Get().MaybeThrow("plan_cache.insert", 5));
+  EXPECT_THROW(FaultInjector::Get().MaybeThrow("service.item", 5),
+               FaultInjectedError);
+  // The shot is spent; the same ordinal passes now.
+  EXPECT_NO_THROW(FaultInjector::Get().MaybeThrow("service.item", 5));
+  EXPECT_TRUE(FaultInjector::Get().armed());
+  FaultInjector::Get().Disarm();
+  EXPECT_FALSE(FaultInjector::Get().armed());
+}
+
+}  // namespace
+}  // namespace aqo

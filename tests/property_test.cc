@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <regex>
 #include <sstream>
 #include <string>
@@ -17,8 +18,10 @@
 #include "graph/clique.h"
 #include "graph/generators.h"
 #include "obs/runlog.h"
+#include "qo/analysis.h"
 #include "qo/optimizers.h"
 #include "qo/qoh.h"
+#include "qo/registry.h"
 #include "qo/workloads.h"
 #include "reductions/clique_to_qon.h"
 #include "reductions/sat_to_clique.h"
@@ -415,6 +418,175 @@ TEST(PlanCacheProperty, CacheHitUnderRelabelingMatchesColdRun) {
     // the relabeled instance.
     EXPECT_EQ(QonSequenceCost(relabeled, second[0].result.sequence).Log2(),
               second[0].result.cost.Log2());
+  }
+}
+
+// --- Anytime budgets (util/cancellation.h, docs/robustness.md) ---
+//
+// The RunGuard never consumes RNG state, so a budget-capped run's
+// trajectory is an exact prefix of the uncapped run's. Two properties
+// follow, locked in here:
+//
+//   1. Monotonicity: for the stochastic optimizers, best-so-far cost is
+//      non-increasing as budget_evals grows (same seed).
+//   2. Identity at infinity: an astronomically large cap reproduces the
+//      uncapped run bit for bit, status kComplete included.
+
+TEST(AnytimeBudget, StochasticBestSoFarMonotoneInBudget) {
+  Rng workload_rng(601);
+  QonInstance inst = RandomQonWorkload(10, &workload_rng);
+  const uint64_t budgets[] = {25, 50, 100, 200, 400, 800, 1600};
+  for (const char* name : {"random", "sa", "ii", "ga"}) {
+    OptimizerOptions options;
+    options.samples = 500;
+    options.restarts = 4;
+    options.sa.iterations = 600;
+    options.sa.restarts = 2;
+    options.ga.population = 20;
+    options.ga.generations = 30;
+
+    auto run_with_cap = [&](uint64_t cap) {
+      OptimizerOptions capped = options;
+      capped.budget.max_evaluations = cap;
+      Rng rng(99);  // same seed every run: trajectories share a prefix
+      return OptimizerRegistry::Qon().Run(name, inst, capped, &rng);
+    };
+
+    OptimizerResult uncapped = run_with_cap(0);
+    ASSERT_TRUE(uncapped.feasible) << name;
+    EXPECT_EQ(uncapped.status, PlanStatus::kComplete) << name;
+
+    double prev = std::numeric_limits<double>::infinity();
+    for (uint64_t cap : budgets) {
+      OptimizerResult r = run_with_cap(cap);
+      ASSERT_TRUE(r.feasible) << name << " cap=" << cap;
+      EXPECT_LE(r.cost.Log2(), prev) << name << " cap=" << cap;
+      // Valid plan: the claimed cost is the sequence's actual cost.
+      EXPECT_EQ(QonSequenceCost(inst, r.sequence).Log2(), r.cost.Log2())
+          << name << " cap=" << cap;
+      prev = r.cost.Log2();
+    }
+    // The uncapped result can never be worse than any capped one.
+    EXPECT_LE(uncapped.cost.Log2(), prev) << name;
+  }
+}
+
+TEST(AnytimeBudget, HugeCapReproducesUncappedBitExactly) {
+  Rng workload_rng(602);
+  QonInstance inst = RandomQonWorkload(8, &workload_rng);
+  OptimizerOptions options;
+  options.samples = 100;
+  options.restarts = 2;
+  options.sa.iterations = 300;
+  options.sa.restarts = 1;
+  options.ga.population = 16;
+  options.ga.generations = 8;
+  for (const std::string& name : OptimizerRegistry::Qon().Names()) {
+    Rng rng_uncapped(7);
+    OptimizerResult uncapped =
+        OptimizerRegistry::Qon().Run(name, inst, options, &rng_uncapped);
+
+    OptimizerOptions huge = options;
+    huge.budget.max_evaluations = ~0ull;  // armed but unreachable
+    Rng rng_capped(7);
+    OptimizerResult capped =
+        OptimizerRegistry::Qon().Run(name, inst, huge, &rng_capped);
+
+    EXPECT_EQ(capped.feasible, uncapped.feasible) << name;
+    EXPECT_EQ(capped.cost.Log2(), uncapped.cost.Log2()) << name;
+    EXPECT_EQ(capped.sequence, uncapped.sequence) << name;
+    EXPECT_EQ(capped.evaluations, uncapped.evaluations) << name;
+    EXPECT_EQ(capped.status, PlanStatus::kComplete) << name;
+    EXPECT_EQ(uncapped.status, PlanStatus::kComplete) << name;
+  }
+}
+
+// Acceptance sweep: a tightly capped run of EVERY registry optimizer
+// returns a valid (cost-consistent) best-so-far plan with status
+// budget_exhausted, deterministically across repeat runs and — for the
+// pool-aware DP — across thread counts (the capped DP always takes the
+// serial path, qo/optimizers.cc).
+TEST(AnytimeBudget, EveryQonOptimizerReturnsBestSoFarUnderTightCap) {
+  Rng workload_rng(603);
+  WorkloadOptions tree;
+  tree.shape = WorkloadShape::kTree;  // trees: kbz is feasible too
+  QonInstance inst = RandomQonWorkload(8, &workload_rng, tree);
+
+  OptimizerOptions options;
+  options.samples = 100;
+  options.restarts = 3;
+  options.sa.iterations = 300;
+  options.sa.restarts = 2;
+  options.ga.population = 16;
+  options.ga.generations = 8;
+  options.budget.max_evaluations = 5;
+
+  for (const std::string& name : OptimizerRegistry::Qon().Names()) {
+    Rng rng_a(11);
+    OptimizerResult a = OptimizerRegistry::Qon().Run(name, inst, options, &rng_a);
+    ASSERT_TRUE(a.feasible) << name;
+    EXPECT_EQ(a.status, PlanStatus::kBudgetExhausted) << name;
+    // Cost consistency under the optimizer's own metric.
+    LogDouble want = (name == "cout") ? CoutSequenceCost(inst, a.sequence)
+                                      : QonSequenceCost(inst, a.sequence);
+    EXPECT_EQ(want.Log2(), a.cost.Log2()) << name;
+
+    // Deterministic: an identical repeat run is bit-identical.
+    Rng rng_b(11);
+    OptimizerResult b = OptimizerRegistry::Qon().Run(name, inst, options, &rng_b);
+    EXPECT_EQ(a.cost.Log2(), b.cost.Log2()) << name;
+    EXPECT_EQ(a.sequence, b.sequence) << name;
+    EXPECT_EQ(a.evaluations, b.evaluations) << name;
+    EXPECT_EQ(a.status, b.status) << name;
+
+    // Thread counts cannot leak into the capped path.
+    for (int threads : {2, 4}) {
+      ThreadPool pool(threads);
+      OptimizerOptions pooled = options;
+      pooled.pool = &pool;
+      Rng rng_c(11);
+      OptimizerResult c =
+          OptimizerRegistry::Qon().Run(name, inst, pooled, &rng_c);
+      EXPECT_EQ(a.cost.Log2(), c.cost.Log2())
+          << name << " threads=" << threads;
+      EXPECT_EQ(a.sequence, c.sequence) << name << " threads=" << threads;
+      EXPECT_EQ(a.evaluations, c.evaluations)
+          << name << " threads=" << threads;
+      EXPECT_EQ(a.status, c.status) << name << " threads=" << threads;
+    }
+  }
+}
+
+TEST(AnytimeBudget, EveryQohOptimizerReturnsBestSoFarUnderTightCap) {
+  Rng workload_rng(604);
+  QohInstance inst = RandomQohWorkload(6, &workload_rng, 0.6);
+
+  QohOptimizerOptions options;
+  options.samples = 60;
+  options.restarts = 3;
+  options.sa.iterations = 200;
+  options.sa.restarts = 2;
+  options.budget.max_evaluations = 5;
+
+  for (const std::string& name : QohOptimizerRegistry::Get().Names()) {
+    Rng rng_a(13);
+    QohOptimizerResult a =
+        QohOptimizerRegistry::Get().Run(name, inst, options, &rng_a);
+    EXPECT_EQ(a.status, PlanStatus::kBudgetExhausted) << name;
+    if (a.feasible) {
+      // Valid plan: re-deriving the optimal decomposition of the
+      // returned sequence reproduces the claimed cost bits.
+      QohPlan plan = OptimalDecomposition(inst, a.sequence);
+      ASSERT_TRUE(plan.feasible) << name;
+      EXPECT_EQ(plan.cost.Log2(), a.cost.Log2()) << name;
+    }
+    Rng rng_b(13);
+    QohOptimizerResult b =
+        QohOptimizerRegistry::Get().Run(name, inst, options, &rng_b);
+    EXPECT_EQ(a.feasible, b.feasible) << name;
+    EXPECT_EQ(a.cost.Log2(), b.cost.Log2()) << name;
+    EXPECT_EQ(a.sequence, b.sequence) << name;
+    EXPECT_EQ(a.evaluations, b.evaluations) << name;
   }
 }
 

@@ -10,11 +10,17 @@
 //       f_N YES instance (planted clique of size cn, c = 2/3, d = 1/3)
 //   aqo_gen --kind=gap-no --n=60 --log2alpha=8
 //       f_N NO instance (complete (c-d)n-partite source, omega = (c-d)n)
+//   aqo_gen --graph-in=g.txt --log2alpha=8
+//       f_N reduction applied to a user-supplied graph file (library text
+//       format); malformed files print `error: <file>: <reason>` and exit
+//       nonzero instead of aborting.
 //
 // Pipe into aqo_opt to optimize.
 
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 
 #include "bench/bench_common.h"
 #include "graph/generators.h"
@@ -48,6 +54,36 @@ int Main(int argc, char** argv) {
   double p = flags.GetDouble("p", 0.5);
   double log2_alpha = flags.GetDouble("log2alpha", 8);
   Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
+
+  // --graph-in=<file>: run the f_N reduction on a user-supplied graph.
+  // User input goes through the recoverable parser: a malformed file is a
+  // structured error, never an abort.
+  std::string graph_in = flags.GetString("graph-in");
+  if (!graph_in.empty()) {
+    std::ifstream in(graph_in);
+    if (!in.is_open()) {
+      std::cerr << "error: " << graph_in << ": cannot open\n";
+      return 1;
+    }
+    ParseResult<Graph> parsed = ParseGraph(in);
+    if (!parsed.ok()) {
+      std::cerr << "error: " << graph_in << ": " << parsed.error << "\n";
+      return 1;
+    }
+    Graph g = *std::move(parsed.value);
+    if (g.NumVertices() < 2) {
+      std::cerr << "error: " << graph_in
+                << ": f_N reduction needs at least 2 vertices\n";
+      return 1;
+    }
+    QonGapParams user_params{.c = 2.0 / 3.0, .d = 1.0 / 3.0,
+                             .log2_alpha = log2_alpha};
+    QonGapInstance gap = ReduceCliqueToQon(g, user_params);
+    std::cout << "# f_N reduction of " << graph_in << "; lg K = "
+              << gap.KBound().Log2() << "\n";
+    WriteQonInstance(gap.instance, std::cout);
+    return 0;
+  }
 
   if (kind == "random" || kind == "tree") {
     WriteQonInstance(RandomInstance(n, p, kind == "tree", &rng), std::cout);

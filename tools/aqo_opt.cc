@@ -15,6 +15,11 @@
 // --restarts=, --sa-iterations=, ...) apply to whichever optimizers read
 // them. Prints one line per optimizer.
 //
+// --in=<file> reads the instance from a file instead of stdin; malformed
+// input prints `error: <file>: <reason>` and exits nonzero instead of
+// aborting. --budget-evals=N / --deadline-ms=M cut runs short (anytime
+// mode, docs/robustness.md); cut-short lines carry a [status] marker.
+//
 // --plan-cache-mb=N demonstrates the canonical-fingerprint plan cache:
 // the instance is expanded into --repeat relabeled duplicates and the
 // batch is optimized through the cache (see docs/api.md).
@@ -22,8 +27,10 @@
 // --threads=N runs the subset DP on an N-worker pool (default: hardware
 // concurrency); every thread count returns bit-identical results.
 
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -42,7 +49,12 @@ void Report(const std::string& name, const OptimizerResult& r) {
     return;
   }
   std::cout << name << ": lg cost = " << r.cost.Log2() << "  (" << r.evaluations
-            << " evaluations)\n  sequence:";
+            << " evaluations)";
+  // Cut-short runs are flagged; complete runs keep the historical line.
+  if (r.status != PlanStatus::kComplete) {
+    std::cout << "  [" << PlanStatusName(r.status) << "]";
+  }
+  std::cout << "\n  sequence:";
   for (int v : r.sequence) std::cout << " " << v;
   std::cout << "\n";
 }
@@ -55,7 +67,26 @@ int Main(int argc, char** argv) {
   std::string def = flags.GetString("algo", "dp,greedy,ii");
   std::vector<std::string> names = bench::SelectedQonOptimizersOrDie(flags, def);
 
-  QonInstance inst = ReadQonInstance(std::cin);
+  // --in=<file> reads the instance from a file instead of stdin. Malformed
+  // input is a structured error (ParseResult), not an abort.
+  std::string in_path = flags.GetString("in");
+  ParseResult<QonInstance> parsed;
+  if (in_path.empty()) {
+    parsed = ParseQonInstance(std::cin);
+  } else {
+    std::ifstream in(in_path);
+    if (!in.is_open()) {
+      std::cerr << "error: " << in_path << ": cannot open\n";
+      return 1;
+    }
+    parsed = ParseQonInstance(in);
+  }
+  if (!parsed.ok()) {
+    std::cerr << "error: " << (in_path.empty() ? "<stdin>" : in_path) << ": "
+              << parsed.error << "\n";
+    return 1;
+  }
+  QonInstance inst = *std::move(parsed.value);
   std::cout << "instance: " << inst.NumRelations() << " relations, "
             << inst.graph().NumEdges() << " predicates\n";
   obs::InstanceShape shape{.family = "qon",
