@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "qo/cost_eval.h"
 #include "util/check.h"
 
 namespace aqo {
@@ -18,6 +19,7 @@ class BnbSearch {
       : inst_(inst),
         node_limit_(node_limit),
         options_(options),
+        evaluator_(inst),
         guard_(options.budget, options.cancel) {}
 
   BnbResult Run() {
@@ -113,21 +115,16 @@ class BnbSearch {
     std::vector<Extension> extensions;
     for (int j = 0; j < n; ++j) {
       if (mask & (uint64_t{1} << j)) continue;
-      if (options_.forbid_cartesian) {
-        bool connected = false;
-        for (int k : *prefix) connected = connected || inst_.graph().HasEdge(k, j);
-        if (!connected) continue;
+      if (options_.forbid_cartesian && !evaluator_.ConnectsTo(*prefix, j)) {
+        continue;
       }
       Extension e;
       e.relation = j;
-      LogDouble min_w = inst_.size(j);
-      for (int k : *prefix) min_w = MinOf(min_w, inst_.AccessCost(k, j));
-      e.join_cost = intermediate * min_w;
-      LogDouble next = intermediate * inst_.size(j);
-      for (int k : *prefix) {
-        if (inst_.graph().HasEdge(k, j)) next *= inst_.selectivity(k, j);
-      }
-      e.next_intermediate = next;
+      // Same folds as before, over the evaluator's dense rows: seed with
+      // t_j, then MinOf over the prefix in order (bit-identical).
+      e.join_cost = intermediate *
+                    evaluator_.MinAccessSeeded(inst_.size(j), *prefix, j);
+      e.next_intermediate = evaluator_.ExtendSize(intermediate, *prefix, j);
       extensions.push_back(e);
     }
     std::sort(extensions.begin(), extensions.end(),
@@ -152,6 +149,7 @@ class BnbSearch {
   const QonInstance& inst_;
   uint64_t node_limit_;
   OptimizerOptions options_;
+  QonCostEvaluator evaluator_;
   RunGuard guard_;
   OptimizerResult best_;
   std::unordered_map<uint64_t, LogDouble> seen_;

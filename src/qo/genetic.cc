@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "qo/cost_eval.h"
 #include "util/check.h"
 
 namespace aqo {
@@ -72,12 +73,13 @@ OptimizerResult GeneticOptimizer(const QonInstance& inst, Rng* rng,
       obs::Registry::Get().GetCounter("qon.ga.invalid_offspring");
 
   OptimizerResult result;
+  QonCostEvaluator evaluator(inst);
   auto evaluate = [&](Individual* ind) {
     ind->valid = !options.base.forbid_cartesian ||
                  !HasCartesianProduct(inst.graph(), ind->sequence);
     if (!ind->valid) invalid.Increment();
     if (ind->valid) {
-      ind->cost = QonSequenceCost(inst, ind->sequence);
+      ind->cost = evaluator.Cost(ind->sequence);
       ++result.evaluations;
       if (!result.feasible || ind->cost < result.cost) {
         result.feasible = true;

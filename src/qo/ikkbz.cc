@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "qo/cost_eval.h"
 #include "util/check.h"
 
 namespace aqo {
@@ -103,13 +104,14 @@ class IkkbzSolver {
         obs::Registry::Get().GetCounter("qon.ikkbz.roots");
     int n = inst_.NumRelations();
     OptimizerResult result;
+    QonCostEvaluator evaluator(inst_);
     for (int root = 0; root < n; ++root) {
       // Between roots only — the first root always completes, so a
       // cut-short run still returns a full feasible sequence.
       if (guard_.ShouldStop(result.evaluations)) break;
       roots.Increment();
       JoinSequence seq = SolveForRoot(root);
-      LogDouble cost = QonSequenceCost(inst_, seq);
+      LogDouble cost = evaluator.Cost(seq);
       ++result.evaluations;
       if (!result.feasible || cost < result.cost) {
         result.feasible = true;

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "obs/metrics.h"
+#include "qo/cost_eval.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -17,24 +18,6 @@ namespace {
 // One registry lookup at first use, then a relaxed atomic add per event.
 obs::Counter& CounterRef(const char* name) {
   return obs::Registry::Get().GetCounter(name);
-}
-
-// Minimum access cost of probing relation `j` from any relation in `prefix`.
-LogDouble MinAccessCost(const QonInstance& inst, const std::vector<int>& prefix,
-                        int j) {
-  AQO_CHECK(!prefix.empty());
-  LogDouble best = inst.AccessCost(prefix[0], j);
-  for (size_t i = 1; i < prefix.size(); ++i) {
-    best = MinOf(best, inst.AccessCost(prefix[i], j));
-  }
-  return best;
-}
-
-bool ConnectsToPrefix(const Graph& g, const std::vector<int>& prefix, int j) {
-  for (int k : prefix) {
-    if (g.HasEdge(k, j)) return true;
-  }
-  return false;
 }
 
 // Generates a uniformly random sequence; when `forbid_cartesian`, grows a
@@ -95,6 +78,9 @@ OptimizerResult ExhaustiveQonOptimizer(const QonInstance& inst,
   static obs::Counter& skipped = CounterRef("qon.exhaustive.skipped");
   RunGuard guard(options.budget, options.cancel);
   OptimizerResult result;
+  // next_permutation changes a suffix per step, so the incremental
+  // evaluator re-costs only that suffix (bit-identical to the full pass).
+  QonCostEvaluator evaluator(inst);
   JoinSequence seq = IdentitySequence(n);
   do {
     if (guard.ShouldStop(result.evaluations)) break;
@@ -103,7 +89,7 @@ OptimizerResult ExhaustiveQonOptimizer(const QonInstance& inst,
       skipped.Increment();
       continue;
     }
-    LogDouble cost = QonSequenceCost(inst, seq);
+    LogDouble cost = evaluator.Cost(seq);
     ++result.evaluations;
     if (!result.feasible || cost < result.cost) {
       result.feasible = true;
@@ -426,6 +412,9 @@ OptimizerResult GreedyQonOptimizer(const QonInstance& inst,
   static obs::Counter& dead_ends = CounterRef("qon.greedy.dead_ends");
   RunGuard guard(options.budget, options.cancel);
   OptimizerResult result;
+  // Constructive search: the evaluator's dense primitives replace the
+  // scattered AccessCost/HasEdge lookups (same folds, bit-identical).
+  QonCostEvaluator evaluator(inst);
   for (int start = 0; start < n; ++start) {
     // Between starts only: a cut-short greedy still returns complete
     // constructions, never a partial prefix.
@@ -445,8 +434,8 @@ OptimizerResult GreedyQonOptimizer(const QonInstance& inst,
       for (int pass = 0; pass < 2 && best_j < 0; ++pass) {
         for (int j = 0; j < n; ++j) {
           if (placed.Test(j)) continue;
-          if (pass == 0 && !ConnectsToPrefix(inst.graph(), prefix, j)) continue;
-          LogDouble h = intermediate * MinAccessCost(inst, prefix, j);
+          if (pass == 0 && !evaluator.ConnectsTo(prefix, j)) continue;
+          LogDouble h = intermediate * evaluator.MinAccess(prefix, j);
           ++result.evaluations;
           if (best_j < 0 || h < best_h) {
             best_j = j;
@@ -462,13 +451,7 @@ OptimizerResult GreedyQonOptimizer(const QonInstance& inst,
       }
       extensions.Increment();
       cost += best_h;
-      // Update the intermediate size.
-      LogDouble next = intermediate * inst.size(best_j);
-      for (int k : prefix) {
-        if (inst.graph().HasEdge(k, best_j))
-          next *= inst.selectivity(k, best_j);
-      }
-      intermediate = next;
+      intermediate = evaluator.ExtendSize(intermediate, prefix, best_j);
       prefix.push_back(best_j);
       placed.Set(best_j);
     }
@@ -498,6 +481,7 @@ OptimizerResult RandomSamplingOptimizer(const QonInstance& inst, Rng* rng,
   static obs::Counter& rejected = CounterRef("qon.random.rejected");
   RunGuard guard(options.budget, options.cancel);
   OptimizerResult result;
+  QonCostEvaluator evaluator(inst);
   for (int s = 0; s < options.samples; ++s) {
     if (guard.ShouldStop(result.evaluations)) break;
     drawn.Increment();
@@ -506,7 +490,7 @@ OptimizerResult RandomSamplingOptimizer(const QonInstance& inst, Rng* rng,
       rejected.Increment();
       continue;
     }
-    LogDouble cost = QonSequenceCost(inst, seq);
+    LogDouble cost = evaluator.Cost(seq);
     ++result.evaluations;
     if (!result.feasible || cost < result.cost) {
       result.feasible = true;
@@ -538,12 +522,15 @@ OptimizerResult SimulatedAnnealingOptimizer(const QonInstance& inst, Rng* rng,
   static obs::Counter& uphill = CounterRef("qon.sa.uphill_accepts");
   RunGuard guard(options.budget, options.cancel);
   OptimizerResult result;
+  // Swap/relocate moves touch a suffix; the evaluator re-costs only from
+  // the first changed position of each candidate.
+  QonCostEvaluator evaluator(inst);
   for (int restart = 0; restart < options.sa.restarts; ++restart) {
     if (guard.ShouldStop(result.evaluations)) break;
     restarts.Increment();
     JoinSequence current = RandomSequence(inst, rng, options.forbid_cartesian);
     if (!SequenceAllowed(inst, current, options)) continue;
-    LogDouble current_cost = QonSequenceCost(inst, current);
+    LogDouble current_cost = evaluator.Cost(current);
     ++result.evaluations;
     if (!result.feasible || current_cost < result.cost) {
       result.feasible = true;
@@ -571,7 +558,7 @@ OptimizerResult SimulatedAnnealingOptimizer(const QonInstance& inst, Rng* rng,
       }
       temperature *= options.sa.cooling;
       if (!SequenceAllowed(inst, candidate, options)) continue;
-      LogDouble candidate_cost = QonSequenceCost(inst, candidate);
+      LogDouble candidate_cost = evaluator.Cost(candidate);
       ++result.evaluations;
       // Energy is log2 cost; accept uphill moves with the Boltzmann rule.
       double delta = candidate_cost.Log2() - current_cost.Log2();
@@ -612,12 +599,15 @@ OptimizerResult IterativeImprovementOptimizer(const QonInstance& inst,
   static obs::Counter& local_optima = CounterRef("qon.ii.local_optima");
   RunGuard guard(options.budget, options.cancel);
   OptimizerResult result;
+  // The swap neighborhood is the evaluator's best case: each candidate
+  // differs from the last evaluated one at two positions.
+  QonCostEvaluator evaluator(inst);
   for (int restart = 0; restart < options.restarts; ++restart) {
     if (guard.ShouldStop(result.evaluations)) break;
     restart_count.Increment();
     JoinSequence current = RandomSequence(inst, rng, options.forbid_cartesian);
     if (!SequenceAllowed(inst, current, options)) continue;
-    LogDouble current_cost = QonSequenceCost(inst, current);
+    LogDouble current_cost = evaluator.Cost(current);
     ++result.evaluations;
     bool improved = true;
     bool cut_short = false;
@@ -634,7 +624,7 @@ OptimizerResult IterativeImprovementOptimizer(const QonInstance& inst,
           std::swap(current[a], current[b]);
           bool ok = SequenceAllowed(inst, current, options);
           if (ok) {
-            LogDouble cost = QonSequenceCost(inst, current);
+            LogDouble cost = evaluator.Cost(current);
             ++result.evaluations;
             if (cost < current_cost) {
               current_cost = cost;
@@ -667,11 +657,12 @@ QohOptimizerResult ExhaustiveQohOptimizer(const QohInstance& inst,
   static obs::Counter& permutations = CounterRef("qoh.exhaustive.permutations");
   RunGuard guard(budget, cancel);
   QohOptimizerResult result;
+  QohCostEvaluator evaluator(inst);
   JoinSequence seq = IdentitySequence(n);
   do {
     if (guard.ShouldStop(result.evaluations)) break;
     permutations.Increment();
-    QohPlan plan = OptimalDecomposition(inst, seq);
+    const QohPlan& plan = evaluator.Evaluate(seq);
     ++result.evaluations;
     if (plan.feasible && (!result.feasible || plan.cost < result.cost)) {
       result.feasible = true;
@@ -692,6 +683,7 @@ QohOptimizerResult GreedyQohOptimizer(const QohInstance& inst,
   static obs::Counter& starts = CounterRef("qoh.greedy.starts");
   RunGuard guard(budget, cancel);
   QohOptimizerResult result;
+  QohCostEvaluator evaluator(inst);
   for (int start = 0; start < n; ++start) {
     if (guard.ShouldStop(result.evaluations)) break;
     starts.Increment();
@@ -704,10 +696,7 @@ QohOptimizerResult GreedyQohOptimizer(const QohInstance& inst,
       LogDouble best_size;
       for (int j = 0; j < n; ++j) {
         if (placed.Test(j)) continue;
-        LogDouble next = intermediate * inst.size(j);
-        for (int k : seq) {
-          if (inst.graph().HasEdge(k, j)) next *= inst.selectivity(k, j);
-        }
+        LogDouble next = evaluator.ExtendSize(intermediate, seq, j);
         if (best_j < 0 || next < best_size) {
           best_j = j;
           best_size = next;
@@ -717,7 +706,7 @@ QohOptimizerResult GreedyQohOptimizer(const QohInstance& inst,
       placed.Set(best_j);
       intermediate = best_size;
     }
-    QohPlan plan = OptimalDecomposition(inst, seq);
+    const QohPlan& plan = evaluator.Evaluate(seq);
     ++result.evaluations;
     if (plan.feasible && (!result.feasible || plan.cost < result.cost)) {
       result.feasible = true;

@@ -149,6 +149,10 @@ LogDouble QohInstance::HashJoinMinMemory(LogDouble pages) const {
   return HjMin(pages, eta_);
 }
 
+double QohInstance::HashJoinMinMemoryLinear(LogDouble pages) const {
+  return HjMinLinear(pages, eta_);
+}
+
 void QohInstance::Validate() const {
   int n = NumRelations();
   for (int i = 0; i < n; ++i) {
@@ -165,7 +169,9 @@ void QohInstance::Validate() const {
 
 std::vector<LogDouble> QohPrefixSizes(const QohInstance& inst,
                                       const JoinSequence& seq) {
-  AQO_CHECK(IsPermutation(seq, inst.NumRelations()));
+  // Hot path (once per OptimalDecomposition call): debug-only check; the
+  // release-build validation lives at the entry points below.
+  AQO_DCHECK(IsPermutation(seq, inst.NumRelations()));
   std::vector<LogDouble> sizes(seq.size() + 1);
   sizes[0] = LogDouble::One();
   for (size_t i = 0; i < seq.size(); ++i) {
@@ -191,6 +197,7 @@ std::pair<int, int> PipelineDecomposition::Fragment(int f,
 PipelineCostResult OptimalPipelineCost(const QohInstance& inst,
                                        const JoinSequence& seq, int first_join,
                                        int last_join) {
+  AQO_CHECK(IsPermutation(seq, inst.NumRelations()));
   std::vector<LogDouble> prefix = QohPrefixSizes(inst, seq);
   return PipelineCostImpl(inst, seq, prefix, first_join, last_join);
 }
@@ -200,6 +207,7 @@ PipelineCostResult DecompositionCost(const QohInstance& inst,
                                      const PipelineDecomposition& decomp) {
   PipelineCostResult total;
   int total_joins = static_cast<int>(seq.size()) - 1;
+  AQO_CHECK(IsPermutation(seq, inst.NumRelations()));
   AQO_CHECK(!decomp.starts.empty() && decomp.starts[0] == 1)
       << "decomposition must start at join 1";
   for (size_t f = 1; f < decomp.starts.size(); ++f) {
@@ -234,6 +242,7 @@ QohPlan OptimalDecomposition(const QohInstance& inst, const JoinSequence& seq) {
   QohPlan plan;
   int total_joins = static_cast<int>(seq.size()) - 1;
   AQO_CHECK(total_joins >= 1) << "need at least two relations";
+  AQO_CHECK(IsPermutation(seq, inst.NumRelations()));
   std::vector<LogDouble> prefix = QohPrefixSizes(inst, seq);
 
   // dp[k]: best cost of executing joins 1..k; parent[k]: start of the last

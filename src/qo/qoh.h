@@ -63,6 +63,9 @@ class QohInstance {
 
   // hjmin(b) = ceil(b^eta).
   LogDouble HashJoinMinMemory(LogDouble pages) const;
+  // Same, in linear pages (exact whenever it fits a double; +inf when the
+  // exponent exceeds double range — certainly above any budget).
+  double HashJoinMinMemoryLinear(LogDouble pages) const;
 
   void Validate() const;
 

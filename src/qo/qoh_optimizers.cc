@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/metrics.h"
+#include "qo/cost_eval.h"
 #include "util/check.h"
 
 namespace aqo {
@@ -33,9 +34,9 @@ JoinSequence RandomQohSequence(int n, Rng* rng, int sentinel_first) {
   return seq;
 }
 
-void Consider(const QohInstance& inst, const JoinSequence& seq,
+void Consider(QohCostEvaluator* evaluator, const JoinSequence& seq,
               QohOptimizerResult* best) {
-  QohPlan plan = OptimalDecomposition(inst, seq);
+  const QohPlan& plan = evaluator->Evaluate(seq);
   ++best->evaluations;
   if (plan.feasible && (!best->feasible || plan.cost < best->cost)) {
     best->feasible = true;
@@ -67,10 +68,12 @@ QohOptimizerResult RandomSamplingQohOptimizer(
   int n = inst.NumRelations();
   RunGuard guard(options.budget, options.cancel);
   QohOptimizerResult best;
+  QohCostEvaluator evaluator(inst);
   for (int s = 0; s < options.samples; ++s) {
     if (guard.ShouldStop(best.evaluations)) break;
     drawn.Increment();
-    Consider(inst, RandomQohSequence(n, rng, options.sentinel_first), &best);
+    Consider(&evaluator, RandomQohSequence(n, rng, options.sentinel_first),
+             &best);
   }
   best.status = guard.status();
   return best;
@@ -93,11 +96,14 @@ QohOptimizerResult IterativeImprovementQohOptimizer(
   int n = inst.NumRelations();
   RunGuard guard(options.budget, options.cancel);
   QohOptimizerResult best;
+  // Adjacent transpositions change two positions; the evaluator resumes
+  // its prefix-size and decomposition DP state from the first of them.
+  QohCostEvaluator evaluator(inst);
   for (int r = 0; r < options.restarts; ++r) {
     if (guard.ShouldStop(best.evaluations)) break;
     restart_count.Increment();
     JoinSequence current = RandomQohSequence(n, rng, options.sentinel_first);
-    QohPlan plan = OptimalDecomposition(inst, current);
+    const QohPlan& plan = evaluator.Evaluate(current);
     ++best.evaluations;
     if (!plan.feasible) continue;
     LogDouble current_cost = plan.cost;
@@ -116,7 +122,7 @@ QohOptimizerResult IterativeImprovementQohOptimizer(
       improved = false;
       for (size_t a = lo; a + 1 < current.size() && !improved; ++a) {
         std::swap(current[a], current[a + 1]);
-        QohPlan candidate = OptimalDecomposition(inst, current);
+        const QohPlan& candidate = evaluator.Evaluate(current);
         ++best.evaluations;
         if (candidate.feasible && candidate.cost < current_cost) {
           current_cost = candidate.cost;
@@ -156,12 +162,13 @@ QohOptimizerResult SimulatedAnnealingQohOptimizer(
   int n = inst.NumRelations();
   RunGuard guard(options.budget, options.cancel);
   QohOptimizerResult best;
+  QohCostEvaluator evaluator(inst);
   size_t lo = FirstMovable(options.sentinel_first);
   for (int r = 0; r < options.sa.restarts; ++r) {
     if (guard.ShouldStop(best.evaluations)) break;
     restarts.Increment();
     JoinSequence current = RandomQohSequence(n, rng, options.sentinel_first);
-    QohPlan plan = OptimalDecomposition(inst, current);
+    const QohPlan& plan = evaluator.Evaluate(current);
     ++best.evaluations;
     if (!plan.feasible) continue;
     LogDouble current_cost = plan.cost;
@@ -184,7 +191,7 @@ QohOptimizerResult SimulatedAnnealingQohOptimizer(
       size_t b = static_cast<size_t>(
           rng->UniformInt(static_cast<int64_t>(lo), n - 1));
       std::swap(candidate[a], candidate[b]);
-      QohPlan next = OptimalDecomposition(inst, candidate);
+      const QohPlan& next = evaluator.Evaluate(candidate);
       ++best.evaluations;
       if (!next.feasible) continue;
       double delta = next.cost.Log2() - current_cost.Log2();

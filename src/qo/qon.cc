@@ -73,7 +73,10 @@ void QonInstance::Validate() const {
 
 std::vector<LogDouble> PrefixSizes(const QonInstance& inst,
                                    const JoinSequence& seq) {
-  AQO_CHECK(IsPermutation(seq, inst.NumRelations()));
+  // Hot path (one call per candidate in the naive evaluators): the O(n)
+  // permutation check plus its allocation stays debug-only here; release
+  // builds validate at the entry points (QonSequenceCost, the evaluators).
+  AQO_DCHECK(IsPermutation(seq, inst.NumRelations()));
   std::vector<LogDouble> sizes(seq.size() + 1);
   sizes[0] = LogDouble::One();
   for (size_t i = 0; i < seq.size(); ++i) {
@@ -89,8 +92,11 @@ std::vector<LogDouble> PrefixSizes(const QonInstance& inst,
 
 std::vector<LogDouble> QonJoinCosts(const QonInstance& inst,
                                     const JoinSequence& seq) {
-  std::vector<LogDouble> prefix = PrefixSizes(inst, seq);
   std::vector<LogDouble> costs;
+  // n <= 1 has no joins; guarded explicitly because seq.size() - 1 below
+  // underflows to SIZE_MAX for an empty sequence.
+  if (seq.size() <= 1) return costs;
+  std::vector<LogDouble> prefix = PrefixSizes(inst, seq);
   costs.reserve(seq.size() - 1);
   for (size_t i = 1; i < seq.size(); ++i) {
     int next = seq[i];
@@ -104,6 +110,7 @@ std::vector<LogDouble> QonJoinCosts(const QonInstance& inst,
 }
 
 LogDouble QonSequenceCost(const QonInstance& inst, const JoinSequence& seq) {
+  AQO_CHECK(IsPermutation(seq, inst.NumRelations()));
   LogDouble total = LogDouble::Zero();
   for (LogDouble h : QonJoinCosts(inst, seq)) total += h;
   return total;

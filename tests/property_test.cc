@@ -19,9 +19,11 @@
 #include "graph/generators.h"
 #include "obs/runlog.h"
 #include "qo/analysis.h"
+#include "qo/cost_eval.h"
 #include "qo/optimizers.h"
 #include "qo/qoh.h"
 #include "qo/registry.h"
+#include "qo/service.h"
 #include "qo/workloads.h"
 #include "reductions/clique_to_qon.h"
 #include "reductions/sat_to_clique.h"
@@ -587,6 +589,127 @@ TEST(AnytimeBudget, EveryQohOptimizerReturnsBestSoFarUnderTightCap) {
     EXPECT_EQ(a.cost.Log2(), b.cost.Log2()) << name;
     EXPECT_EQ(a.sequence, b.sequence) << name;
     EXPECT_EQ(a.evaluations, b.evaluations) << name;
+  }
+}
+
+// --- Incremental cost evaluators are invisible (qo/cost_eval.h) ---
+
+// The zero-allocation evaluators are a pure performance substitution:
+// every registry optimizer must produce the exact (feasible, cost,
+// sequence, evaluations, status) tuple it produced on the naive cost
+// path. ScopedNaiveCostEvaluation flips the rewired optimizers back onto
+// QonSequenceCost / OptimalDecomposition, so both arms run the *same*
+// optimizer code with the same seeded RNG stream — any divergence is an
+// evaluator bug, and the comparison is on raw cost bits, not an epsilon.
+TEST(CostEvaluatorInvariance, QonRegistryTripleUnchangedByFastPath) {
+  Rng gen(601);
+  std::vector<QonInstance> instances;
+  instances.push_back(RandomQonWorkload(7, &gen));
+  // A tree-shaped instance so kbz runs for real instead of returning its
+  // graceful non-tree infeasible result.
+  {
+    Graph chain = Chain(7);
+    std::vector<LogDouble> sizes;
+    for (int i = 0; i < 7; ++i) {
+      sizes.push_back(LogDouble::FromLinear(
+          static_cast<double>(gen.UniformInt(2, 5000))));
+    }
+    QonInstance tree(chain, std::move(sizes));
+    for (const auto& [u, v] : chain.Edges()) {
+      tree.SetSelectivity(u, v,
+                          LogDouble::FromLinear(gen.UniformReal(0.01, 1.0)));
+    }
+    instances.push_back(std::move(tree));
+  }
+  const OptimizerRegistry& registry = OptimizerRegistry::Qon();
+  for (size_t which = 0; which < instances.size(); ++which) {
+    const QonInstance& inst = instances[which];
+    for (uint64_t cap : {uint64_t{0}, uint64_t{5}}) {
+      OptimizerOptions options;
+      options.budget.max_evaluations = cap;
+      for (const std::string& name : registry.Names()) {
+        Rng rng_fast(900 + which);
+        OptimizerResult fast = registry.Run(name, inst, options, &rng_fast);
+        ScopedNaiveCostEvaluation naive_scope;
+        Rng rng_naive(900 + which);
+        OptimizerResult naive = registry.Run(name, inst, options, &rng_naive);
+        SCOPED_TRACE(name + " cap=" + std::to_string(cap));
+        EXPECT_EQ(fast.feasible, naive.feasible);
+        EXPECT_EQ(fast.cost.Log2(), naive.cost.Log2());
+        EXPECT_EQ(fast.sequence, naive.sequence);
+        EXPECT_EQ(fast.evaluations, naive.evaluations);
+        EXPECT_EQ(fast.status, naive.status);
+      }
+    }
+  }
+}
+
+TEST(CostEvaluatorInvariance, QohRegistryTripleUnchangedByFastPath) {
+  Rng gen(602);
+  QohInstance inst = RandomQohWorkload(6, &gen, 0.4);
+  const QohOptimizerRegistry& registry = QohOptimizerRegistry::Get();
+  for (uint64_t cap : {uint64_t{0}, uint64_t{5}}) {
+    QohOptimizerOptions options;
+    options.budget.max_evaluations = cap;
+    for (const std::string& name : registry.Names()) {
+      Rng rng_fast(903);
+      QohOptimizerResult fast = registry.Run(name, inst, options, &rng_fast);
+      ScopedNaiveCostEvaluation naive_scope;
+      Rng rng_naive(903);
+      QohOptimizerResult naive = registry.Run(name, inst, options, &rng_naive);
+      SCOPED_TRACE(name + " cap=" + std::to_string(cap));
+      EXPECT_EQ(fast.feasible, naive.feasible);
+      EXPECT_EQ(fast.cost.Log2(), naive.cost.Log2());
+      EXPECT_EQ(fast.sequence, naive.sequence);
+      EXPECT_EQ(fast.evaluations, naive.evaluations);
+      EXPECT_EQ(fast.status, naive.status);
+      EXPECT_EQ(fast.decomposition.starts, naive.decomposition.starts);
+    }
+  }
+}
+
+// Same invariance through the batch service, across thread counts: the
+// evaluators are created per optimizer invocation, so worker threads
+// never share incremental state.
+TEST(CostEvaluatorInvariance, ServiceBatchUnchangedByFastPathAcrossThreads) {
+  Rng gen(603);
+  std::vector<QonInstance> qon_batch;
+  std::vector<QohInstance> qoh_batch;
+  for (int i = 0; i < 6; ++i) {
+    qon_batch.push_back(RandomQonWorkload(4 + i, &gen));
+    qoh_batch.push_back(RandomQohWorkload(4 + i % 4, &gen, 0.5));
+  }
+  for (int threads : {1, 2, 4}) {
+    ThreadPool pool(threads);
+    BatchOptions options;
+    options.optimizer = "sa";
+    options.seed = 41;
+    options.pool = &pool;
+
+    std::vector<QonBatchItem> fast = OptimizeQonBatch(qon_batch, options);
+    std::vector<QohBatchItem> fast_h = OptimizeQohBatch(qoh_batch, options);
+    ScopedNaiveCostEvaluation naive_scope;
+    std::vector<QonBatchItem> naive = OptimizeQonBatch(qon_batch, options);
+    std::vector<QohBatchItem> naive_h = OptimizeQohBatch(qoh_batch, options);
+
+    ASSERT_EQ(fast.size(), naive.size());
+    for (size_t i = 0; i < fast.size(); ++i) {
+      SCOPED_TRACE("qon item " + std::to_string(i) + " threads=" +
+                   std::to_string(threads));
+      EXPECT_EQ(fast[i].result.feasible, naive[i].result.feasible);
+      EXPECT_EQ(fast[i].result.cost.Log2(), naive[i].result.cost.Log2());
+      EXPECT_EQ(fast[i].result.sequence, naive[i].result.sequence);
+      EXPECT_EQ(fast[i].result.evaluations, naive[i].result.evaluations);
+    }
+    ASSERT_EQ(fast_h.size(), naive_h.size());
+    for (size_t i = 0; i < fast_h.size(); ++i) {
+      SCOPED_TRACE("qoh item " + std::to_string(i) + " threads=" +
+                   std::to_string(threads));
+      EXPECT_EQ(fast_h[i].result.feasible, naive_h[i].result.feasible);
+      EXPECT_EQ(fast_h[i].result.cost.Log2(), naive_h[i].result.cost.Log2());
+      EXPECT_EQ(fast_h[i].result.sequence, naive_h[i].result.sequence);
+      EXPECT_EQ(fast_h[i].result.evaluations, naive_h[i].result.evaluations);
+    }
   }
 }
 

@@ -1,0 +1,242 @@
+// Seeded perf snapshot for the incremental cost evaluators: measures
+// ns/evaluation of the naive cost functions (QonSequenceCost /
+// OptimalDecomposition) against QonCostEvaluator / QohCostEvaluator on
+// full-evaluation and swap-neighborhood workloads, and writes the results
+// (with speedup ratios) as JSON.
+//
+// Regenerate the committed snapshot from a Release build:
+//
+//   cmake -S . -B build-release -DCMAKE_BUILD_TYPE=Release
+//   cmake --build build-release -j --target bench_snapshot
+//   ./build-release/tools/bench_snapshot --out=BENCH_COST_EVAL.json
+//
+// Workloads are fully seeded (instances, start sequences, and the swap
+// schedule), so reruns on the same machine are directly comparable; only
+// the timings themselves vary. The swap schedule is the one local search
+// actually generates: uniform random position pairs (the SA move) applied
+// to the current sequence, never undone — each candidate differs from its
+// predecessor by one transposition.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/generators.h"
+#include "qo/cost_eval.h"
+#include "qo/qoh.h"
+#include "qo/qon.h"
+#include "util/random.h"
+
+namespace aqo {
+namespace {
+
+constexpr int kSizes[] = {10, 30, 100, 300};
+
+QonInstance MakeQonInstance(int n, uint64_t seed) {
+  Rng rng(seed);
+  Graph g = Gnp(n, 0.5, &rng);
+  std::vector<LogDouble> sizes;
+  for (int i = 0; i < n; ++i) {
+    sizes.push_back(
+        LogDouble::FromLinear(static_cast<double>(rng.UniformInt(2, 100000))));
+  }
+  QonInstance inst(g, std::move(sizes));
+  for (const auto& [u, v] : g.Edges()) {
+    inst.SetSelectivity(u, v,
+                        LogDouble::FromLinear(rng.UniformReal(0.001, 1.0)));
+  }
+  return inst;
+}
+
+QohInstance MakeQohInstance(int n, uint64_t seed) {
+  Rng rng(seed);
+  Graph g = Gnp(n, 0.6, &rng);
+  std::vector<LogDouble> sizes(static_cast<size_t>(n),
+                               LogDouble::FromLinear(4096.0));
+  QohInstance inst(g, std::move(sizes), 8192.0);
+  for (const auto& [u, v] : g.Edges()) {
+    inst.SetSelectivity(u, v, LogDouble::FromLinear(0.25));
+  }
+  return inst;
+}
+
+std::vector<std::pair<int, int>> SwapSchedule(int n, int count,
+                                              uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<int, int>> swaps;
+  swaps.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    swaps.emplace_back(static_cast<int>(rng.UniformInt(0, n - 1)),
+                       static_cast<int>(rng.UniformInt(0, n - 1)));
+  }
+  return swaps;
+}
+
+// Runs `body(iteration)` until both the minimum rep count and the minimum
+// wall time are met; returns ns per iteration. The body's per-iteration
+// work must not depend on how many iterations ran before it (the swap
+// workloads walk a precomputed cyclic schedule).
+template <typename Body>
+double TimeNs(int min_reps, double min_seconds, Body&& body) {
+  using Clock = std::chrono::steady_clock;
+  long iters = 0;
+  Clock::time_point start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    for (int r = 0; r < min_reps; ++r) body(iters++);
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < min_seconds);
+  return elapsed * 1e9 / static_cast<double>(iters);
+}
+
+struct Row {
+  const char* family;
+  const char* workload;
+  int n;
+  double naive_ns;
+  double eval_ns;
+  double speedup() const { return naive_ns / eval_ns; }
+};
+
+// Accumulates costs so the optimizer cannot discard the evaluations.
+LogDouble g_sink;
+
+Row MeasureQonFull(int n, double min_seconds) {
+  QonInstance inst = MakeQonInstance(n, 42);
+  QonCostEvaluator eval(inst);
+  // A cyclic pool of start sequences so "full" really is full every time.
+  Rng rng(7);
+  std::vector<JoinSequence> pool(16, IdentitySequence(n));
+  for (JoinSequence& seq : pool) rng.Shuffle(&seq);
+  double naive = TimeNs(64, min_seconds, [&](long it) {
+    g_sink += QonSequenceCost(inst, pool[static_cast<size_t>(it) % 16]);
+  });
+  double fast = TimeNs(64, min_seconds, [&](long it) {
+    // Forces a recompute from position 0: a full, but zero-allocation,
+    // evaluation through the evaluator.
+    g_sink += eval.CostWithPrefix(pool[static_cast<size_t>(it) % 16], 0);
+  });
+  return {"qon", "full", n, naive, fast};
+}
+
+Row MeasureQonSwap(int n, double min_seconds) {
+  QonInstance inst = MakeQonInstance(n, 42);
+  std::vector<std::pair<int, int>> swaps = SwapSchedule(n, 4096, 11);
+  JoinSequence seq = IdentitySequence(n);
+  Rng rng(7);
+  rng.Shuffle(&seq);
+
+  JoinSequence naive_seq = seq;
+  double naive = TimeNs(64, min_seconds, [&](long it) {
+    auto [i, j] = swaps[static_cast<size_t>(it) % swaps.size()];
+    std::swap(naive_seq[static_cast<size_t>(i)],
+              naive_seq[static_cast<size_t>(j)]);
+    g_sink += QonSequenceCost(inst, naive_seq);
+  });
+
+  QonCostEvaluator eval(inst);
+  eval.Cost(seq);
+  double fast = TimeNs(64, min_seconds, [&](long it) {
+    auto [i, j] = swaps[static_cast<size_t>(it) % swaps.size()];
+    g_sink += eval.CostAfterSwap(i, j);
+  });
+  return {"qon", "swap", n, naive, fast};
+}
+
+Row MeasureQohFull(int n, double min_seconds) {
+  QohInstance inst = MakeQohInstance(n, 5);
+  QohCostEvaluator eval(inst);
+  Rng rng(7);
+  std::vector<JoinSequence> pool(16, IdentitySequence(n));
+  for (JoinSequence& seq : pool) rng.Shuffle(&seq);
+  double naive = TimeNs(4, min_seconds, [&](long it) {
+    g_sink += OptimalDecomposition(inst, pool[static_cast<size_t>(it) % 16]).cost;
+  });
+  double fast = TimeNs(4, min_seconds, [&](long it) {
+    g_sink += eval.Evaluate(pool[static_cast<size_t>(it) % 16]).cost;
+  });
+  return {"qoh", "full", n, naive, fast};
+}
+
+Row MeasureQohSwap(int n, double min_seconds) {
+  QohInstance inst = MakeQohInstance(n, 5);
+  std::vector<std::pair<int, int>> swaps = SwapSchedule(n, 4096, 13);
+  JoinSequence seq = IdentitySequence(n);
+  Rng rng(7);
+  rng.Shuffle(&seq);
+
+  JoinSequence naive_seq = seq;
+  double naive = TimeNs(4, min_seconds, [&](long it) {
+    auto [i, j] = swaps[static_cast<size_t>(it) % swaps.size()];
+    std::swap(naive_seq[static_cast<size_t>(i)],
+              naive_seq[static_cast<size_t>(j)]);
+    g_sink += OptimalDecomposition(inst, naive_seq).cost;
+  });
+
+  QohCostEvaluator eval(inst);
+  JoinSequence fast_seq = seq;
+  eval.Evaluate(fast_seq);
+  double fast = TimeNs(4, min_seconds, [&](long it) {
+    auto [i, j] = swaps[static_cast<size_t>(it) % swaps.size()];
+    std::swap(fast_seq[static_cast<size_t>(i)],
+              fast_seq[static_cast<size_t>(j)]);
+    g_sink += eval.Evaluate(fast_seq).cost;
+  });
+  return {"qoh", "swap", n, naive, fast};
+}
+
+int Main(int argc, char** argv) {
+  std::string out = "BENCH_COST_EVAL.json";
+  double min_seconds = 0.2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--min-seconds=", 14) == 0) {
+      min_seconds = std::atof(argv[i] + 14);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--out=FILE] [--min-seconds=S]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<Row> rows;
+  for (int n : kSizes) {
+    rows.push_back(MeasureQonFull(n, min_seconds));
+    rows.push_back(MeasureQonSwap(n, min_seconds));
+    rows.push_back(MeasureQohFull(n, min_seconds));
+    rows.push_back(MeasureQohSwap(n, min_seconds));
+  }
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"cost_eval\",\n");
+  std::fprintf(f, "  \"unit\": \"ns_per_evaluation\",\n  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"family\": \"%s\", \"workload\": \"%s\", \"n\": %d, "
+                 "\"naive_ns\": %.1f, \"eval_ns\": %.1f, "
+                 "\"speedup\": %.2f}%s\n",
+                 r.family, r.workload, r.n, r.naive_ns, r.eval_ns, r.speedup(),
+                 i + 1 < rows.size() ? "," : "");
+    std::printf("%-4s %-5s n=%-4d naive=%10.1f ns  eval=%10.1f ns  %6.2fx\n",
+                r.family, r.workload, r.n, r.naive_ns, r.eval_ns, r.speedup());
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (sink=%g)\n", out.c_str(), g_sink.Log2());
+  return 0;
+}
+
+}  // namespace
+}  // namespace aqo
+
+int main(int argc, char** argv) { return aqo::Main(argc, argv); }
