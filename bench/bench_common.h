@@ -21,7 +21,10 @@
 #include <utility>
 #include <vector>
 
+#include "obs/histogram.h"
+#include "obs/metrics.h"
 #include "obs/runlog.h"
+#include "obs/trace.h"
 #include "qo/fingerprint.h"
 #include "qo/plan_cache.h"
 #include "qo/registry.h"
@@ -127,15 +130,33 @@ class Flags {
 };
 
 // Attaches the process-wide JSONL run-log when --json-out=<path> is given
-// and writes the provenance header record. Construct right after Flags in
-// main(); the destructor closes the log. Without --json-out this is inert
-// and the telemetry layer stays disabled (counters only).
+// and writes the provenance header record; arms the Chrome trace-event
+// recorder when --trace-out=<path> is given (docs/observability.md has
+// the loading walkthrough). Construct right after Flags in main() —
+// before any ThreadPool, so workers observe an armed recorder — and let
+// the destructor close both. Without the flags this is inert and the
+// telemetry layer stays disabled (counters only).
+//
+// --latency-table=1 additionally prints a percentile table of every
+// registered histogram to stderr at session end and, when a run-log is
+// attached, appends a `histogram_summary` record. Opt-in, so run-log
+// bodies stay bit-comparable across runs by default.
 class RunLogSession {
  public:
   // `default_seed` is the seed the bench uses when --seed is absent, so
   // the header always records the effective seed.
   RunLogSession(const Flags& flags, const std::string& binary,
                 uint64_t default_seed = 0) {
+    latency_table_ = flags.GetInt("latency-table", 0) != 0;
+    std::string trace_path = flags.GetString("trace-out");
+    if (!trace_path.empty()) {
+      if (obs::TraceEventRecorder::OpenGlobal(trace_path)) {
+        tracing_ = true;
+      } else {
+        std::cerr << "warning: cannot open --trace-out=" << trace_path
+                  << "; tracing disabled\n";
+      }
+    }
     std::string path = flags.GetString("json-out");
     if (path.empty()) return;
     if (!obs::RunLog::OpenGlobal(path)) {
@@ -152,6 +173,8 @@ class RunLogSession {
   }
 
   ~RunLogSession() {
+    if (latency_table_) EmitLatencySummary();
+    if (tracing_) obs::TraceEventRecorder::CloseGlobal();
     if (attached_) obs::RunLog::CloseGlobal();
   }
 
@@ -159,9 +182,32 @@ class RunLogSession {
   RunLogSession& operator=(const RunLogSession&) = delete;
 
   bool attached() const { return attached_; }
+  bool tracing() const { return tracing_; }
 
  private:
+  void EmitLatencySummary() {
+    obs::HistogramSnapshot snapshot = obs::Registry::Get().Histograms();
+    std::cerr << "latency histograms (us):\n";
+    for (const auto& [name, data] : snapshot) {
+      if (data.count == 0) continue;
+      std::cerr << "  " << name << ": count=" << data.count
+                << " p50=" << data.Quantile(0.50)
+                << " p90=" << data.Quantile(0.90)
+                << " p99=" << data.Quantile(0.99)
+                << " p999=" << data.Quantile(0.999) << " min=" << data.min
+                << " max=" << data.max << "\n";
+    }
+    if (attached_) {
+      obs::JsonValue rec = obs::JsonValue::Object();
+      rec["type"] = "histogram_summary";
+      rec["histograms"] = obs::HistogramsJson(snapshot);
+      obs::RunLog::Global()->Write(rec);
+    }
+  }
+
   bool attached_ = false;
+  bool tracing_ = false;
+  bool latency_table_ = false;
 };
 
 // Fans the cells of a seed/parameter grid across a thread pool while

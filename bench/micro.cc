@@ -277,6 +277,52 @@ void BM_BigIntDivMod(benchmark::State& state) {
 }
 BENCHMARK(BM_BigIntDivMod);
 
+// --- Telemetry-primitive overheads (docs/observability.md) ---
+//
+// The acceptance bar for the histogram layer: recording a latency sample
+// must cost no more than ~2x a bare counter increment, and a disarmed
+// trace check must be branch-predictable noise. Compare these three.
+
+void BM_CounterIncrement(benchmark::State& state) {
+  obs::Counter& counter =
+      obs::Registry::Get().GetCounter("micro.bench_counter");
+  for (auto _ : state) {
+    counter.Increment();
+  }
+}
+BENCHMARK(BM_CounterIncrement);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::Histogram& histogram =
+      obs::Registry::Get().GetHistogram("micro.bench_histogram_us");
+  uint64_t value = 0;
+  for (auto _ : state) {
+    histogram.Record(value);
+    value = (value + 37) & 0xffff;  // walk the buckets, stay realistic
+  }
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_HistogramBucketIndex(benchmark::State& state) {
+  uint64_t value = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs::Histogram::BucketIndex(value));
+    value = value * 2862933555777941757ULL + 3037000493ULL;
+  }
+}
+BENCHMARK(BM_HistogramBucketIndex);
+
+void BM_TraceSpanDisarmed(benchmark::State& state) {
+  // No recorder armed: the whole TraceSpan lifetime is one relaxed flag
+  // load on each end. This is what every annotated region pays in normal
+  // (untraced) runs.
+  for (auto _ : state) {
+    obs::TraceSpan span("micro.disarmed", "bench");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_TraceSpanDisarmed);
+
 // Console output as usual, plus one JSONL record per finished benchmark
 // when a global run-log is attached.
 class JsonlReporter : public benchmark::ConsoleReporter {

@@ -19,7 +19,10 @@
 
 #include "bench/bench_common.h"
 #include "graph/generators.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
 #include "obs/runlog.h"
+#include "obs/trace.h"
 #include "qo/optimizers.h"
 #include "qo/qoh_optimizers.h"
 #include "qo/workloads.h"
@@ -75,6 +78,13 @@ void Run(const bench::Flags& flags, ThreadPool* pool,
   bench::SweepRunner sweep(pool, seed);
   auto cell = [&](size_t index, Rng* rng) -> std::vector<std::string> {
     int n = ns[index];
+    // Whole-cell latency; TraceSpan (not obs::Span) so the nested
+    // instrumented runs keep owning their profile trees.
+    static obs::Histogram& cell_us =
+        obs::Registry::Get().GetHistogram("qoh_gap.cell_us");
+    obs::ScopedLatencyTimer cell_timer(cell_us);
+    obs::TraceSpan cell_slice("qoh_gap.cell", "bench");
+    cell_slice.Annotate("n", static_cast<uint64_t>(n));
     QohGapParams params;  // alpha = 4, eta = 0.5
 
     // YES: complete graph; clique = first 2n/3 vertices.

@@ -20,7 +20,10 @@
 
 #include "bench/bench_common.h"
 #include "graph/generators.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
 #include "obs/runlog.h"
+#include "obs/trace.h"
 #include "qo/optimizers.h"
 #include "qo/workloads.h"
 #include "reductions/clique_to_qon.h"
@@ -77,6 +80,14 @@ void Run(const bench::Flags& flags, ThreadPool* pool,
   auto cell = [&](size_t index, Rng* rng) -> std::vector<std::string> {
     int n = ns[index / alphas.size()];
     double log2_alpha = alphas[index % alphas.size()];
+    // Whole-cell latency (instance build + every optimizer run). A
+    // TraceSpan, not an obs::Span: a profile span here would take over
+    // the thread's profile tree and empty the nested runs' "spans".
+    static obs::Histogram& cell_us =
+        obs::Registry::Get().GetHistogram("qon_gap.cell_us");
+    obs::ScopedLatencyTimer cell_timer(cell_us);
+    obs::TraceSpan cell_slice("qon_gap.cell", "bench");
+    cell_slice.Annotate("n", static_cast<uint64_t>(n));
     QonGapParams params{.c = kC, .d = kD, .log2_alpha = log2_alpha};
 
     // YES instance.

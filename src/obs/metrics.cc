@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/histogram.h"
+
 namespace aqo::obs {
 
 namespace {
@@ -65,6 +67,34 @@ Gauge& Registry::GetGauge(std::string_view name) {
              .first;
   }
   return *it->second;
+}
+
+Histogram& Registry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::unique_ptr<Histogram>(
+                                             new Histogram(std::string(name))))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<std::pair<std::string, HistogramData>> Registry::Histograms()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, HistogramData>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.emplace_back(name, histogram->Snapshot());
+  }
+  return out;
+}
+
+void Registry::ResetHistograms() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
 }
 
 CounterSnapshot Registry::Counters() const {

@@ -33,6 +33,8 @@
 namespace aqo::obs {
 
 class Counter;
+class Histogram;
+struct HistogramData;
 
 // Scoped per-thread counter attribution. While a tally is on a thread's
 // stack, every Counter increment made *by that thread* is also recorded
@@ -111,22 +113,30 @@ class Gauge {
 using CounterSnapshot = std::vector<std::pair<std::string, uint64_t>>;
 using GaugeSnapshot = std::vector<std::pair<std::string, double>>;
 
-// Process-wide registry. GetCounter/GetGauge find-or-create under a mutex;
-// returned references are stable for the life of the process, so callers
-// cache them in function-local statics and never touch the lock again.
+// Process-wide registry. GetCounter/GetGauge/GetHistogram find-or-create
+// under a mutex; returned references are stable for the life of the
+// process, so callers cache them in function-local statics and never
+// touch the lock again.
 class Registry {
  public:
   static Registry& Get();
 
   Counter& GetCounter(std::string_view name);
   Gauge& GetGauge(std::string_view name);
+  // Latency distributions (obs/histogram.h); names end in `_us`.
+  Histogram& GetHistogram(std::string_view name);
 
   CounterSnapshot Counters() const;
   GaugeSnapshot Gauges() const;
+  // Name-sorted snapshot of every histogram (empty ones included, so the
+  // set of keys is stable once all call sites have been reached).
+  std::vector<std::pair<std::string, HistogramData>> Histograms() const;
 
   // Resets every counter to 0 (gauges keep their last value). Meant for
   // test isolation, not for production use — run records use deltas.
   void ResetCounters();
+  // Test isolation for histograms, same caveats as ResetCounters.
+  void ResetHistograms();
 
   // after - before, dropping entries whose delta is 0. `before` may lack
   // counters that were created after it was taken.
@@ -138,6 +148,7 @@ class Registry {
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 
 }  // namespace aqo::obs

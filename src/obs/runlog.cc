@@ -95,10 +95,30 @@ JsonValue ProfileJson(const ProfileNode& node) {
   return out;
 }
 
+JsonValue HistogramJson(const HistogramData& data) {
+  JsonValue out = JsonValue::Object();
+  out["count"] = data.count;
+  out["sum_us"] = data.sum;
+  out["min_us"] = data.min;
+  out["max_us"] = data.max;
+  out["p50_us"] = data.Quantile(0.50);
+  out["p90_us"] = data.Quantile(0.90);
+  out["p99_us"] = data.Quantile(0.99);
+  out["p999_us"] = data.Quantile(0.999);
+  return out;
+}
+
+JsonValue HistogramsJson(const HistogramSnapshot& histograms) {
+  JsonValue out = JsonValue::Object();
+  for (const auto& [name, data] : histograms) out[name] = HistogramJson(data);
+  return out;
+}
+
 void EmitRunRecord(std::string_view optimizer, const InstanceShape& shape,
                    bool feasible, double cost_log2, uint64_t evaluations,
                    double wall_seconds, const CounterSnapshot& counters,
-                   const ProfileNode* profile, PlanStatus status) {
+                   const ProfileNode* profile, PlanStatus status,
+                   const HistogramSnapshot& histograms) {
   RunLog* log = RunLog::Global();
   if (log == nullptr) return;
 
@@ -125,6 +145,10 @@ void EmitRunRecord(std::string_view optimizer, const InstanceShape& shape,
   JsonValue cs = JsonValue::Object();
   for (const auto& [name, value] : counters) cs[name] = value;
   rec["counters"] = std::move(cs);
+  // Always present (possibly empty), like "spans": latency distributions
+  // attributed to this invocation. Values are run-varying (they are real
+  // timings); differential checks normalize this key like wall_seconds.
+  rec["histograms"] = HistogramsJson(histograms);
   // Always present (possibly empty): consumers index into it unconditionally.
   JsonValue spans = JsonValue::Array();
   if (profile != nullptr) {

@@ -29,6 +29,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/histogram.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -113,15 +114,27 @@ struct InstanceShape {
 // Span profile tree as JSON: {"name","seconds","count","children":[...]}.
 JsonValue ProfileJson(const ProfileNode& node);
 
+// One histogram's summary as JSON:
+// {"count","sum_us","min_us","max_us","p50_us","p90_us","p99_us","p999_us"}.
+JsonValue HistogramJson(const HistogramData& data);
+
+// A (name -> HistogramJson) object for a snapshot, the value of the
+// record-level "histograms" key.
+JsonValue HistogramsJson(const HistogramSnapshot& histograms);
+
 // Builds and writes an optimizer_run record to the global log (no-op
 // without one). `cost_log2` is ignored when !feasible (serialized null).
 // A "status" key is added ONLY when `status` != kComplete, so records of
 // complete (unbudgeted) runs are byte-identical to the pre-status schema.
+// `histograms` are the latency distributions attributed to the invocation
+// (a ThreadHistogramTally snapshot); the "histograms" key is always
+// present, empty when nothing was recorded.
 void EmitRunRecord(std::string_view optimizer, const InstanceShape& shape,
                    bool feasible, double cost_log2, uint64_t evaluations,
                    double wall_seconds, const CounterSnapshot& counters,
                    const ProfileNode* profile,
-                   PlanStatus status = PlanStatus::kComplete);
+                   PlanStatus status = PlanStatus::kComplete,
+                   const HistogramSnapshot& histograms = {});
 
 // Runs `fn` (an optimizer invocation returning a result with `feasible`,
 // `cost` (LogDouble) and `evaluations` members — OptimizerResult or
@@ -145,6 +158,7 @@ auto InstrumentedRun(std::string_view optimizer, const InstanceShape& shape,
   bool owns_profile = profiler.current() == profiler.root();
   if (owns_profile) profiler.Reset();
   ThreadCounterTally tally;
+  ThreadHistogramTally hist_tally;
   auto start = std::chrono::steady_clock::now();
   auto result = fn();
   double wall_seconds =
@@ -156,7 +170,8 @@ auto InstrumentedRun(std::string_view optimizer, const InstanceShape& shape,
   EmitRunRecord(optimizer, shape, result.feasible,
                 result.feasible ? result.cost.Log2() : std::nan(""),
                 result.evaluations, wall_seconds, tally.Snapshot(),
-                owns_profile ? profiler.root() : nullptr, status);
+                owns_profile ? profiler.root() : nullptr, status,
+                hist_tally.Snapshot());
   return result;
 }
 

@@ -1,5 +1,6 @@
 #include "obs/span.h"
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace aqo::obs {
@@ -34,10 +35,15 @@ Span::Span(std::string_view name) {
 }
 
 Span::~Span() {
-  double elapsed = Elapsed();
-  node_->total_seconds += elapsed;
+  std::chrono::steady_clock::time_point end = std::chrono::steady_clock::now();
+  node_->total_seconds += std::chrono::duration<double>(end - start_).count();
   ++node_->count;
   Profiler::Get().current_ = parent_;
+  // Armed() is a relaxed flag load — the only cost spans pay for trace
+  // support while tracing is off.
+  if (TraceEventRecorder::Armed()) {
+    TraceEventRecorder::Emit(node_->name, "span", start_, end);
+  }
 }
 
 double Span::Elapsed() const {

@@ -1,0 +1,190 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace aqo::obs {
+
+namespace {
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  uint64_t start_ns;  // since recorder arm time
+  uint64_t dur_ns;
+  uint32_t tid;
+  std::string args_json;  // empty or a serialized JSON object
+};
+
+// One buffer per thread that has emitted at least one armed event.
+// Buffers are registered once and never removed: a thread_local raw
+// pointer to a buffer that outlives the thread would dangle if CloseGlobal
+// freed them, so they persist for the life of the process (bounded by
+// thread count, not event count — events themselves are released on
+// flush).
+struct ThreadBuffer {
+  std::mutex mu;  // contended only during FlushLocked
+  std::vector<TraceEvent> events;
+  uint32_t tid = 0;
+};
+
+struct RecorderState {
+  std::mutex mu;
+  std::ofstream file;
+  std::ostream* out = nullptr;  // &file or an attached stream
+  std::vector<ThreadBuffer*> buffers;  // registration order; never shrinks
+  uint32_t next_tid = 1;
+  std::chrono::steady_clock::time_point epoch;
+};
+
+RecorderState& State() {
+  static RecorderState* state = new RecorderState();  // never destroyed
+  return *state;
+}
+
+thread_local ThreadBuffer* tls_buffer = nullptr;
+
+ThreadBuffer* BufferForThisThread() {
+  if (tls_buffer == nullptr) {
+    auto* buffer = new ThreadBuffer();  // leaks by design, see above
+    RecorderState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    buffer->tid = state.next_tid++;
+    state.buffers.push_back(buffer);
+    tls_buffer = buffer;
+  }
+  return tls_buffer;
+}
+
+// Drains every thread buffer into one time-sorted event list and writes
+// the trace JSON. Caller holds state.mu.
+void FlushLocked(RecorderState& state) {
+  std::vector<TraceEvent> all;
+  for (ThreadBuffer* buffer : state.buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    all.insert(all.end(), std::make_move_iterator(buffer->events.begin()),
+               std::make_move_iterator(buffer->events.end()));
+    buffer->events.clear();
+    buffer->events.shrink_to_fit();
+  }
+  std::sort(all.begin(), all.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    if (a.tid != b.tid) return a.tid < b.tid;
+    return a.dur_ns > b.dur_ns;  // enclosing slice first
+  });
+
+  // Timestamps/durations are microseconds (the trace-event unit) with
+  // nanosecond precision kept as three zero-padded fractional digits.
+  auto micros = [](uint64_t ns) {
+    std::string s = std::to_string(ns / 1000);
+    uint64_t frac = ns % 1000;
+    s += '.';
+    s += static_cast<char>('0' + frac / 100);
+    s += static_cast<char>('0' + frac / 10 % 10);
+    s += static_cast<char>('0' + frac % 10);
+    return s;
+  };
+
+  std::ostream& out = *state.out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : all) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"name\":" << JsonValue(e.name).Dump()
+        << ",\"cat\":" << JsonValue(e.cat).Dump()
+        << ",\"ph\":\"X\",\"ts\":" << micros(e.start_ns)
+        << ",\"dur\":" << micros(e.dur_ns) << ",\"pid\":1,\"tid\":" << e.tid;
+    if (!e.args_json.empty()) out << ",\"args\":" << e.args_json;
+    out << "}";
+  }
+  out << "\n]}\n";
+  out.flush();
+}
+
+}  // namespace
+
+std::atomic<bool> TraceEventRecorder::armed_{false};
+
+bool TraceEventRecorder::OpenGlobal(const std::string& path) {
+  RecorderState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.file.open(path, std::ios::out | std::ios::trunc);
+  if (!state.file.is_open()) return false;
+  state.out = &state.file;
+  state.epoch = std::chrono::steady_clock::now();
+  armed_.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void TraceEventRecorder::AttachGlobal(std::ostream* out) {
+  RecorderState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.out = out;
+  state.epoch = std::chrono::steady_clock::now();
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void TraceEventRecorder::CloseGlobal() {
+  if (!Armed()) return;
+  // Disarm first so events emitted during the flush don't race the drain.
+  armed_.store(false, std::memory_order_relaxed);
+  RecorderState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.out == nullptr) return;
+  FlushLocked(state);
+  if (state.out == &state.file) state.file.close();
+  state.out = nullptr;
+}
+
+void TraceEventRecorder::Emit(std::string_view name, std::string_view cat,
+                              std::chrono::steady_clock::time_point start,
+                              std::chrono::steady_clock::time_point end,
+                              std::string args_json) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  RecorderState& state = State();
+  // epoch is set before arming and only mutated under state.mu while
+  // disarmed; armed readers see a stable value.
+  std::chrono::steady_clock::time_point epoch = state.epoch;
+  if (start < epoch) start = epoch;
+  if (end < start) end = start;
+  TraceEvent event;
+  event.name.assign(name.data(), name.size());
+  event.cat.assign(cat.data(), cat.size());
+  event.start_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(start - epoch)
+          .count());
+  event.dur_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+          .count());
+  event.tid = buffer->tid;
+  event.args_json = std::move(args_json);
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->events.push_back(std::move(event));
+}
+
+void TraceSpan::AnnotateRaw(std::string_view key, std::string_view raw_json) {
+  if (!armed_) return;
+  args_ += args_.empty() ? '{' : ',';
+  args_ += '"';
+  args_.append(key.data(), key.size());
+  args_ += "\":";
+  args_.append(raw_json.data(), raw_json.size());
+}
+
+void TraceSpan::Annotate(std::string_view key, std::string_view string_value) {
+  if (!armed_) return;
+  AnnotateRaw(key, JsonValue(std::string(string_value)).Dump());
+}
+
+void TraceSpan::Annotate(std::string_view key, uint64_t value) {
+  if (!armed_) return;
+  AnnotateRaw(key, std::to_string(value));
+}
+
+}  // namespace aqo::obs

@@ -1,5 +1,6 @@
 #include "qo/plan_cache.h"
 
+#include "obs/histogram.h"
 #include "obs/metrics.h"
 #include "obs/runlog.h"
 #include "util/check.h"
@@ -38,6 +39,9 @@ PlanCache::PlanCache(const PlanCacheOptions& options) : options_(options) {
 bool PlanCache::Lookup(const Hash128& key, CachedPlan* out) {
   static obs::Counter& hits = CounterRef("qo.plan_cache.hits");
   static obs::Counter& misses = CounterRef("qo.plan_cache.misses");
+  static obs::Histogram& probe_us =
+      obs::Registry::Get().GetHistogram("qo.plan_cache.probe_us");
+  obs::ScopedLatencyTimer timer(probe_us);
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
@@ -57,6 +61,9 @@ void PlanCache::Insert(const Hash128& key, const CachedPlan& plan) {
   static obs::Counter& inserts = CounterRef("qo.plan_cache.inserts");
   static obs::Counter& evictions = CounterRef("qo.plan_cache.evictions");
   static obs::Counter& dropped = CounterRef("qo.plan_cache.insert_dropped");
+  static obs::Histogram& insert_us =
+      obs::Registry::Get().GetHistogram("qo.plan_cache.insert_us");
+  obs::ScopedLatencyTimer timer(insert_us);
   // Fault site "plan_cache.insert": the k-th insert *attempt* on this
   // cache instance is dropped. Dropping an insert is the cache's graceful
   // degradation — results stay correct, later probes just miss. The

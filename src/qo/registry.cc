@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/histogram.h"
+#include "obs/metrics.h"
 #include "qo/analysis.h"
 #include "qo/bnb.h"
 #include "qo/genetic.h"
@@ -162,6 +164,11 @@ OptimizerResult OptimizerRegistry::Run(std::string_view name,
                                        Rng* rng) const {
   const QonOptimizerEntry* entry = Find(name);
   AQO_CHECK(entry != nullptr) << "unknown QO_N optimizer: " << name;
+  // Per-optimizer invocation latency, keyed by canonical name (aliases
+  // fold into their target's distribution). The GetHistogram lookup costs
+  // one mutex acquire — noise next to the invocation itself.
+  obs::ScopedLatencyTimer timer(obs::Registry::Get().GetHistogram(
+      std::string("qon.") + entry->name + ".invoke_us"));
   return entry->run(inst, options, rng);
 }
 
@@ -198,6 +205,8 @@ QohOptimizerResult QohOptimizerRegistry::Run(std::string_view name,
                                              Rng* rng) const {
   const QohOptimizerEntry* entry = Find(name);
   AQO_CHECK(entry != nullptr) << "unknown QO_H optimizer: " << name;
+  obs::ScopedLatencyTimer timer(obs::Registry::Get().GetHistogram(
+      std::string("qoh.") + entry->name + ".invoke_us"));
   return entry->run(inst, options, rng);
 }
 

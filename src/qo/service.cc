@@ -4,8 +4,10 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/histogram.h"
 #include "obs/metrics.h"
 #include "obs/runlog.h"
+#include "obs/trace.h"
 #include "util/cancellation.h"
 #include "util/check.h"
 #include "util/fault_injection.h"
@@ -25,6 +27,40 @@ constexpr uint64_t kQohKeyTag = 0x716f685f6b657931ULL;
 // Deterministic optimizers ignore the Rng; folding a fixed sentinel
 // instead of the seed lets their entries hit across seeds.
 constexpr uint64_t kDeterministicSeed = 0x64657465726d696eULL;
+
+// Lowercase hex of a canonical fingerprint, for trace-slice annotation.
+std::string FingerprintHex(const Hash128& h) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[static_cast<size_t>(15 - i)] = kDigits[(h.hi >> (4 * i)) & 0xf];
+    out[static_cast<size_t>(31 - i)] = kDigits[(h.lo >> (4 * i)) & 0xf];
+  }
+  return out;
+}
+
+// The outcome-split per-item latency histogram: batch items report into
+// one of four distributions so a p99 regression in computed items is not
+// drowned out by a sea of microsecond cache hits.
+obs::Histogram& ItemHistogram(PlanStatus status, bool cache_hit) {
+  static obs::Histogram& hit_us =
+      obs::Registry::Get().GetHistogram("qo.service.item_cache_hit_us");
+  static obs::Histogram& computed_us =
+      obs::Registry::Get().GetHistogram("qo.service.item_computed_us");
+  static obs::Histogram& failed_us =
+      obs::Registry::Get().GetHistogram("qo.service.item_failed_us");
+  static obs::Histogram& deadline_us =
+      obs::Registry::Get().GetHistogram("qo.service.item_deadline_us");
+  if (cache_hit) return hit_us;
+  switch (status) {
+    case PlanStatus::kFailed:
+      return failed_us;
+    case PlanStatus::kDeadlineExceeded:
+      return deadline_us;
+    default:
+      return computed_us;
+  }
+}
 
 // Runs items [0, count) through `fn`, on the pool when it helps. The pool
 // never changes results: every fn(i) is a pure function of i.
@@ -115,6 +151,12 @@ std::vector<typename Traits::Item> RunBatch(
   ForEach(options.pool, reps.size(), [&](size_t r) {
     if (hit[r]) return;
     const auto& c = canon[reps[r]];
+    // One trace slice and one latency sample per computed item, covering
+    // the whole attempt (retry included) — the latency a caller of this
+    // item actually saw. Cache-hit and duplicate items get theirs in the
+    // resolve loop, so slices sum to exactly the batch size.
+    obs::TraceSpan slice("qo.service.item", "service");
+    auto item_start = std::chrono::steady_clock::now();
     obs::InstanceShape shape{.family = std::string(Traits::kFamily),
                              .kind = "batch",
                              .side = "",
@@ -147,6 +189,16 @@ std::vector<typename Traits::Item> RunBatch(
         logs[r].clear();
       }
     }
+    uint64_t item_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - item_start)
+            .count());
+    ItemHistogram(plans[r].status, /*cache_hit=*/false).Record(item_us);
+    if (slice.armed()) {
+      slice.Annotate("fingerprint", FingerprintHex(c.fingerprint));
+      slice.Annotate("cache_hit", false);
+      slice.Annotate("status", PlanStatusName(plans[r].status));
+    }
   });
 
   // Replay buffered records in representative (= first occurrence) order,
@@ -178,6 +230,13 @@ std::vector<typename Traits::Item> RunBatch(
   std::vector<typename Traits::Item> out(count);
   for (size_t i = 0; i < count; ++i) {
     size_t r = rep_slot[i];
+    // Computed misses already got their slice and latency sample in the
+    // compute loop; everything else (probe hits and in-batch duplicates)
+    // is served here, and its cost is the resolve itself.
+    bool served_here = !(i == reps[r] && !hit[r]);
+    obs::TraceSpan slice(served_here ? "qo.service.item" : "qo.service.resolve",
+                         "service");
+    auto item_start = std::chrono::steady_clock::now();
     bool from_cache = hit[r] != 0;
     if (options.cache != nullptr && i != reps[r]) {
       from_cache = options.cache->Lookup(keys[i], nullptr);
@@ -185,6 +244,18 @@ std::vector<typename Traits::Item> RunBatch(
     out[i].from_cache = from_cache;
     out[i].fingerprint = canon[i].fingerprint;
     Traits::FromPlan(plans[r], canon[i].from_canonical, &out[i].result);
+    if (served_here) {
+      uint64_t item_us = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - item_start)
+              .count());
+      ItemHistogram(plans[r].status, /*cache_hit=*/true).Record(item_us);
+    }
+    if (slice.armed()) {
+      slice.Annotate("fingerprint", FingerprintHex(canon[i].fingerprint));
+      slice.Annotate("cache_hit", from_cache);
+      slice.Annotate("status", PlanStatusName(plans[r].status));
+    }
   }
   return out;
 }

@@ -26,14 +26,16 @@ double StatAccumulator::Stddev() const { return std::sqrt(Variance()); }
 double SampleSet::Percentile(double p) const {
   AQO_CHECK(!samples_.empty());
   AQO_CHECK(0.0 <= p && p <= 100.0);
-  std::vector<double> sorted = samples_;
-  std::sort(sorted.begin(), sorted.end());
-  if (sorted.size() == 1) return sorted[0];
-  double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  if (samples_.size() == 1) return samples_[0];
+  double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
   size_t lo = static_cast<size_t>(rank);
-  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  size_t hi = std::min(lo + 1, samples_.size() - 1);
   double frac = rank - static_cast<double>(lo);
-  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
 }
 
 LineFit FitLine(const std::vector<double>& xs, const std::vector<double>& ys) {

@@ -35,17 +35,26 @@ class StatAccumulator {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
-// Retains samples; supports exact percentiles.
+// Retains samples; supports exact percentiles. Percentile sorts the
+// retained samples in place the first time it is called and reuses that
+// order until the next Add, so a run of percentile reads (p50/p90/p99 of
+// the same set) costs one sort, not one per read.
 class SampleSet {
  public:
-  void Add(double x) { samples_.push_back(x); }
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
   size_t size() const { return samples_.size(); }
   // p in [0, 100]; linear interpolation between order statistics.
   double Percentile(double p) const;
   double Median() const { return Percentile(50.0); }
 
  private:
-  std::vector<double> samples_;
+  // Sample insertion order is not part of the interface, so Percentile
+  // may reorder lazily behind const.
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
 };
 
 struct LineFit {

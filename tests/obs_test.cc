@@ -5,6 +5,7 @@
 // here goes missing, downstream tooling reading run-logs breaks; update
 // the doc together with this test.
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <string>
@@ -13,14 +14,21 @@
 #include <gtest/gtest.h>
 
 #include "graph/graph.h"
+#include "obs/histogram.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/provenance.h"
 #include "obs/runlog.h"
 #include "obs/span.h"
+#include "obs/trace.h"
 #include "qo/optimizers.h"
+#include "qo/plan_cache.h"
 #include "qo/qon.h"
+#include "qo/registry.h"
+#include "qo/service.h"
 #include "util/log_double.h"
+#include "util/random.h"
+#include "util/stats.h"
 #include "util/thread_pool.h"
 
 namespace aqo {
@@ -176,8 +184,12 @@ std::vector<obs::JsonValue> EmitAndParse() {
                            .source = "",
                            .n = inst.NumRelations(),
                            .edges = inst.graph().NumEdges()};
-  OptimizerResult result = obs::InstrumentedRun(
-      "qon.dp", shape, [&] { return DpQonOptimizer(inst); });
+  // Through the registry (not DpQonOptimizer directly) so the invocation
+  // also records qon.dp.invoke_us — the schema guard below asserts the
+  // record's "histograms" key attributes it.
+  OptimizerResult result = obs::InstrumentedRun("qon.dp", shape, [&] {
+    return OptimizerRegistry::Qon().Run("dp", inst, {}, nullptr);
+  });
   obs::RunLog::CloseGlobal();
   EXPECT_TRUE(result.feasible);
 
@@ -249,6 +261,22 @@ TEST(RunLog, OptimizerRunRecordSchema) {
   }
   EXPECT_GE(optimizer_specific, 2) << "DP run must attribute its own "
                                       "counters (qon.dp.*) to the record";
+
+  // The "histograms" key is always present and attributes the registry's
+  // per-invocation latency distribution to this record.
+  const obs::JsonValue* histograms = run.Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const obs::JsonValue* invoke = histograms->Find("qon.dp.invoke_us");
+  ASSERT_NE(invoke, nullptr)
+      << "registry-run invocation must attribute qon.dp.invoke_us";
+  for (const char* key : {"count", "sum_us", "min_us", "max_us", "p50_us",
+                          "p90_us", "p99_us", "p999_us"}) {
+    ASSERT_TRUE(invoke->Has(key)) << "histogram summary missing " << key;
+    EXPECT_TRUE(invoke->Find(key)->is_number()) << key;
+  }
+  EXPECT_EQ(invoke->Find("count")->AsUint(), 1u);
+  EXPECT_GE(invoke->Find("p99_us")->AsUint(), invoke->Find("p50_us")->AsUint());
+  EXPECT_GE(invoke->Find("max_us")->AsUint(), invoke->Find("min_us")->AsUint());
 
   ASSERT_TRUE(run.Has("spans"));
 }
@@ -363,6 +391,316 @@ TEST(RunLogBuffer, UntakenLinesAreDiscardedAtScopeExit) {
   }
   obs::RunLog::CloseGlobal();
   EXPECT_EQ(sink.str(), "");
+}
+
+// --- Latency histograms -----------------------------------------------------
+
+TEST(Histogram, BucketBoundsRoundTrip) {
+  // Every value must land in a bucket whose [lower, upper] range contains
+  // it, bucket indexes must be monotone in the value, and the top of the
+  // u64 range must still fit.
+  std::vector<uint64_t> probes = {0,     1,     15,    16,
+                                  17,    31,    32,    33,
+                                  255,   256,   1000,  65535,
+                                  65536, uint64_t{1} << 30,
+                                  uint64_t{1} << 62, ~uint64_t{0}};
+  uint32_t prev_index = 0;
+  for (uint64_t v : probes) {
+    uint32_t index = obs::Histogram::BucketIndex(v);
+    ASSERT_LT(index, obs::Histogram::kNumBuckets) << v;
+    EXPECT_LE(obs::Histogram::BucketLowerBound(index), v) << v;
+    EXPECT_GE(obs::Histogram::BucketUpperBound(index), v) << v;
+    EXPECT_GE(index, prev_index) << v;  // probes ascend, so must indexes
+    prev_index = index;
+  }
+  // Values below kSubBuckets are exact: one value per bucket.
+  for (uint64_t v = 0; v < obs::Histogram::kSubBuckets; ++v) {
+    uint32_t index = obs::Histogram::BucketIndex(v);
+    EXPECT_EQ(obs::Histogram::BucketLowerBound(index), v);
+    EXPECT_EQ(obs::Histogram::BucketUpperBound(index), v);
+  }
+}
+
+TEST(Histogram, BucketRelativeErrorIsBounded) {
+  // Bucket width <= lower_bound / kSubBuckets: the documented <= 6.25%
+  // relative error with 16 sub-buckets.
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = rng.Next() >> (rng.Next() % 50);
+    if (v < obs::Histogram::kSubBuckets) continue;
+    uint32_t index = obs::Histogram::BucketIndex(v);
+    uint64_t lo = obs::Histogram::BucketLowerBound(index);
+    uint64_t hi = obs::Histogram::BucketUpperBound(index);
+    EXPECT_LE(hi - lo + 1, lo / obs::Histogram::kSubBuckets + 1) << v;
+  }
+}
+
+TEST(Histogram, SnapshotTotalsAndExtrema) {
+  obs::Histogram& h = obs::Registry::Get().GetHistogram("test.hist.totals_us");
+  h.Reset();
+  EXPECT_EQ(h.Snapshot().count, 0u);
+  for (uint64_t v : {7u, 100u, 100u, 5000u}) h.Record(v);
+  obs::HistogramData data = h.Snapshot();
+  EXPECT_EQ(data.count, 4u);
+  EXPECT_EQ(data.sum, 5207u);
+  EXPECT_EQ(data.min, 7u);
+  EXPECT_EQ(data.max, 5000u);
+  // Sparse buckets are index-sorted with counts matching the totals.
+  uint64_t bucket_total = 0;
+  for (size_t i = 0; i < data.buckets.size(); ++i) {
+    if (i > 0) EXPECT_LT(data.buckets[i - 1].first, data.buckets[i].first);
+    bucket_total += data.buckets[i].second;
+  }
+  EXPECT_EQ(bucket_total, 4u);
+  h.Reset();
+}
+
+TEST(Histogram, QuantilesTrackExactPercentiles) {
+  // The histogram quantile must stay within one bucket's relative error
+  // of SampleSet's exact order statistics over a skewed random stream.
+  obs::Histogram& h =
+      obs::Registry::Get().GetHistogram("test.hist.quantiles_us");
+  h.Reset();
+  SampleSet exact;
+  Rng rng(29);
+  for (int i = 0; i < 20000; ++i) {
+    // Log-uniform-ish latencies from sub-us to ~1s.
+    uint64_t v = rng.Next() % (uint64_t{1} << (4 + rng.Next() % 16));
+    h.Record(v);
+    exact.Add(static_cast<double>(v));
+  }
+  obs::HistogramData data = h.Snapshot();
+  ASSERT_EQ(data.count, 20000u);
+  for (double q : {0.50, 0.90, 0.99, 0.999}) {
+    double approx = static_cast<double>(data.Quantile(q));
+    double truth = exact.Percentile(q * 100.0);
+    // Upper bucket bound: never below the true order statistic by more
+    // than interpolation slack, never above it by more than one bucket
+    // width (1/16 relative).
+    EXPECT_GE(approx, truth * (1.0 - 1.0 / 16.0) - 1.0) << q;
+    EXPECT_LE(approx, truth * (1.0 + 1.0 / 16.0) + 1.0) << q;
+  }
+  EXPECT_EQ(data.Quantile(0.0), data.min);
+  EXPECT_EQ(data.Quantile(1.0), data.max);
+  h.Reset();
+}
+
+TEST(Histogram, MergeEqualsRecordingBothStreams) {
+  obs::Histogram& a = obs::Registry::Get().GetHistogram("test.hist.merge_a");
+  obs::Histogram& b = obs::Registry::Get().GetHistogram("test.hist.merge_b");
+  obs::Histogram& both = obs::Registry::Get().GetHistogram("test.hist.merge_ab");
+  a.Reset();
+  b.Reset();
+  both.Reset();
+  Rng rng(31);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t v = rng.Next() % 100000;
+    ((i % 2 == 0) ? a : b).Record(v);
+    both.Record(v);
+  }
+  obs::HistogramData merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  EXPECT_EQ(merged, both.Snapshot());
+  // Merging an empty snapshot is the identity, both ways.
+  obs::HistogramData empty;
+  obs::HistogramData copy = merged;
+  copy.Merge(empty);
+  EXPECT_EQ(copy, merged);
+  empty.Merge(merged);
+  EXPECT_EQ(empty, merged);
+  a.Reset();
+  b.Reset();
+  both.Reset();
+}
+
+TEST(Histogram, SnapshotIsIdenticalAcrossThreadCounts) {
+  // The recorded distribution is a pure function of the value stream:
+  // fanning the same 4000 records across 1, 2 or 4 workers must yield
+  // bit-identical snapshots (relaxed increments commute).
+  obs::HistogramData reference;
+  for (int threads : {1, 2, 4}) {
+    obs::Histogram& h =
+        obs::Registry::Get().GetHistogram("test.hist.threads_us");
+    h.Reset();
+    ThreadPool pool(threads);
+    pool.ParallelFor(4000, [&](size_t i) {
+      h.Record((i * 2654435761u) % 1000000);
+    });
+    obs::HistogramData data = h.Snapshot();
+    if (threads == 1) {
+      reference = data;
+    } else {
+      EXPECT_EQ(data, reference) << "threads=" << threads;
+    }
+  }
+  obs::Registry::Get().GetHistogram("test.hist.threads_us").Reset();
+}
+
+TEST(Histogram, RegistrySnapshotIsNameSortedAndStable) {
+  obs::Histogram& h1 = obs::Registry::Get().GetHistogram("test.hist.reg_a");
+  obs::Histogram& h2 = obs::Registry::Get().GetHistogram("test.hist.reg_a");
+  EXPECT_EQ(&h1, &h2);  // find-or-create returns stable refs
+  obs::HistogramSnapshot snap = obs::Registry::Get().Histograms();
+  for (size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1].first, snap[i].first);
+  }
+}
+
+TEST(ThreadHistogramTally, AttributesOnlyTheCallingThreadsRecords) {
+  obs::Histogram& h =
+      obs::Registry::Get().GetHistogram("test.hist.tally_us");
+  h.Reset();
+  ThreadPool pool(4);
+  obs::ThreadHistogramTally tally;
+  pool.ParallelForChunks(400, [&](int /*chunk*/, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) h.Record(i % 50);
+  });
+  auto snapshot = tally.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].first, "test.hist.tally_us");
+  // Chunk 0 always runs on the submitting thread: 100 of the 400.
+  EXPECT_EQ(snapshot[0].second.count, 100u);
+  // The global histogram saw all 400 regardless.
+  EXPECT_EQ(h.Snapshot().count, 400u);
+  h.Reset();
+}
+
+TEST(ThreadHistogramTally, NestedTallyFoldsIntoParent) {
+  obs::Histogram& h =
+      obs::Registry::Get().GetHistogram("test.hist.tally_nested_us");
+  h.Reset();
+  obs::ThreadHistogramTally outer;
+  h.Record(10);
+  {
+    obs::ThreadHistogramTally inner;
+    h.Record(200);
+    h.Record(300);
+    auto inner_snapshot = inner.Snapshot();
+    ASSERT_EQ(inner_snapshot.size(), 1u);
+    EXPECT_EQ(inner_snapshot[0].second.count, 2u);
+    EXPECT_EQ(inner_snapshot[0].second.min, 200u);
+  }
+  auto outer_snapshot = outer.Snapshot();
+  ASSERT_EQ(outer_snapshot.size(), 1u);
+  const obs::HistogramData& data = outer_snapshot[0].second;
+  EXPECT_EQ(data.count, 3u);  // own 1 + folded inner 2
+  EXPECT_EQ(data.sum, 510u);
+  EXPECT_EQ(data.min, 10u);
+  EXPECT_EQ(data.max, 300u);
+}
+
+// --- Trace-event export -----------------------------------------------------
+
+// Parses a recorder's output and returns the traceEvents array.
+std::vector<obs::JsonValue> TraceEventsOf(const std::string& text) {
+  auto parsed = obs::JsonValue::Parse(text);
+  EXPECT_TRUE(parsed.has_value()) << "trace output is not valid JSON";
+  std::vector<obs::JsonValue> events;
+  if (!parsed.has_value()) return events;
+  const obs::JsonValue* list = parsed->Find("traceEvents");
+  EXPECT_NE(list, nullptr);
+  if (list != nullptr) {
+    for (const obs::JsonValue& e : list->items()) events.push_back(e);
+  }
+  return events;
+}
+
+TEST(Trace, DisarmedSpansEmitNothing) {
+  ASSERT_FALSE(obs::TraceEventRecorder::Armed());
+  {
+    obs::TraceSpan slice("test.trace.unarmed");
+    slice.Annotate("ignored", true);
+  }
+  { obs::Span span("test.trace.unarmed_profile"); }
+  obs::Profiler::Get().Reset();
+  // Arming afterwards must not surface the events recorded above.
+  std::ostringstream sink;
+  obs::TraceEventRecorder::AttachGlobal(&sink);
+  obs::TraceEventRecorder::CloseGlobal();
+  EXPECT_TRUE(TraceEventsOf(sink.str()).empty());
+}
+
+TEST(Trace, SpansAndSlicesBecomeCompleteEvents) {
+  std::ostringstream sink;
+  obs::TraceEventRecorder::AttachGlobal(&sink);
+  ASSERT_TRUE(obs::TraceEventRecorder::Armed());
+  {
+    obs::Span profiled("test.trace.profiled");
+    obs::TraceSpan slice("test.trace.slice", "testing");
+    slice.Annotate("cache_hit", true);
+    slice.Annotate("fingerprint", std::string_view("deadbeef"));
+    slice.Annotate("items", uint64_t{3});
+  }
+  obs::Profiler::Get().Reset();
+  obs::TraceEventRecorder::CloseGlobal();
+  ASSERT_FALSE(obs::TraceEventRecorder::Armed());
+
+  std::vector<obs::JsonValue> events = TraceEventsOf(sink.str());
+  ASSERT_EQ(events.size(), 2u);
+  for (const obs::JsonValue& e : events) {
+    EXPECT_EQ(e.Find("ph")->AsString(), "X");  // complete events only
+    EXPECT_TRUE(e.Find("ts")->is_number());
+    EXPECT_TRUE(e.Find("dur")->is_number());
+    EXPECT_TRUE(e.Has("pid"));
+    EXPECT_TRUE(e.Has("tid"));
+  }
+  // Sorted by start time: the enclosing profiled span opened first.
+  EXPECT_EQ(events[0].Find("name")->AsString(), "test.trace.profiled");
+  EXPECT_EQ(events[0].Find("cat")->AsString(), "span");
+  const obs::JsonValue& slice = events[1];
+  EXPECT_EQ(slice.Find("name")->AsString(), "test.trace.slice");
+  EXPECT_EQ(slice.Find("cat")->AsString(), "testing");
+  const obs::JsonValue* args = slice.Find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_TRUE(args->Find("cache_hit")->AsBool());
+  EXPECT_EQ(args->Find("fingerprint")->AsString(), "deadbeef");
+  EXPECT_EQ(args->Find("items")->AsUint(), 3u);
+}
+
+TEST(Trace, ServiceEmitsOneItemSlicePerBatchItem) {
+  // The acceptance contract: with tracing armed, a batch of N instances
+  // yields exactly N "qo.service.item" slices — computed misses from the
+  // compute loop, hits and duplicates from the resolve loop.
+  QonInstance base = SmallInstance();
+  std::vector<QonInstance> batch = {base, base, base, base, base};
+  PlanCacheOptions cache_options;
+  PlanCache cache(cache_options);
+  BatchOptions options;
+  options.optimizer = "greedy";
+  options.cache = &cache;
+
+  std::ostringstream sink;
+  obs::TraceEventRecorder::AttachGlobal(&sink);
+  std::vector<QonBatchItem> items = OptimizeQonBatch(batch, options);
+  obs::TraceEventRecorder::CloseGlobal();
+  ASSERT_EQ(items.size(), batch.size());
+
+  size_t item_slices = 0;
+  bool saw_computed = false, saw_served = false;
+  for (const obs::JsonValue& e : TraceEventsOf(sink.str())) {
+    if (e.Find("name")->AsString() != "qo.service.item") continue;
+    ++item_slices;
+    const obs::JsonValue* args = e.Find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_EQ(args->Find("fingerprint")->AsString().size(), 32u);
+    EXPECT_TRUE(args->Has("status"));
+    (args->Find("cache_hit")->AsBool() ? saw_served : saw_computed) = true;
+  }
+  EXPECT_EQ(item_slices, batch.size());
+  EXPECT_TRUE(saw_computed);  // first occurrence computed
+  EXPECT_TRUE(saw_served);    // the four duplicates served from the rep
+}
+
+// --- Profiler misuse guard --------------------------------------------------
+
+TEST(ProfilerDeathTest, ResetWithOpenSpansAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        obs::Span open("test.profiler.open");
+        obs::Profiler::Get().Reset();
+      },
+      "Profiler::Reset with open spans");
 }
 
 }  // namespace

@@ -180,6 +180,23 @@ TEST(Stats, Percentiles) {
   EXPECT_NEAR(s.Percentile(100), 100.0, 1e-9);
 }
 
+TEST(Stats, PercentilesStayCorrectAcrossInterleavedAdds) {
+  // Percentile sorts lazily and caches the order; an Add between reads
+  // must invalidate that cache, whatever order samples arrive in.
+  SampleSet s;
+  s.Add(30.0);
+  s.Add(10.0);
+  EXPECT_NEAR(s.Percentile(0), 10.0, 1e-9);
+  s.Add(5.0);  // below the current minimum, after a sorted read
+  EXPECT_NEAR(s.Percentile(0), 5.0, 1e-9);
+  EXPECT_NEAR(s.Percentile(100), 30.0, 1e-9);
+  s.Add(40.0);  // above the current maximum, after more sorted reads
+  EXPECT_NEAR(s.Percentile(100), 40.0, 1e-9);
+  EXPECT_NEAR(s.Median(), 20.0, 1e-9);
+  // Repeated reads with no Add in between keep returning the same value.
+  EXPECT_NEAR(s.Median(), 20.0, 1e-9);
+}
+
 TEST(Stats, LineFitRecoversSlope) {
   std::vector<double> xs, ys;
   for (int i = 0; i < 50; ++i) {

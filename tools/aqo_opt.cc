@@ -24,6 +24,10 @@
 // the instance is expanded into --repeat relabeled duplicates and the
 // batch is optimized through the cache (see docs/api.md).
 //
+// --json-out=<path> writes a JSONL run-log, --trace-out=<path> a Chrome
+// trace-event JSON of the run, and --latency-table=1 a percentile table
+// of every latency histogram (docs/observability.md).
+//
 // --threads=N runs the subset DP on an N-worker pool (default: hardware
 // concurrency); every thread count returns bit-identical results.
 
