@@ -1,0 +1,57 @@
+#include "io/framing.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace aqo {
+
+void WriteFrame(std::ostream& os, const std::string& payload) {
+  char prefix[4];
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    prefix[i] = static_cast<char>((len >> (8 * i)) & 0xFF);
+  }
+  os.write(prefix, sizeof(prefix));
+  os.write(payload.data(),
+           static_cast<std::streamsize>(payload.size()));
+}
+
+FrameRead ReadFrame(std::istream& is, std::string* payload,
+                    std::string* error) {
+  char prefix[4];
+  is.read(prefix, sizeof(prefix));
+  std::streamsize got = is.gcount();
+  if (got == 0) return FrameRead::kEof;
+  if (got < static_cast<std::streamsize>(sizeof(prefix))) {
+    std::ostringstream why;
+    why << "truncated frame length prefix (" << got << " of 4 bytes)";
+    *error = why.str();
+    return FrameRead::kError;
+  }
+  uint32_t len = 0;
+  for (int i = 3; i >= 0; --i) {
+    len = (len << 8) | static_cast<unsigned char>(prefix[i]);
+  }
+  if (len > kMaxFrameBytes) {
+    std::ostringstream why;
+    why << "implausible frame length " << len << " (max " << kMaxFrameBytes
+        << ")";
+    *error = why.str();
+    return FrameRead::kError;
+  }
+  payload->resize(len);
+  if (len > 0) {
+    is.read(payload->data(), static_cast<std::streamsize>(len));
+    if (is.gcount() < static_cast<std::streamsize>(len)) {
+      std::ostringstream why;
+      why << "truncated frame payload (" << is.gcount() << " of " << len
+          << " bytes)";
+      *error = why.str();
+      return FrameRead::kError;
+    }
+  }
+  return FrameRead::kFrame;
+}
+
+}  // namespace aqo

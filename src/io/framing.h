@@ -1,0 +1,42 @@
+#ifndef AQO_IO_FRAMING_H_
+#define AQO_IO_FRAMING_H_
+
+// Length-prefixed message framing for the aqo_serve wire protocol
+// (docs/persistence.md): each frame is a u32 little-endian payload length
+// followed by that many payload bytes. Payloads are opaque here — the
+// server layers a small line-oriented request/response text format on
+// top (tools/aqo_serve.cc).
+//
+// Reading distinguishes three outcomes: a complete frame, clean EOF (the
+// stream ended exactly on a frame boundary — how a client says goodbye),
+// and error (truncated frame or an implausible length; reason suitable
+// for `error: <source>: <reason>`). A truncated final frame is the
+// streaming analogue of the persistence layer's torn tail.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace aqo {
+
+// Upper bound on a single frame payload; larger prefixes are treated as
+// protocol corruption, not gigantic requests.
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+enum class FrameRead {
+  kFrame,  // *payload filled
+  kEof,    // clean end of stream on a frame boundary
+  kError,  // *error filled
+};
+
+// Appends the length prefix + payload to `os` (no flush; callers decide
+// when to flush, e.g. once per response).
+void WriteFrame(std::ostream& os, const std::string& payload);
+
+// Reads one frame. On kError, `*error` holds a one-line reason.
+FrameRead ReadFrame(std::istream& is, std::string* payload,
+                    std::string* error);
+
+}  // namespace aqo
+
+#endif  // AQO_IO_FRAMING_H_

@@ -34,18 +34,12 @@
 #include "qo/qoh.h"
 #include "qo/qon.h"
 #include "sat/cnf.h"
+// ParseResult<T> lives in util/parse_result.h so lower layers (the binary
+// persistence in qo/persist.h) can report recoverable decode errors the
+// same way without depending on aqo_io.
+#include "util/parse_result.h"
 
 namespace aqo {
-
-// Outcome of a recoverable parse: exactly one of `value` / `error` is
-// set. `error` is a single line suitable for `error: <file>: <reason>`.
-template <typename T>
-struct ParseResult {
-  std::optional<T> value;
-  std::string error;
-
-  bool ok() const { return value.has_value(); }
-};
 
 // Recoverable readers: structured error instead of abort, for any
 // malformed input reachable from files a user hands to a tool. Also the

@@ -1,0 +1,207 @@
+#ifndef AQO_QO_PERSIST_H_
+#define AQO_QO_PERSIST_H_
+
+// Durable plan-cache persistence: a versioned binary snapshot +
+// append-log format so a PlanCache survives process restarts (the
+// long-running `aqo_serve` daemon warms its cache from disk and re-pays
+// no optimization cost it already paid in a previous life).
+//
+// On-disk layout (docs/persistence.md has the byte diagram). A state
+// directory holds two files sharing one record format:
+//
+//   snapshot.bin — the full cache contents at the last rotation. Written
+//     to snapshot.tmp, fsync'd, then atomically rename(2)d into place, so
+//     a crash never leaves a half-written snapshot under the live name.
+//   journal.log  — entries inserted since that snapshot, appended one
+//     record per insert (write-through from PlanCache's insert observer).
+//
+// Both start with a 16-byte header (8-byte magic "AQOPLANC", u32 format
+// version, u32 kind: snapshot|log) followed by length-prefixed records:
+//
+//   u32 payload_len | u32 crc32(payload) | payload
+//
+// The payload serializes one (Hash128 key, CachedPlan) pair — the key in
+// canonical-fingerprint space, the plan in canonical labels, exactly the
+// bits PlanCache holds in memory (LogDouble costs by bit pattern, so a
+// recovered plan costs bitwise what the computed plan cost).
+//
+// Recovery contract:
+//   * torn tail — a crash mid-append leaves a final record whose bytes
+//     run out before payload_len; replay salvages every record before it
+//     and reports torn_tail (a normal crash artifact, not corruption);
+//   * corruption — a CRC mismatch or malformed payload stops replay at
+//     the damage point, salvaging everything before it and reporting the
+//     reason. The strict reader (ReadPersistFile) instead fails with a
+//     ParseResult error carrying the same reason — tools use it to
+//     distinguish "inspect this file" from "recover what you can";
+//   * the snapshot is atomic by construction, so after any single crash
+//     LoadAndRecover reconstructs exactly the successfully-persisted
+//     prefix of the insert history (tests/persist_crash_test.cc sweeps
+//     every injection ordinal and asserts service results stay
+//     bit-identical to a cold cache).
+//
+// Crash-point testing rides util/fault_injection.h. Three sites, keyed by
+// deterministic per-store counters:
+//   "persist.append"   — the k-th AppendEntry tears mid-record (half the
+//                        encoded bytes reach the file) and the store
+//                        latches failed, as a crashed process would;
+//   "persist.fsync"    — the k-th fsync is skipped and reported failed
+//                        (data intact, durability not guaranteed);
+//   "persist.snapshot" — the k-th SaveSnapshot dies after writing half of
+//                        snapshot.tmp, before the rename.
+//
+// Telemetry: qo.persist.* counters (appends, append_bytes, fsyncs,
+// snapshot_saves, snapshot_entries, recovered_entries, torn_tails,
+// crc_failures, failures) plus qo.persist.{append_us,snapshot_us,
+// recover_us} histograms; LoadAndRecover emits a `persist_recovery`
+// run-log record with full provenance when a global run-log is attached.
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "qo/plan_cache.h"
+#include "util/hash.h"
+#include "util/parse_result.h"
+
+namespace aqo {
+
+inline constexpr uint32_t kPersistFormatVersion = 1;
+
+enum class PersistFileKind : uint32_t {
+  kSnapshot = 1,
+  kLog = 2,
+};
+
+struct PersistOptions {
+  // Directory holding snapshot.bin / journal.log (created if absent).
+  std::string dir;
+  // fsync appended records and snapshot rotations. Turning this off keeps
+  // crash *consistency* (the format tolerates torn tails regardless) but
+  // trades durability of the last few records for append throughput.
+  bool fsync = true;
+};
+
+// One persisted cache entry: canonical-fingerprint key + canonical-label
+// plan, bit-for-bit what PlanCache stores.
+struct PersistedEntry {
+  Hash128 key;
+  CachedPlan plan;
+};
+
+// Lenient per-file replay result (RecoverPersistFile).
+struct PersistFileInfo {
+  std::vector<PersistedEntry> entries;  // salvaged, in write order
+  bool torn_tail = false;  // file ends mid-record (crash artifact)
+  std::string damage;      // non-empty: reason replay stopped early
+};
+
+// What LoadAndRecover did, also emitted as the `persist_recovery` record.
+struct RecoveryStats {
+  bool had_snapshot = false;
+  bool had_log = false;
+  uint64_t snapshot_entries = 0;
+  uint64_t log_entries = 0;
+  uint64_t entries_loaded = 0;  // inserted into the cache
+  bool torn_tail = false;       // journal ended mid-record
+  std::string damage;           // first corruption reason, if any
+  uint64_t recover_us = 0;      // wall time, also qo.persist.recover_us
+};
+
+// --- Record codec (exposed for tests and fixture generation) ---
+
+// Serializes one entry as a framed record (length + CRC + payload).
+std::string EncodePersistRecord(const PersistedEntry& entry);
+
+// The 16-byte file header for `kind`.
+std::string EncodePersistHeader(PersistFileKind kind);
+
+// --- Whole-file readers ---
+
+// Strict: any damage — bad magic, unsupported version, wrong kind,
+// truncated header, CRC mismatch, malformed payload, torn tail — is a
+// ParseResult error with a precise reason. Use for inspection tools and
+// fixture tests; recovery paths use RecoverPersistFile instead.
+ParseResult<std::vector<PersistedEntry>> ReadPersistFile(
+    std::istream& is, PersistFileKind expected_kind);
+
+// Lenient: salvages every record before the first damage point. A
+// header-level problem (file is not ours at all) still comes back as
+// `damage` with zero entries. Torn tails are reported but are not damage.
+PersistFileInfo RecoverPersistFile(std::istream& is,
+                                   PersistFileKind expected_kind);
+
+// --- The store ---
+
+// Manages one state directory. Not thread-safe for concurrent Save/Append
+// from multiple threads against the same store *except* AppendEntry,
+// which takes an internal mutex (the PlanCache insert observer may fire
+// from pool workers; the batch service appends serially regardless).
+class PlanStore {
+ public:
+  explicit PlanStore(const PersistOptions& options);
+  ~PlanStore();
+
+  PlanStore(const PlanStore&) = delete;
+  PlanStore& operator=(const PlanStore&) = delete;
+
+  // Writes the full contents of `cache` as a new snapshot (tmp + fsync +
+  // atomic rename + directory fsync), then truncates the journal. False
+  // on failure (reason in error()); the previous snapshot and journal
+  // stay intact in that case.
+  bool SaveSnapshot(const PlanCache& cache);
+
+  // Appends one record to the journal (fsync per options). False on
+  // failure; after a failure the store latches failed() and refuses
+  // further writes, exactly as a crashed process would stop writing —
+  // this keeps a torn tail a *tail*, never garbage mid-file.
+  bool AppendEntry(const Hash128& key, const CachedPlan& plan);
+
+  // Loads snapshot.bin and replays journal.log into `cache` (which should
+  // be empty; entries are Insert()ed in write order, oldest first, so LRU
+  // recency survives). Tolerates a torn journal tail; salvages up to any
+  // damage point. Returns a ParseResult error only when a file exists but
+  // its header is unreadable (not our file / unsupported version) — the
+  // caller should not silently ignore that. Emits a `persist_recovery`
+  // run-log record and qo.persist.* counters either way.
+  //
+  // Call before AttachTo: recovery inserts must not be re-appended.
+  ParseResult<RecoveryStats> LoadAndRecover(PlanCache* cache);
+
+  // Write-through wiring: every successful new insert into `cache` is
+  // appended to the journal (PlanCache::SetInsertObserver).
+  void AttachTo(PlanCache* cache);
+
+  // True after any append/snapshot failure (real or injected crash
+  // point); all subsequent writes are refused.
+  bool failed() const { return failed_; }
+  // Reason for the most recent failure.
+  const std::string& error() const { return error_; }
+
+  std::string SnapshotPath() const;
+  std::string JournalPath() const;
+  const PersistOptions& options() const { return options_; }
+
+ private:
+  bool Fail(const std::string& reason);
+  // fsyncs `fd`, observing the "persist.fsync" fault site; false on
+  // (injected or real) failure.
+  bool SyncFd(int fd, const char* what);
+  bool OpenJournal(bool truncate);
+
+  PersistOptions options_;
+  int journal_fd_ = -1;
+  bool failed_ = false;
+  std::string error_;
+  // Deterministic fault-site ordinals (see header comment).
+  uint64_t append_ordinal_ = 0;
+  uint64_t fsync_ordinal_ = 0;
+  uint64_t snapshot_ordinal_ = 0;
+  std::mutex append_mu_;
+};
+
+}  // namespace aqo
+
+#endif  // AQO_QO_PERSIST_H_

@@ -78,27 +78,49 @@ void PlanCache::Insert(const Hash128& key, const CachedPlan& plan) {
   size_t bytes = PlanBytes(plan);
   if (bytes > shard_budget_) return;  // would evict an entire shard
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.index.find(key);
-  if (it != shard.index.end()) {
-    // Refresh: same key implies the same plan bits (the key folds in the
-    // fingerprint, optimizer, knobs and seed), so only recency moves.
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    return;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      // Refresh: same key implies the same plan bits (the key folds in the
+      // fingerprint, optimizer, knobs and seed), so only recency moves.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;
+    }
+    while (shard.bytes + bytes > shard_budget_ && !shard.lru.empty()) {
+      Entry& victim = shard.lru.back();
+      shard.bytes -= victim.bytes;
+      shard.index.erase(victim.key);
+      shard.lru.pop_back();
+      evictions.Increment();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.lru.push_front(Entry{key, plan, bytes});
+    shard.index.emplace(key, shard.lru.begin());
+    shard.bytes += bytes;
+    inserts.Increment();
+    inserts_.fetch_add(1, std::memory_order_relaxed);
   }
-  while (shard.bytes + bytes > shard_budget_ && !shard.lru.empty()) {
-    Entry& victim = shard.lru.back();
-    shard.bytes -= victim.bytes;
-    shard.index.erase(victim.key);
-    shard.lru.pop_back();
-    evictions.Increment();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+  // Write-through hook, outside the shard lock so the observer may do
+  // I/O without serializing sibling shards (qo/persist.h).
+  if (insert_observer_) insert_observer_(key, plan);
+}
+
+void PlanCache::SetInsertObserver(InsertObserver observer) {
+  insert_observer_ = std::move(observer);
+}
+
+std::vector<std::pair<Hash128, CachedPlan>> PlanCache::Export() const {
+  std::vector<std::pair<Hash128, CachedPlan>> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    // Reverse LRU order: re-inserting front-to-back of `out` leaves the
+    // most recently used entry at the front again.
+    for (auto it = shard->lru.rbegin(); it != shard->lru.rend(); ++it) {
+      out.emplace_back(it->key, it->plan);
+    }
   }
-  shard.lru.push_front(Entry{key, plan, bytes});
-  shard.index.emplace(key, shard.lru.begin());
-  shard.bytes += bytes;
-  inserts.Increment();
-  inserts_.fetch_add(1, std::memory_order_relaxed);
+  return out;
 }
 
 PlanCache::Stats PlanCache::GetStats() const {

@@ -27,10 +27,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "qo/join_sequence.h"
@@ -89,6 +91,21 @@ class PlanCache {
 
   const PlanCacheOptions& options() const { return options_; }
 
+  // Called after every successful *new* insert (not refreshes, oversize
+  // rejections, or fault-dropped inserts), outside the shard lock, with
+  // the key and the plan as stored. This is the write-through hook the
+  // persistence layer attaches (qo/persist.h: every insert is appended to
+  // the journal). Set once, before concurrent use; pass nullptr to clear.
+  using InsertObserver =
+      std::function<void(const Hash128& key, const CachedPlan& plan)>;
+  void SetInsertObserver(InsertObserver observer);
+
+  // All entries in a deterministic order: shards by index, each shard's
+  // LRU list from least to most recently used. Re-Insert()ing the result
+  // into an empty cache in order therefore reproduces both the contents
+  // and the recency structure — this is what SaveSnapshot persists.
+  std::vector<std::pair<Hash128, CachedPlan>> Export() const;
+
   // Emits a `plan_cache_config` record to the global run log (no-op
   // without one).
   void LogConfig() const;
@@ -117,6 +134,7 @@ class PlanCache {
   PlanCacheOptions options_;
   size_t shard_budget_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  InsertObserver insert_observer_;
 
   // Per-instance totals (the qo.plan_cache.* obs counters are
   // process-wide and would alias across caches).

@@ -1,0 +1,25 @@
+#ifndef AQO_UTIL_CRC32_H_
+#define AQO_UTIL_CRC32_H_
+
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, the zlib/gzip checksum) for
+// integrity-checking persisted records (qo/persist.h). Software
+// table-driven implementation: deterministic and platform-independent, no
+// hardware intrinsics, so checksums written on one machine verify on any
+// other. This is corruption detection, not authentication — a CRC catches
+// torn writes, bit rot, and truncation, never an adversary.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace aqo {
+
+// CRC-32 of `data[0..len)`, with the conventional ~0 pre/post-conditioning
+// (Crc32("") == 0; matches zlib's crc32()).
+uint32_t Crc32(const void* data, size_t len);
+
+// Incremental form: feed `crc` the running value (start from 0).
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t len);
+
+}  // namespace aqo
+
+#endif  // AQO_UTIL_CRC32_H_

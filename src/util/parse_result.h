@@ -1,0 +1,29 @@
+#ifndef AQO_UTIL_PARSE_RESULT_H_
+#define AQO_UTIL_PARSE_RESULT_H_
+
+// ParseResult<T>: the outcome of a recoverable parse or decode of
+// untrusted bytes — exactly one of `value` / `error` is set.
+//
+// This lives in util/ (not io/) because every layer that consumes bytes a
+// user could hand to a tool — the text readers in io/serialization.h and
+// the binary plan-cache persistence in qo/persist.h — reports failures the
+// same way: never abort on malformed input, pre-validate everything a
+// downstream AQO_CHECK would die on, and return a one-line reason suitable
+// for `error: <file>: <reason>`.
+
+#include <optional>
+#include <string>
+
+namespace aqo {
+
+template <typename T>
+struct ParseResult {
+  std::optional<T> value;
+  std::string error;
+
+  bool ok() const { return value.has_value(); }
+};
+
+}  // namespace aqo
+
+#endif  // AQO_UTIL_PARSE_RESULT_H_

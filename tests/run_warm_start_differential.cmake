@@ -1,0 +1,86 @@
+# Warm-start differential for aqo_serve (see tests/CMakeLists.txt).
+#
+# Generates a duplicate-heavy request stream with aqo_loadgen, then runs
+# aqo_serve twice against the SAME state directory:
+#
+#   run 1 (cold): empty directory — every unique instance is computed,
+#     journaled, and snapshotted on shutdown;
+#   run 2 (warm): recovers the cache from disk first.
+#
+# Fails unless (a) the two stdout response streams are byte-identical —
+# recovered plans must reproduce computed plans bit-for-bit — and (b) run
+# 2's JSONL run-log proves the warm path actually ran: a persist_recovery
+# record with entries_loaded > 0 and a plan_cache_stats record with
+# hits > 0.
+#
+# Usage: cmake -DAQO_SERVE=<bin> -DAQO_LOADGEN=<bin> -DWORK_DIR=<dir>
+#        -P run_warm_start_differential.cmake
+
+if(NOT AQO_SERVE OR NOT AQO_LOADGEN OR NOT WORK_DIR)
+  message(FATAL_ERROR "AQO_SERVE, AQO_LOADGEN and WORK_DIR are required")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND "${AQO_LOADGEN}" --requests=60 --bases=6 --n=7 --seed=21
+          --out=${WORK_DIR}/workload.bin
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "aqo_loadgen exited with ${rc}")
+endif()
+
+function(run_serve tag)
+  execute_process(
+    COMMAND "${AQO_SERVE}" --cache-dir=${WORK_DIR}/state
+            --json-out=${WORK_DIR}/${tag}.jsonl
+    INPUT_FILE "${WORK_DIR}/workload.bin"
+    OUTPUT_FILE "${WORK_DIR}/${tag}.out"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "aqo_serve (${tag}) exited with ${rc}")
+  endif()
+endfunction()
+
+run_serve(cold)
+run_serve(warm)
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WORK_DIR}/cold.out" "${WORK_DIR}/warm.out"
+  RESULT_VARIABLE stdout_diff)
+if(NOT stdout_diff EQUAL 0)
+  message(FATAL_ERROR
+    "aqo_serve responses differ between cold and warm starts "
+    "(${WORK_DIR}/cold.out vs warm.out) — recovered plans are not "
+    "bit-identical to computed plans")
+endif()
+
+# Run 2 must prove it was actually warm.
+file(STRINGS "${WORK_DIR}/warm.jsonl" warm_lines)
+set(recovered_entries "")
+set(warm_hits "")
+foreach(line IN LISTS warm_lines)
+  if(line MATCHES "\"type\":\"persist_recovery\".*\"entries_loaded\":([0-9]+)")
+    set(recovered_entries "${CMAKE_MATCH_1}")
+  endif()
+  if(line MATCHES "\"type\":\"plan_cache_stats\".*\"hits\":([0-9]+)")
+    set(warm_hits "${CMAKE_MATCH_1}")
+  endif()
+endforeach()
+
+if(recovered_entries STREQUAL "")
+  message(FATAL_ERROR "warm run-log has no persist_recovery record")
+endif()
+if(recovered_entries EQUAL 0)
+  message(FATAL_ERROR "warm run recovered 0 entries — cold run persisted nothing")
+endif()
+if(warm_hits STREQUAL "" OR warm_hits EQUAL 0)
+  message(FATAL_ERROR
+    "warm run reports no plan-cache hits (hits='${warm_hits}') — the "
+    "recovered entries were never used")
+endif()
+
+message(STATUS "aqo_serve warm-start differential: stdout identical; "
+  "recovered ${recovered_entries} entries, ${warm_hits} warm hits")

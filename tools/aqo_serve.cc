@@ -1,0 +1,323 @@
+// aqo_serve — long-running optimization server over stdin/stdout.
+//
+// Speaks a length-prefixed frame protocol (io/framing.h): each request
+// frame carries a small text payload —
+//
+//   req <id> [deadline_ms]
+//   qon <n>            (or qoh — the full instance text, io/serialization.h)
+//   ...
+//
+// and produces exactly one response frame per request:
+//
+//   ok <id> <family> feasible=<0|1> status=<status> cost_log2=<g17> evaluations=<n>
+//   seq <v...>                       (feasible only)
+//   pipelines <v...>                 (qoh, feasible only)
+//
+// or `err <id> <reason>` (parse failures, admission rejections). Control
+// frames: `ping <id>` and `snapshot <id>` (forces a snapshot rotation).
+//
+// Responses are a pure function of (instance, optimizer, knobs, seed):
+// cache hits return bit-identical bytes to a fresh computation, so a
+// warm restart reproduces a cold run's stdout byte-for-byte — the
+// warm-start differential ctest and the CI crash-recovery smoke both
+// assert exactly that. Anything nondeterministic (timings, hit counts)
+// goes to stderr and the JSONL run-log only.
+//
+// Durability (docs/persistence.md): --cache-dir=<dir> arms plan-cache
+// persistence. On startup the cache is warmed with
+// PlanStore::LoadAndRecover (tolerating torn journal tails from a crash);
+// every insert is written through to the journal; a graceful shutdown
+// (stdin EOF, SIGTERM, SIGINT) rotates a fresh snapshot. SIGKILL loses
+// nothing but the snapshot rotation — the journal already holds every
+// insert.
+//
+// Admission control: --max-n= rejects instances above a relation-count
+// ceiling before any optimization work; --request-deadline-ms= (or the
+// per-request field) arms the Budget/CancelToken machinery so an
+// overloaded item returns its best-so-far plan with status
+// deadline_exceeded — such plans are never cached. --budget-evals= is the
+// deterministic analogue and IS cacheable (docs/robustness.md).
+//
+// Telemetry: qo.serve.* counters, the qo.serve.request_us histogram,
+// qo.persist.* for storage, plus --json-out/--trace-out/--latency-table
+// from the shared harness flags.
+
+#include <csignal>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "io/framing.h"
+#include "io/serialization.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "qo/persist.h"
+#include "qo/plan_cache.h"
+#include "qo/service.h"
+#include "util/cancellation.h"
+#include "util/thread_pool.h"
+
+namespace aqo {
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleStop(int) { g_stop = 1; }
+
+// Formats a double with enough digits to round-trip, so equal bits print
+// equal bytes (the warm/cold differential depends on this).
+std::string FormatG17(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+struct ServerConfig {
+  BatchOptions qon_batch;
+  BatchOptions qoh_batch;
+  double default_deadline_ms = 0.0;
+  int max_n = 0;  // 0 = unlimited
+  int64_t snapshot_every = 0;  // optimize requests between rotations; 0 = off
+};
+
+// One optimize request: parses, admits, runs a single-instance batch
+// through the shared cache, formats the response payload.
+std::string ServeOptimize(const std::string& id, double deadline_ms,
+                          const std::string& body, const ServerConfig& config,
+                          PlanCache* cache, ThreadPool* pool) {
+  static obs::Counter& rejects =
+      obs::Registry::Get().GetCounter("qo.serve.admission_rejects");
+  static obs::Counter& cache_hits =
+      obs::Registry::Get().GetCounter("qo.serve.cache_hits");
+  std::istringstream in(body);
+  std::string family;
+  in >> family;
+  in.seekg(0);
+  std::ostringstream out;
+  if (family == "qon") {
+    ParseResult<QonInstance> parsed = ParseQonInstance(in);
+    if (!parsed.ok()) {
+      out << "err " << id << " parse: " << parsed.error;
+      return out.str();
+    }
+    const QonInstance& inst = *parsed.value;
+    if (config.max_n > 0 && inst.NumRelations() > config.max_n) {
+      rejects.Increment();
+      out << "err " << id << " admission: n=" << inst.NumRelations()
+          << " exceeds --max-n=" << config.max_n;
+      return out.str();
+    }
+    BatchOptions options = config.qon_batch;
+    options.cache = cache;
+    options.pool = nullptr;  // single instance; optimizer-level pool below
+    options.qon.pool = pool;
+    options.deadline_ms = deadline_ms;
+    std::vector<QonBatchItem> items = OptimizeQonBatch({inst}, options);
+    const QonBatchItem& item = items.front();
+    if (item.from_cache) cache_hits.Increment();
+    out << "ok " << id << " qon feasible=" << (item.result.feasible ? 1 : 0)
+        << " status=" << PlanStatusName(item.result.status)
+        << " cost_log2=" << FormatG17(item.result.cost.Log2())
+        << " evaluations=" << item.result.evaluations;
+    if (item.result.feasible) {
+      out << "\nseq";
+      for (int v : item.result.sequence) out << " " << v;
+    }
+    return out.str();
+  }
+  if (family == "qoh") {
+    ParseResult<QohInstance> parsed = ParseQohInstance(in);
+    if (!parsed.ok()) {
+      out << "err " << id << " parse: " << parsed.error;
+      return out.str();
+    }
+    const QohInstance& inst = *parsed.value;
+    if (config.max_n > 0 && inst.NumRelations() > config.max_n) {
+      rejects.Increment();
+      out << "err " << id << " admission: n=" << inst.NumRelations()
+          << " exceeds --max-n=" << config.max_n;
+      return out.str();
+    }
+    BatchOptions options = config.qoh_batch;
+    options.cache = cache;
+    options.pool = nullptr;
+    options.deadline_ms = deadline_ms;
+    std::vector<QohBatchItem> items = OptimizeQohBatch({inst}, options);
+    const QohBatchItem& item = items.front();
+    if (item.from_cache) cache_hits.Increment();
+    out << "ok " << id << " qoh feasible=" << (item.result.feasible ? 1 : 0)
+        << " status=" << PlanStatusName(item.result.status)
+        << " cost_log2=" << FormatG17(item.result.cost.Log2())
+        << " evaluations=" << item.result.evaluations;
+    if (item.result.feasible) {
+      out << "\nseq";
+      for (int v : item.result.sequence) out << " " << v;
+      out << "\npipelines";
+      for (int v : item.result.decomposition.starts) out << " " << v;
+    }
+    return out.str();
+  }
+  out << "err " << id << " parse: unknown instance family '" << family
+      << "' (expected qon or qoh)";
+  return out.str();
+}
+
+int Main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  bench::RunLogSession session(flags, "aqo_serve", /*default_seed=*/1);
+
+  ServerConfig config;
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  config.qon_batch.optimizer = flags.GetString("optimizer", "dp");
+  config.qon_batch.qon = bench::ReadQonKnobs(flags);
+  config.qon_batch.seed = seed;
+  config.qoh_batch.optimizer = flags.GetString("qoh-optimizer", "greedy");
+  config.qoh_batch.qoh = bench::ReadQohKnobs(flags);
+  config.qoh_batch.seed = seed;
+  // Note: `--deadline-ms` (without the prefix) is the per-optimizer anytime
+  // budget consumed by ReadQonKnobs above; this one arms the batch-level
+  // wall-clock deadline default for requests that don't carry their own.
+  config.default_deadline_ms = flags.GetDouble("request-deadline-ms", 0.0);
+  config.max_n = static_cast<int>(flags.GetInt("max-n", 0));
+  config.snapshot_every = flags.GetInt("snapshot-every", 0);
+  if (OptimizerRegistry::Qon().Find(config.qon_batch.optimizer) == nullptr) {
+    std::cerr << "error: unknown QO_N optimizer '"
+              << config.qon_batch.optimizer << "'\n";
+    return 2;
+  }
+  if (QohOptimizerRegistry::Get().Find(config.qoh_batch.optimizer) ==
+      nullptr) {
+    std::cerr << "error: unknown QO_H optimizer '"
+              << config.qoh_batch.optimizer << "'\n";
+    return 2;
+  }
+
+  PlanCacheOptions cache_options;
+  cache_options.byte_budget =
+      static_cast<size_t>(flags.GetInt("plan-cache-mb", 64)) << 20;
+  cache_options.shards =
+      static_cast<int>(flags.GetInt("plan-cache-shards", 16));
+  PlanCache cache(cache_options);
+  cache.LogConfig();
+
+  ThreadPool pool(flags.Threads());
+
+  // Durable state: recover, then write through.
+  std::unique_ptr<PlanStore> store;
+  std::string cache_dir = flags.GetString("cache-dir");
+  if (!cache_dir.empty()) {
+    PersistOptions persist_options;
+    persist_options.dir = cache_dir;
+    persist_options.fsync = flags.GetInt("fsync", 1) != 0;
+    store = std::make_unique<PlanStore>(persist_options);
+    ParseResult<RecoveryStats> recovered = store->LoadAndRecover(&cache);
+    if (!recovered.ok()) {
+      std::cerr << "error: " << recovered.error << "\n";
+      return 1;
+    }
+    std::cerr << "aqo_serve: recovered " << recovered.value->entries_loaded
+              << " entries (snapshot " << recovered.value->snapshot_entries
+              << ", journal " << recovered.value->log_entries << ") in "
+              << recovered.value->recover_us << " us";
+    if (recovered.value->torn_tail) std::cerr << " [torn journal tail]";
+    if (!recovered.value->damage.empty()) {
+      std::cerr << " [damage: " << recovered.value->damage << "]";
+    }
+    std::cerr << "\n";
+    store->AttachTo(&cache);
+  }
+
+  // SIGTERM/SIGINT end the serve loop for a graceful snapshot; no
+  // SA_RESTART, so a blocking stdin read returns early.
+  struct sigaction sa = {};
+  sa.sa_handler = HandleStop;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+
+  static obs::Counter& requests =
+      obs::Registry::Get().GetCounter("qo.serve.requests");
+  static obs::Counter& errors =
+      obs::Registry::Get().GetCounter("qo.serve.errors");
+  static obs::Histogram& request_us =
+      obs::Registry::Get().GetHistogram("qo.serve.request_us");
+
+  uint64_t served = 0;
+  int64_t since_snapshot = 0;
+  bool clean = true;
+  std::string payload;
+  std::string frame_error;
+  while (g_stop == 0) {
+    FrameRead read = ReadFrame(std::cin, &payload, &frame_error);
+    if (read == FrameRead::kEof) break;
+    if (read == FrameRead::kError) {
+      if (g_stop != 0) break;  // interrupted mid-read by a stop signal
+      std::cerr << "error: <stdin>: " << frame_error << "\n";
+      clean = false;
+      break;
+    }
+    obs::ScopedLatencyTimer timer(request_us);
+    requests.Increment();
+    // First line: "<verb> <id> [deadline_ms]"; the rest is the body.
+    size_t eol = payload.find('\n');
+    std::string head =
+        eol == std::string::npos ? payload : payload.substr(0, eol);
+    std::string body =
+        eol == std::string::npos ? std::string() : payload.substr(eol + 1);
+    std::istringstream header(head);
+    std::string verb, id;
+    header >> verb >> id;
+    std::string response;
+    if (verb == "req" && !id.empty()) {
+      double deadline_ms = config.default_deadline_ms;
+      header >> deadline_ms;  // optional per-request override
+      response = ServeOptimize(id, deadline_ms, body, config, &cache, &pool);
+      ++served;
+      ++since_snapshot;
+    } else if (verb == "ping" && !id.empty()) {
+      response = "ok " + id + " pong";
+    } else if (verb == "snapshot" && !id.empty()) {
+      if (store == nullptr) {
+        response = "err " + id + " snapshot: no --cache-dir configured";
+      } else if (store->SaveSnapshot(cache)) {
+        response = "ok " + id + " snapshot";
+      } else {
+        response = "err " + id + " snapshot: " + store->error();
+      }
+    } else {
+      response = "err ? bad request header: " + head;
+    }
+    if (response.compare(0, 4, "err ") == 0) errors.Increment();
+    WriteFrame(std::cout, response);
+    std::cout.flush();
+    if (store != nullptr && config.snapshot_every > 0 &&
+        since_snapshot >= config.snapshot_every) {
+      if (store->SaveSnapshot(cache)) since_snapshot = 0;
+    }
+  }
+
+  // Graceful shutdown: rotate a snapshot so the next start recovers from
+  // one file instead of replaying the whole journal.
+  if (store != nullptr) {
+    if (!store->SaveSnapshot(cache)) {
+      std::cerr << "warning: shutdown snapshot failed: " << store->error()
+                << "\n";
+    }
+  }
+  cache.LogStats();
+  PlanCache::Stats stats = cache.GetStats();
+  std::cerr << "aqo_serve: served " << served << " requests"
+            << (g_stop != 0 ? " (stopped by signal)" : "") << "; cache hits="
+            << stats.hits << " misses=" << stats.misses
+            << " entries=" << stats.entries << " bytes=" << stats.bytes
+            << "\n";
+  return clean ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace aqo
+
+int main(int argc, char** argv) { return aqo::Main(argc, argv); }
