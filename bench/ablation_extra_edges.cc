@@ -62,8 +62,10 @@ void Run(const bench::Flags& flags) {
       OptimizerResult opt = DpQonOptimizer(inst, options);
       if (!opt.feasible) continue;
       OptimizerResult greedy = GreedyQonOptimizer(inst, options);
+      OptimizerOptions ii_options = options;
+      ii_options.restarts = 2;
       OptimizerResult ii =
-          IterativeImprovementOptimizer(inst, &rng, 2, options);
+          IterativeImprovementOptimizer(inst, &rng, ii_options);
       double g_ratio = greedy.cost.Log2() - opt.cost.Log2();
       double i_ratio = ii.cost.Log2() - opt.cost.Log2();
       greedy_ratio.Add(g_ratio);

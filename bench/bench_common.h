@@ -254,6 +254,24 @@ class SweepRunner {
   uint64_t base_seed_;
 };
 
+// Reads the `adaptive` entry's knobs (the flags its KnobSpec schema
+// advertises; see qo/registry.cc). Shared by ReadQonKnobs/ReadQohKnobs —
+// always read, like every other knob, so the unread-flag warning stays
+// honest when `adaptive` is not among the selected optimizers.
+inline void ReadAdaptiveKnobs(const Flags& flags, AdaptiveKnobs* knobs) {
+  knobs->fallback = flags.GetString("fallback", knobs->fallback);
+  knobs->candidates =
+      flags.GetString("adaptive-candidates", knobs->candidates);
+  knobs->quality_target =
+      flags.GetDouble("quality-target", knobs->quality_target);
+  knobs->k_neighbors =
+      static_cast<int>(flags.GetInt("knn-k", knobs->k_neighbors));
+  knobs->min_trials =
+      static_cast<int>(flags.GetInt("min-trials", knobs->min_trials));
+  knobs->seed = static_cast<uint64_t>(
+      flags.GetInt("adaptive-seed", static_cast<int64_t>(knobs->seed)));
+}
+
 // Reads every QO_N knob flag unconditionally, whether or not the selected
 // --optimizers= subset uses it. That keeps the unread-flag warning honest:
 // deselecting `sa` must not turn a legitimate --sa-iterations= into a
@@ -285,6 +303,7 @@ inline OptimizerOptions ReadQonKnobs(const Flags& flags,
   o.budget.max_evaluations = static_cast<uint64_t>(flags.GetInt(
       "budget-evals", static_cast<int64_t>(o.budget.max_evaluations)));
   o.budget.deadline_ms = flags.GetDouble("deadline-ms", o.budget.deadline_ms);
+  ReadAdaptiveKnobs(flags, &o.adaptive);
   return o;
 }
 
@@ -305,6 +324,7 @@ inline QohOptimizerOptions ReadQohKnobs(const Flags& flags,
   o.budget.max_evaluations = static_cast<uint64_t>(flags.GetInt(
       "budget-evals", static_cast<int64_t>(o.budget.max_evaluations)));
   o.budget.deadline_ms = flags.GetDouble("deadline-ms", o.budget.deadline_ms);
+  ReadAdaptiveKnobs(flags, &o.adaptive);
   return o;
 }
 
@@ -315,8 +335,14 @@ std::vector<std::string> SelectedOptimizersOrDie(const Registry& registry,
                                                  const char* family,
                                                  const Flags& flags,
                                                  const std::string& def) {
-  std::vector<std::string> names =
-      ParseOptimizerList(flags.GetString("optimizers", def));
+  std::string csv = flags.GetString("optimizers", def);
+  if (csv == "help") {
+    // Uniform across every bench and tool: the registry's own Describe()
+    // listing (names, descriptions, knob schemas, aliases).
+    std::cout << registry.Describe();
+    std::exit(0);
+  }
+  std::vector<std::string> names = ParseOptimizerList(csv);
   bool bad = names.empty();
   for (std::string& name : names) {
     const auto* entry = registry.Find(name);

@@ -56,8 +56,10 @@ int main() {
     }
     // What a real optimizer achieves:
     Rng opt_rng(7);
+    OptimizerOptions ii_options;
+    ii_options.restarts = 2;
     OptimizerResult ii =
-        IterativeImprovementOptimizer(out.gap.instance, &opt_rng, 2);
+        IterativeImprovementOptimizer(out.gap.instance, &opt_rng, ii_options);
     std::cout << "  best plan found by local search: lg C = "
               << ii.cost.Log2() << "\n\n";
   }

@@ -467,14 +467,6 @@ OptimizerResult GreedyQonOptimizer(const QonInstance& inst,
 }
 
 OptimizerResult RandomSamplingOptimizer(const QonInstance& inst, Rng* rng,
-                                        int samples,
-                                        const OptimizerOptions& options) {
-  OptimizerOptions merged = options;
-  merged.samples = samples;
-  return RandomSamplingOptimizer(inst, rng, merged);
-}
-
-OptimizerResult RandomSamplingOptimizer(const QonInstance& inst, Rng* rng,
                                         const OptimizerOptions& options) {
   AQO_CHECK(options.samples >= 1);
   static obs::Counter& drawn = CounterRef("qon.random.samples");
@@ -500,16 +492,6 @@ OptimizerResult RandomSamplingOptimizer(const QonInstance& inst, Rng* rng,
   }
   result.status = guard.status();
   return result;
-}
-
-OptimizerResult SimulatedAnnealingOptimizer(const QonInstance& inst, Rng* rng,
-                                            const AnnealingOptions& options) {
-  OptimizerOptions merged = options.base;
-  merged.sa.iterations = options.iterations;
-  merged.sa.initial_temperature = options.initial_temperature;
-  merged.sa.cooling = options.cooling;
-  merged.sa.restarts = options.restarts;
-  return SimulatedAnnealingOptimizer(inst, rng, merged);
 }
 
 OptimizerResult SimulatedAnnealingOptimizer(const QonInstance& inst, Rng* rng,
@@ -579,14 +561,6 @@ OptimizerResult SimulatedAnnealingOptimizer(const QonInstance& inst, Rng* rng,
   }
   result.status = guard.status();
   return result;
-}
-
-OptimizerResult IterativeImprovementOptimizer(const QonInstance& inst,
-                                              Rng* rng, int restarts,
-                                              const OptimizerOptions& options) {
-  OptimizerOptions merged = options;
-  merged.restarts = restarts;
-  return IterativeImprovementOptimizer(inst, rng, merged);
 }
 
 OptimizerResult IterativeImprovementOptimizer(const QonInstance& inst,

@@ -174,7 +174,15 @@ bool DecodePayload(const unsigned char* p, size_t len, PersistedEntry* out,
 }
 
 const char* KindName(PersistFileKind kind) {
-  return kind == PersistFileKind::kSnapshot ? "snapshot" : "log";
+  switch (kind) {
+    case PersistFileKind::kSnapshot:
+      return "snapshot";
+    case PersistFileKind::kLog:
+      return "log";
+    case PersistFileKind::kFeedback:
+      return "feedback";
+  }
+  return "unknown";
 }
 
 // Header check shared by the strict and lenient readers. Returns true and
@@ -218,60 +226,33 @@ struct ScanResult {
   size_t valid_bytes = 0;
 };
 
-// The one replay loop both readers share; strictness is a presentation
-// decision layered on top of this result.
+// The typed replay loop both readers share: the generic frame scan plus
+// the plan-entry payload codec. Strictness is a presentation decision
+// layered on top of this result.
 ScanResult ScanPersistFile(const std::string& bytes,
                            PersistFileKind expected_kind) {
+  FramedFileInfo raw = ScanFramedFile(bytes, expected_kind);
   ScanResult scan;
-  if (!CheckHeader(bytes, expected_kind, &scan.info.damage)) {
-    return scan;
-  }
-  scan.header_ok = true;
-  scan.valid_bytes = kHeaderBytes;
-  const auto* base = reinterpret_cast<const unsigned char*>(bytes.data());
-  size_t pos = kHeaderBytes;
-  size_t index = 0;
-  while (pos < bytes.size()) {
-    size_t remaining = bytes.size() - pos;
-    if (remaining < 8) {
-      scan.info.torn_tail = true;  // partial length/CRC prefix
-      return scan;
-    }
-    uint32_t payload_len = GetU32(base + pos);
-    uint32_t stored_crc = GetU32(base + pos + 4);
-    std::ostringstream why;
-    if (payload_len > kMaxRecordBytes) {
-      why << "record #" << index << ": implausible payload length "
-          << payload_len;
-      scan.info.damage = why.str();
-      return scan;
-    }
-    if (remaining - 8 < payload_len) {
-      scan.info.torn_tail = true;  // record bytes run out: crash artifact
-      return scan;
-    }
-    const unsigned char* payload = base + pos + 8;
-    uint32_t computed_crc = Crc32(payload, payload_len);
-    if (computed_crc != stored_crc) {
-      char buf[96];
-      std::snprintf(buf, sizeof(buf),
-                    "record #%zu: CRC mismatch (stored 0x%08x, computed "
-                    "0x%08x)",
-                    index, stored_crc, computed_crc);
-      scan.info.damage = buf;
-      return scan;
-    }
+  scan.header_ok = raw.header_ok;
+  scan.info.torn_tail = raw.torn_tail;
+  scan.info.damage = raw.damage;
+  scan.valid_bytes = raw.header_ok ? kHeaderBytes : 0;
+  for (size_t index = 0; index < raw.payloads.size(); ++index) {
+    const std::string& payload = raw.payloads[index];
     PersistedEntry entry;
     std::string decode_error;
-    if (!DecodePayload(payload, payload_len, &entry, &decode_error)) {
+    if (!DecodePayload(reinterpret_cast<const unsigned char*>(payload.data()),
+                       payload.size(), &entry, &decode_error)) {
+      // A decode failure earlier in the file supersedes whatever the raw
+      // scan found after it (replay stops at the first bad record).
+      std::ostringstream why;
       why << "record #" << index << ": " << decode_error;
       scan.info.damage = why.str();
+      scan.info.torn_tail = false;
       return scan;
     }
     scan.info.entries.push_back(std::move(entry));
-    pos += 8 + payload_len;
-    scan.valid_bytes = pos;
-    ++index;
+    scan.valid_bytes = raw.ends[index];
   }
   return scan;
 }
@@ -307,13 +288,67 @@ std::string EncodePersistHeader(PersistFileKind kind) {
 }
 
 std::string EncodePersistRecord(const PersistedEntry& entry) {
-  std::string payload = EncodePayload(entry);
+  return EncodeFramedRecord(EncodePayload(entry));
+}
+
+std::string EncodeFramedRecord(std::string_view payload) {
   std::string out;
   out.reserve(8 + payload.size());
   PutU32(&out, static_cast<uint32_t>(payload.size()));
   PutU32(&out, Crc32(payload.data(), payload.size()));
   out += payload;
   return out;
+}
+
+FramedFileInfo ScanFramedFile(const std::string& bytes,
+                              PersistFileKind expected_kind) {
+  FramedFileInfo info;
+  if (!CheckHeader(bytes, expected_kind, &info.damage)) {
+    return info;
+  }
+  info.header_ok = true;
+  info.valid_bytes = kHeaderBytes;
+  const auto* base = reinterpret_cast<const unsigned char*>(bytes.data());
+  size_t pos = kHeaderBytes;
+  size_t index = 0;
+  while (pos < bytes.size()) {
+    size_t remaining = bytes.size() - pos;
+    if (remaining < 8) {
+      info.torn_tail = true;  // partial length/CRC prefix
+      return info;
+    }
+    uint32_t payload_len = GetU32(base + pos);
+    uint32_t stored_crc = GetU32(base + pos + 4);
+    if (payload_len > kMaxRecordBytes) {
+      std::ostringstream why;
+      why << "record #" << index << ": implausible payload length "
+          << payload_len;
+      info.damage = why.str();
+      return info;
+    }
+    if (remaining - 8 < payload_len) {
+      info.torn_tail = true;  // record bytes run out: crash artifact
+      return info;
+    }
+    const unsigned char* payload = base + pos + 8;
+    uint32_t computed_crc = Crc32(payload, payload_len);
+    if (computed_crc != stored_crc) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    "record #%zu: CRC mismatch (stored 0x%08x, computed "
+                    "0x%08x)",
+                    index, stored_crc, computed_crc);
+      info.damage = buf;
+      return info;
+    }
+    info.payloads.emplace_back(reinterpret_cast<const char*>(payload),
+                               payload_len);
+    pos += 8 + payload_len;
+    info.ends.push_back(pos);
+    info.valid_bytes = pos;
+    ++index;
+  }
+  return info;
 }
 
 ParseResult<std::vector<PersistedEntry>> ReadPersistFile(

@@ -60,6 +60,7 @@
 #include <iosfwd>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "qo/plan_cache.h"
@@ -73,6 +74,9 @@ inline constexpr uint32_t kPersistFormatVersion = 1;
 enum class PersistFileKind : uint32_t {
   kSnapshot = 1,
   kLog = 2,
+  // Adaptive feedback-store records (qo/adaptive.h): same header and
+  // framing, payload owned by the feedback store's codec.
+  kFeedback = 3,
 };
 
 struct PersistOptions {
@@ -117,6 +121,32 @@ std::string EncodePersistRecord(const PersistedEntry& entry);
 
 // The 16-byte file header for `kind`.
 std::string EncodePersistHeader(PersistFileKind kind);
+
+// --- Generic framed-record layer ---
+//
+// The raw header + (u32 len | u32 crc | payload) framing, independent of
+// what the payloads mean. The plan-cache codec above and the adaptive
+// feedback store (qo/adaptive.h) both persist through this layer, so
+// every AQO state file shares one torn-tail/corruption contract.
+
+// Frames one opaque payload (length + CRC32 prefix).
+std::string EncodeFramedRecord(std::string_view payload);
+
+struct FramedFileInfo {
+  std::vector<std::string> payloads;  // intact payloads, in write order
+  std::vector<size_t> ends;  // ends[i]: file offset just past payload i
+  bool header_ok = false;    // magic/version/kind checked out
+  bool torn_tail = false;    // file ends mid-record (crash artifact)
+  std::string damage;  // non-empty: header problem or first corruption
+  // Header + all intact records: the byte count a repair truncates to.
+  size_t valid_bytes = 0;
+};
+
+// Lenient raw scan: salvages every intact frame before the first damage
+// point. Header problems come back with header_ok = false and the reason
+// in `damage`.
+FramedFileInfo ScanFramedFile(const std::string& bytes,
+                              PersistFileKind expected_kind);
 
 // --- Whole-file readers ---
 

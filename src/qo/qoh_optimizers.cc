@@ -52,15 +52,6 @@ size_t FirstMovable(int sentinel_first) { return sentinel_first >= 0 ? 1 : 0; }
 
 }  // namespace
 
-QohOptimizerResult RandomSamplingQohOptimizer(const QohInstance& inst,
-                                              Rng* rng, int samples,
-                                              int sentinel_first) {
-  QohOptimizerOptions merged;
-  merged.samples = samples;
-  merged.sentinel_first = sentinel_first;
-  return RandomSamplingQohOptimizer(inst, rng, merged);
-}
-
 QohOptimizerResult RandomSamplingQohOptimizer(
     const QohInstance& inst, Rng* rng, const QohOptimizerOptions& options) {
   AQO_CHECK(options.samples >= 1);
@@ -77,15 +68,6 @@ QohOptimizerResult RandomSamplingQohOptimizer(
   }
   best.status = guard.status();
   return best;
-}
-
-QohOptimizerResult IterativeImprovementQohOptimizer(const QohInstance& inst,
-                                                    Rng* rng, int restarts,
-                                                    int sentinel_first) {
-  QohOptimizerOptions merged;
-  merged.restarts = restarts;
-  merged.sentinel_first = sentinel_first;
-  return IterativeImprovementQohOptimizer(inst, rng, merged);
 }
 
 QohOptimizerResult IterativeImprovementQohOptimizer(
@@ -141,17 +123,6 @@ QohOptimizerResult IterativeImprovementQohOptimizer(
   }
   best.status = guard.status();
   return best;
-}
-
-QohOptimizerResult SimulatedAnnealingQohOptimizer(
-    const QohInstance& inst, Rng* rng, const QohAnnealingOptions& options) {
-  QohOptimizerOptions merged;
-  merged.sentinel_first = options.sentinel_first;
-  merged.sa.iterations = options.iterations;
-  merged.sa.initial_temperature = options.initial_temperature;
-  merged.sa.cooling = options.cooling;
-  merged.sa.restarts = options.restarts;
-  return SimulatedAnnealingQohOptimizer(inst, rng, merged);
 }
 
 QohOptimizerResult SimulatedAnnealingQohOptimizer(

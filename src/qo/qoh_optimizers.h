@@ -44,6 +44,15 @@ struct QohOptimizerOptions {
   // nothing, bit for bit.
   Budget budget;
   CancelToken* cancel = nullptr;
+
+  // Knobs for the `adaptive` registry entry (ignored by every other
+  // optimizer). Shared struct with OptimizerOptions: the decision logic
+  // is family-agnostic.
+  AdaptiveKnobs adaptive;
+
+  // Optional RunOutcome observer — same semantics as
+  // OptimizerOptions.feedback. Not owned; may be null.
+  FeedbackSink* feedback = nullptr;
 };
 
 // Best of `options.samples` random sequences. Sequences start from a
@@ -51,40 +60,15 @@ struct QohOptimizerOptions {
 QohOptimizerResult RandomSamplingQohOptimizer(
     const QohInstance& inst, Rng* rng, const QohOptimizerOptions& options = {});
 
-// DEPRECATED positional-knob wrapper (one PR of grace): use
-// QohOptimizerOptions.samples / .sentinel_first instead.
-QohOptimizerResult RandomSamplingQohOptimizer(const QohInstance& inst,
-                                              Rng* rng, int samples,
-                                              int sentinel_first = -1);
-
 // First-improvement local search over adjacent transpositions, from
 // `options.restarts` random starts.
 QohOptimizerResult IterativeImprovementQohOptimizer(
     const QohInstance& inst, Rng* rng, const QohOptimizerOptions& options = {});
 
-// DEPRECATED positional-knob wrapper: use QohOptimizerOptions.restarts.
-QohOptimizerResult IterativeImprovementQohOptimizer(const QohInstance& inst,
-                                                    Rng* rng, int restarts,
-                                                    int sentinel_first = -1);
-
-// DEPRECATED (one PR of grace): knobs now live on QohOptimizerOptions.sa;
-// this struct only feeds the legacy overload below.
-struct QohAnnealingOptions {
-  int iterations = 3000;
-  double initial_temperature = 5.0;  // log2-cost units
-  double cooling = 0.998;
-  int restarts = 2;
-  int sentinel_first = -1;
-};
-
 // Simulated annealing over sequences (swap moves above the sentinel),
 // each candidate costed with its optimal decomposition. Knobs: options.sa.
 QohOptimizerResult SimulatedAnnealingQohOptimizer(
     const QohInstance& inst, Rng* rng, const QohOptimizerOptions& options = {});
-
-// DEPRECATED wrapper for the struct above.
-QohOptimizerResult SimulatedAnnealingQohOptimizer(
-    const QohInstance& inst, Rng* rng, const QohAnnealingOptions& options);
 
 }  // namespace aqo
 

@@ -1,9 +1,11 @@
 #include "qo/registry.h"
 
+#include <sstream>
 #include <utility>
 
 #include "obs/histogram.h"
 #include "obs/metrics.h"
+#include "qo/adaptive.h"
 #include "qo/analysis.h"
 #include "qo/bnb.h"
 #include "qo/genetic.h"
@@ -97,117 +99,171 @@ QohOptimizerResult RunQohSa(const QohInstance& inst,
   return SimulatedAnnealingQohOptimizer(inst, rng, options);
 }
 
+// The adaptive knob schema is family-independent (AdaptiveKnobs is shared
+// between the options structs).
+std::vector<KnobSpec> AdaptiveKnobSchema() {
+  return {
+      {"--fallback=", "safety-net entry; result never costs more than it"},
+      {"--adaptive-candidates=", "CSV of candidate entries (default family"
+       " set)"},
+      {"--quality-target=", "allowed predicted cost ratio over the best"
+       " candidate"},
+      {"--knn-k=", "neighbors consulted per prediction"},
+      {"--min-trials=", "explore candidates with fewer committed trials"},
+      {"--adaptive-seed=", "extra seed for the exploration stream"},
+  };
+}
+
+}  // namespace
+
+namespace registry_internal {
+
 template <typename Entry>
-const Entry* FindIn(const std::vector<Entry>& entries,
-                    const std::vector<std::pair<std::string, std::string>>&
-                        aliases,
-                    std::string_view name) {
-  for (const auto& [alias, canonical] : aliases) {
+const Entry* RegistryT<Entry>::Find(std::string_view name) const {
+  for (const auto& [alias, canonical] : aliases_) {
     if (alias == name) {
       name = canonical;
       break;
     }
   }
-  for (const Entry& e : entries) {
+  for (const Entry& e : entries_) {
     if (e.name == name) return &e;
   }
   return nullptr;
 }
 
 template <typename Entry>
-std::vector<std::string> NamesOf(const std::vector<Entry>& entries) {
+std::vector<std::string> RegistryT<Entry>::Names() const {
   std::vector<std::string> names;
-  names.reserve(entries.size());
-  for (const Entry& e : entries) names.push_back(e.name);
+  names.reserve(entries_.size());
+  for (const Entry& e : entries_) names.push_back(e.name);
   return names;
 }
 
-}  // namespace
+template <typename Entry>
+std::string RegistryT<Entry>::Describe() const {
+  std::ostringstream out;
+  out << family_ << " optimizers (--optimizers=<name>[,<name>...]):\n";
+  for (const Entry& e : entries_) {
+    out << "  " << e.name;
+    for (size_t pad = e.name.size(); pad < 12; ++pad) out << ' ';
+    out << ' ' << e.description;
+    if (e.deterministic) out << " [deterministic]";
+    if (!e.cacheable) out << " [stateful: never plan-cached]";
+    out << '\n';
+    for (const KnobSpec& k : e.knobs) {
+      out << "      " << k.flag;
+      for (size_t pad = k.flag.size(); pad < 24; ++pad) out << ' ';
+      out << ' ' << k.description << '\n';
+    }
+  }
+  if (!aliases_.empty()) {
+    out << "aliases:";
+    for (const auto& [alias, canonical] : aliases_) {
+      out << ' ' << alias << " -> " << canonical;
+    }
+    out << '\n';
+  }
+  out << "common knobs: --budget-evals= (deterministic evaluation cap),"
+         " --deadline-ms= (wall-clock deadline)\n";
+  return out.str();
+}
+
+template <typename Entry>
+typename Entry::Result RegistryT<Entry>::Run(std::string_view name,
+                                             const Instance& inst,
+                                             const Options& options,
+                                             Rng* rng) const {
+  const Entry* entry = Find(name);
+  AQO_CHECK(entry != nullptr)
+      << "unknown " << (family_ == "qon" ? "QO_N" : "QO_H")
+      << " optimizer: " << name;
+  typename Entry::Result result;
+  {
+    // Per-optimizer invocation latency, keyed by canonical name (aliases
+    // fold into their target's distribution). The GetHistogram lookup
+    // costs one mutex acquire — noise next to the invocation itself.
+    obs::ScopedLatencyTimer timer(obs::Registry::Get().GetHistogram(
+        family_ + "." + entry->name + ".invoke_us"));
+    result = entry->run(inst, options, rng);
+  }
+  if (options.feedback != nullptr) {
+    options.feedback->ReportOutcome(
+        MakeRunOutcome(family_, entry->name, inst, result));
+  }
+  return result;
+}
+
+template class RegistryT<QonOptimizerEntry>;
+template class RegistryT<QohOptimizerEntry>;
+
+}  // namespace registry_internal
 
 const OptimizerRegistry& OptimizerRegistry::Qon() {
   static const OptimizerRegistry* registry = [] {
-    auto* r = new OptimizerRegistry();
-    r->entries_ = {
-        {"exhaustive", "all n! permutations (n <= 10)", true, RunExhaustive},
-        {"dp", "exact left-deep subset DP (n <= 24)", true, RunDp},
-        {"greedy", "cheapest-next-join from every start", true, RunGreedy},
-        {"random", "best of options.samples random sequences", false,
-         RunRandom},
+    std::vector<QonOptimizerEntry> entries = {
+        {"exhaustive", "all n! permutations (n <= 10)", true, true, {},
+         RunExhaustive},
+        {"dp", "exact left-deep subset DP (n <= 24)", true, true, {}, RunDp},
+        {"greedy", "cheapest-next-join from every start", true, true, {},
+         RunGreedy},
+        {"random", "best of options.samples random sequences", false, true,
+         {{"--samples=", "random sequences drawn"}}, RunRandom},
         {"ii", "first-improvement local search, options.restarts starts",
-         false, RunIi},
-        {"sa", "simulated annealing (knobs: options.sa)", false, RunSa},
-        {"genetic", "genetic algorithm (knobs: options.ga)", false,
+         false, true, {{"--restarts=", "random restarts"}}, RunIi},
+        {"sa", "simulated annealing (knobs: options.sa)", false, true,
+         {{"--sa-iterations=", "moves per restart"},
+          {"--sa-temperature=", "initial temperature (log2-cost units)"},
+          {"--sa-cooling=", "geometric cooling factor"},
+          {"--sa-restarts=", "independent annealing runs"}},
+         RunSa},
+        {"genetic", "genetic algorithm (knobs: options.ga)", false, true,
+         {{"--ga-population=", "individuals per generation"},
+          {"--ga-generations=", "generations evolved"},
+          {"--ga-crossover=", "crossover probability"},
+          {"--ga-mutation=", "mutation probability"}},
          RunGenetic},
         {"bnb", "branch & bound (options.bnb_node_limit, 0 = exact)", true,
+         true, {{"--bnb-node-limit=", "node budget (0 = unlimited)"}},
          RunBnb},
-        {"cout", "exact optimum under the C_out cost metric", true, RunCout},
+        {"cout", "exact optimum under the C_out cost metric", true, true, {},
+         RunCout},
         {"kbz", "IK/KBZ, exact on tree query graphs (else infeasible)", true,
-         RunKbz},
+         true, {}, RunKbz},
+        {"adaptive", "learned selection over the feedback store"
+         " (docs/adaptive.md)", false, false, AdaptiveKnobSchema(),
+         AdaptiveQonOptimizer},
     };
-    r->aliases_ = {{"ga", "genetic"}};
-    return r;
+    return new OptimizerRegistry(std::move(entries), {{"ga", "genetic"}});
   }();
   return *registry;
-}
-
-const QonOptimizerEntry* OptimizerRegistry::Find(std::string_view name) const {
-  return FindIn(entries_, aliases_, name);
-}
-
-std::vector<std::string> OptimizerRegistry::Names() const {
-  return NamesOf(entries_);
-}
-
-OptimizerResult OptimizerRegistry::Run(std::string_view name,
-                                       const QonInstance& inst,
-                                       const OptimizerOptions& options,
-                                       Rng* rng) const {
-  const QonOptimizerEntry* entry = Find(name);
-  AQO_CHECK(entry != nullptr) << "unknown QO_N optimizer: " << name;
-  // Per-optimizer invocation latency, keyed by canonical name (aliases
-  // fold into their target's distribution). The GetHistogram lookup costs
-  // one mutex acquire — noise next to the invocation itself.
-  obs::ScopedLatencyTimer timer(obs::Registry::Get().GetHistogram(
-      std::string("qon.") + entry->name + ".invoke_us"));
-  return entry->run(inst, options, rng);
 }
 
 const QohOptimizerRegistry& QohOptimizerRegistry::Get() {
   static const QohOptimizerRegistry* registry = [] {
-    auto* r = new QohOptimizerRegistry();
-    r->entries_ = {
+    std::vector<QohOptimizerEntry> entries = {
         {"exhaustive", "all n! permutations, optimal decomposition (n <= 9)",
-         true, RunQohExhaustive},
-        {"greedy", "min-next-intermediate construction", true, RunQohGreedy},
-        {"random", "best of options.samples random sequences", false,
-         RunQohRandom},
-        {"ii", "adjacent-transposition local search", false, RunQohIi},
-        {"sa", "simulated annealing (knobs: options.sa)", false, RunQohSa},
+         true, true, {}, RunQohExhaustive},
+        {"greedy", "min-next-intermediate construction", true, true, {},
+         RunQohGreedy},
+        {"random", "best of options.samples random sequences", false, true,
+         {{"--samples=", "random sequences drawn"}}, RunQohRandom},
+        {"ii", "adjacent-transposition local search", false, true,
+         {{"--restarts=", "random restarts"}}, RunQohIi},
+        {"sa", "simulated annealing (knobs: options.sa)", false, true,
+         {{"--sa-iterations=", "moves per restart"},
+          {"--sa-temperature=", "initial temperature (log2-cost units)"},
+          {"--sa-cooling=", "geometric cooling factor"},
+          {"--sa-restarts=", "independent annealing runs"}},
+         RunQohSa},
+        {"adaptive", "learned selection over the feedback store"
+         " (docs/adaptive.md)", false, false, AdaptiveKnobSchema(),
+         AdaptiveQohOptimizer},
     };
-    r->aliases_ = {{"sample", "random"}};
-    return r;
+    return new QohOptimizerRegistry(std::move(entries),
+                                    {{"sample", "random"}});
   }();
   return *registry;
-}
-
-const QohOptimizerEntry* QohOptimizerRegistry::Find(
-    std::string_view name) const {
-  return FindIn(entries_, aliases_, name);
-}
-
-std::vector<std::string> QohOptimizerRegistry::Names() const {
-  return NamesOf(entries_);
-}
-
-QohOptimizerResult QohOptimizerRegistry::Run(std::string_view name,
-                                             const QohInstance& inst,
-                                             const QohOptimizerOptions& options,
-                                             Rng* rng) const {
-  const QohOptimizerEntry* entry = Find(name);
-  AQO_CHECK(entry != nullptr) << "unknown QO_H optimizer: " << name;
-  obs::ScopedLatencyTimer timer(obs::Registry::Get().GetHistogram(
-      std::string("qoh.") + entry->name + ".invoke_us"));
-  return entry->run(inst, options, rng);
 }
 
 std::vector<std::string> ParseOptimizerList(std::string_view csv) {

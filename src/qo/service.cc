@@ -8,6 +8,7 @@
 #include "obs/metrics.h"
 #include "obs/runlog.h"
 #include "obs/trace.h"
+#include "qo/adaptive.h"
 #include "util/cancellation.h"
 #include "util/check.h"
 #include "util/fault_injection.h"
@@ -85,6 +86,13 @@ std::vector<typename Traits::Item> RunBatch(
   AQO_CHECK(entry != nullptr)
       << "unknown " << Traits::kFamily << " optimizer: " << options.optimizer;
 
+  // Stateful entries (adaptive) must never be served from or inserted
+  // into a PlanCache: their results depend on feedback-store state, so a
+  // cached plan could go stale the moment the store learns. Gating here
+  // also disables in-batch dedup for them — every duplicate runs and
+  // records its own outcome, exactly what the cache-off baseline does.
+  PlanCache* cache = entry->cacheable ? options.cache : nullptr;
+
   size_t count = instances.size();
   std::vector<typename Traits::Canonical> canon(count);
   ForEach(options.pool, count,
@@ -102,7 +110,7 @@ std::vector<typename Traits::Item> RunBatch(
   // duplicates share canonical bytes and RNG stream).
   std::vector<size_t> reps;
   std::vector<size_t> rep_slot(count);
-  if (options.cache != nullptr) {
+  if (cache != nullptr) {
     std::unordered_map<Hash128, size_t, Hash128Hasher> slot_of;
     slot_of.reserve(count);
     for (size_t i = 0; i < count; ++i) {
@@ -121,9 +129,9 @@ std::vector<typename Traits::Item> RunBatch(
   // Serial cache probes: deterministic hit/miss counter totals.
   std::vector<CachedPlan> plans(reps.size());
   std::vector<char> hit(reps.size(), 0);
-  if (options.cache != nullptr) {
+  if (cache != nullptr) {
     for (size_t r = 0; r < reps.size(); ++r) {
-      hit[r] = options.cache->Lookup(keys[reps[r]], &plans[r]) ? 1 : 0;
+      hit[r] = cache->Lookup(keys[reps[r]], &plans[r]) ? 1 : 0;
     }
   }
 
@@ -209,7 +217,15 @@ std::vector<typename Traits::Item> RunBatch(
       if (!text.empty()) obs::RunLog::Global()->WriteRaw(text);
     }
   }
-  if (options.cache != nullptr) {
+  // Adaptive epilogue: fold this batch's pending feedback into committed
+  // state, serially and after the log replay, so (a) every decision in
+  // the batch saw the same pre-batch store regardless of scheduling, and
+  // (b) the adaptive_commit record lands after every decision record it
+  // covers — the order the replay tool reconstructs.
+  if (entry->name == "adaptive") {
+    CommitAdaptiveFeedback(Traits::Adaptive(options));
+  }
+  if (cache != nullptr) {
     for (size_t r = 0; r < reps.size(); ++r) {
       if (hit[r]) continue;
       // Only deterministic outcomes are cacheable: complete and
@@ -220,7 +236,7 @@ std::vector<typename Traits::Item> RunBatch(
           plans[r].status != PlanStatus::kBudgetExhausted) {
         continue;
       }
-      options.cache->Insert(keys[reps[r]], plans[r]);
+      cache->Insert(keys[reps[r]], plans[r]);
     }
   }
 
@@ -238,8 +254,8 @@ std::vector<typename Traits::Item> RunBatch(
                          "service");
     auto item_start = std::chrono::steady_clock::now();
     bool from_cache = hit[r] != 0;
-    if (options.cache != nullptr && i != reps[r]) {
-      from_cache = options.cache->Lookup(keys[i], nullptr);
+    if (cache != nullptr && i != reps[r]) {
+      from_cache = cache->Lookup(keys[i], nullptr);
     }
     out[i].from_cache = from_cache;
     out[i].fingerprint = canon[i].fingerprint;
@@ -282,6 +298,9 @@ struct QonTraits {
   static OptimizerOptions Knobs(const BatchOptions& options,
                                 const CanonicalQon&) {
     return options.qon;
+  }
+  static const AdaptiveKnobs& Adaptive(const BatchOptions& options) {
+    return options.qon.adaptive;
   }
   static CachedPlan ToPlan(const OptimizerResult& r) {
     return CachedPlan{r.feasible, r.sequence, {}, r.cost, r.evaluations,
@@ -330,6 +349,9 @@ struct QohTraits {
                            Knobs(options, canon),
                            entry.deterministic ? kDeterministicSeed
                                                : options.seed);
+  }
+  static const AdaptiveKnobs& Adaptive(const BatchOptions& options) {
+    return options.qoh.adaptive;
   }
   static CachedPlan ToPlan(const QohOptimizerResult& r) {
     return CachedPlan{r.feasible, r.sequence, r.decomposition.starts, r.cost,
@@ -388,6 +410,14 @@ Hash128 QonPlanCacheKey(const Hash128& fingerprint, std::string_view optimizer,
   // tokens are deliberately absent — deadline-cut plans are never
   // inserted in the first place.
   acc.Add(options.budget.max_evaluations);
+  // Adaptive knobs (the adaptive entry itself is never cached, but the
+  // key must still be injective over everything that shapes a result).
+  AddString(&acc, options.adaptive.fallback);
+  AddString(&acc, options.adaptive.candidates);
+  acc.AddDouble(options.adaptive.quality_target);
+  acc.Add(static_cast<uint64_t>(options.adaptive.k_neighbors));
+  acc.Add(static_cast<uint64_t>(options.adaptive.min_trials));
+  acc.Add(options.adaptive.seed);
   acc.Add(seed);
   return acc.Digest();
 }
@@ -410,6 +440,13 @@ Hash128 QohPlanCacheKey(const Hash128& fingerprint, std::string_view optimizer,
   acc.Add(static_cast<uint64_t>(options.sa.restarts));
   // See QonPlanCacheKey: the eval cap shapes the cached plan bits.
   acc.Add(options.budget.max_evaluations);
+  // See QonPlanCacheKey on the adaptive knobs.
+  AddString(&acc, options.adaptive.fallback);
+  AddString(&acc, options.adaptive.candidates);
+  acc.AddDouble(options.adaptive.quality_target);
+  acc.Add(static_cast<uint64_t>(options.adaptive.k_neighbors));
+  acc.Add(static_cast<uint64_t>(options.adaptive.min_trials));
+  acc.Add(options.adaptive.seed);
   acc.Add(seed);
   return acc.Digest();
 }

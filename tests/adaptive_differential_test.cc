@@ -1,0 +1,259 @@
+// The adaptive entry's differential guarantee, end to end through the
+// batch service (qo/service.h):
+//
+//   * validity — every returned plan is feasible and costs (bitwise, in
+//     log2) no more than the fallback entry's plan on the same instance;
+//   * determinism — same seed + same initial feedback-store state gives
+//     bit-identical results for threads {1, 2, 4}, cache attached or
+//     not, cold store or a store recovered from disk;
+//   * learning — batch N+1 sees what batch N committed, and the
+//     guarantee holds from ANY committed state;
+//   * canonical decisions — relabeled duplicates inside a batch land in
+//     the same 1-WL class and cost bitwise the same.
+
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qo/adaptive.h"
+#include "qo/fingerprint.h"
+#include "qo/plan_cache.h"
+#include "qo/qon.h"
+#include "qo/service.h"
+#include "qo/workloads.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace aqo {
+namespace {
+
+constexpr uint64_t kSeed = 11;
+const int kThreadCounts[] = {1, 2, 4};
+
+std::vector<int> RandomPermutation(int n, Rng* rng) {
+  std::vector<int> perm(static_cast<size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  rng->Shuffle(&perm);
+  return perm;
+}
+
+// Three bases, each with two relabeled duplicates: 9 instances.
+std::vector<QonInstance> Batch(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<QonInstance> bases;
+  bases.push_back(RandomQonWorkload(7, &rng));
+  bases.push_back(RandomQonWorkload(6, &rng));
+  bases.push_back(RandomQonWorkload(7, &rng));
+  std::vector<QonInstance> batch;
+  for (const QonInstance& base : bases) {
+    batch.push_back(base);
+    for (int d = 0; d < 2; ++d) {
+      batch.push_back(PermuteQonInstance(
+          base, RandomPermutation(base.NumRelations(), &rng)));
+    }
+  }
+  return batch;
+}
+
+BatchOptions AdaptiveOptions(FeedbackStore* store) {
+  BatchOptions options;
+  options.optimizer = "adaptive";
+  options.seed = kSeed;
+  options.qon.adaptive.store = store;
+  return options;
+}
+
+void ExpectBitIdentical(const std::string& label,
+                        const std::vector<QonBatchItem>& a,
+                        const std::vector<QonBatchItem>& b) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].result.feasible, b[i].result.feasible)
+        << label << " item " << i;
+    EXPECT_EQ(a[i].result.cost.Log2(), b[i].result.cost.Log2())
+        << label << " item " << i;
+    EXPECT_EQ(a[i].result.sequence, b[i].result.sequence)
+        << label << " item " << i;
+    EXPECT_EQ(a[i].result.evaluations, b[i].result.evaluations)
+        << label << " item " << i;
+  }
+}
+
+TEST(AdaptiveDifferential, ValidAndNeverWorseThanFallback) {
+  std::vector<QonInstance> batch = Batch(71);
+
+  FeedbackStore store;
+  std::vector<QonBatchItem> adaptive =
+      OptimizeQonBatch(batch, AdaptiveOptions(&store));
+
+  BatchOptions fallback_options;
+  fallback_options.optimizer = "greedy";
+  fallback_options.seed = kSeed;
+  std::vector<QonBatchItem> fallback =
+      OptimizeQonBatch(batch, fallback_options);
+
+  ASSERT_EQ(adaptive.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_TRUE(adaptive[i].result.feasible) << "item " << i;
+    // The plan is real: it costs on the ORIGINAL labels exactly what the
+    // result claims.
+    EXPECT_EQ(QonSequenceCost(batch[i], adaptive[i].result.sequence).Log2(),
+              adaptive[i].result.cost.Log2())
+        << "item " << i;
+    ASSERT_TRUE(fallback[i].result.feasible) << "item " << i;
+    EXPECT_LE(adaptive[i].result.cost.Log2(), fallback[i].result.cost.Log2())
+        << "item " << i;
+  }
+
+  // Relabeled duplicates (items 3k, 3k+1, 3k+2 share a base) got the same
+  // canonical decision: identical cost bits and evaluation counts.
+  for (size_t base = 0; base < batch.size(); base += 3) {
+    for (size_t d = 1; d < 3; ++d) {
+      EXPECT_EQ(adaptive[base].result.cost.Log2(),
+                adaptive[base + d].result.cost.Log2())
+          << "base " << base << " dup " << d;
+      EXPECT_EQ(adaptive[base].result.evaluations,
+                adaptive[base + d].result.evaluations)
+          << "base " << base << " dup " << d;
+    }
+  }
+}
+
+TEST(AdaptiveDifferential, BitIdenticalAcrossThreadsAndCache) {
+  std::vector<QonInstance> batch = Batch(72);
+
+  auto run = [&batch](int threads, PlanCache* cache) {
+    FeedbackStore store;
+    BatchOptions options = AdaptiveOptions(&store);
+    options.cache = cache;
+    if (threads > 1) {
+      ThreadPool pool(threads);
+      options.pool = &pool;
+      return OptimizeQonBatch(batch, options);
+    }
+    return OptimizeQonBatch(batch, options);
+  };
+
+  std::vector<QonBatchItem> reference = run(1, nullptr);
+  for (int threads : kThreadCounts) {
+    std::string label = "threads=" + std::to_string(threads);
+    ExpectBitIdentical(label + " nocache", reference, run(threads, nullptr));
+    PlanCache cache;
+    ExpectBitIdentical(label + " cache", reference, run(threads, &cache));
+    // Stateful: the cache must stay empty (gated off for adaptive).
+    EXPECT_EQ(cache.GetStats().entries, 0u) << label;
+  }
+}
+
+TEST(AdaptiveDifferential, WarmStoreIsDeterministicAndStillGuarded) {
+  std::vector<QonInstance> warmup = Batch(73);
+  std::vector<QonInstance> batch = Batch(74);
+  std::string path =
+      testing::TempDir() + "/aqo_adaptive_differential_store.bin";
+  std::remove(path.c_str());
+
+  // Warm a store through one batch (the service epilogue commits), then
+  // persist it.
+  FeedbackStore warmed;
+  OptimizeQonBatch(warmup, AdaptiveOptions(&warmed));
+  ASSERT_GT(warmed.CommittedSize(), 0u);
+  std::string error;
+  ASSERT_TRUE(warmed.SaveTo(path, &error)) << error;
+
+  // Two stores recovered from the same file are the same initial state:
+  // same-seed runs from them must be bit-identical, across threads.
+  auto run_from_disk = [&](int threads) {
+    FeedbackStore store;
+    FeedbackLoadStats stats = store.LoadFrom(path);
+    EXPECT_TRUE(stats.existed);
+    EXPECT_TRUE(stats.damage.empty()) << stats.damage;
+    BatchOptions options = AdaptiveOptions(&store);
+    if (threads > 1) {
+      ThreadPool pool(threads);
+      options.pool = &pool;
+      return OptimizeQonBatch(batch, options);
+    }
+    return OptimizeQonBatch(batch, options);
+  };
+  std::vector<QonBatchItem> reference = run_from_disk(1);
+  for (int threads : kThreadCounts) {
+    ExpectBitIdentical("warm threads=" + std::to_string(threads), reference,
+                       run_from_disk(threads));
+  }
+
+  // And the fallback guarantee holds from the warm state too.
+  BatchOptions fallback_options;
+  fallback_options.optimizer = "greedy";
+  fallback_options.seed = kSeed;
+  std::vector<QonBatchItem> fallback =
+      OptimizeQonBatch(batch, fallback_options);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_TRUE(reference[i].result.feasible);
+    EXPECT_LE(reference[i].result.cost.Log2(),
+              fallback[i].result.cost.Log2())
+        << "item " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(AdaptiveDifferential, QohFamilyHoldsTheSameContract) {
+  Rng rng(75);
+  std::vector<QohInstance> batch;
+  for (int b = 0; b < 3; ++b) {
+    QohInstance base = RandomQohWorkload(6, &rng, 0.5);
+    batch.push_back(base);
+    batch.push_back(PermuteQohInstance(base, RandomPermutation(6, &rng)));
+  }
+
+  auto run = [&batch](int threads) {
+    FeedbackStore store;
+    BatchOptions options;
+    options.optimizer = "adaptive";
+    options.seed = kSeed;
+    options.qoh.adaptive.store = &store;
+    if (threads > 1) {
+      ThreadPool pool(threads);
+      options.pool = &pool;
+      return OptimizeQohBatch(batch, options);
+    }
+    return OptimizeQohBatch(batch, options);
+  };
+
+  std::vector<QohBatchItem> reference = run(1);
+  for (int threads : kThreadCounts) {
+    std::string label = "qoh threads=" + std::to_string(threads);
+    std::vector<QohBatchItem> other = run(threads);
+    ASSERT_EQ(reference.size(), other.size());
+    for (size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(reference[i].result.feasible, other[i].result.feasible)
+          << label << " item " << i;
+      if (!reference[i].result.feasible) continue;
+      EXPECT_EQ(reference[i].result.cost.Log2(), other[i].result.cost.Log2())
+          << label << " item " << i;
+      EXPECT_EQ(reference[i].result.sequence, other[i].result.sequence)
+          << label << " item " << i;
+      EXPECT_EQ(reference[i].result.decomposition.starts,
+                other[i].result.decomposition.starts)
+          << label << " item " << i;
+    }
+  }
+
+  BatchOptions fallback_options;
+  fallback_options.optimizer = "greedy";
+  fallback_options.seed = kSeed;
+  std::vector<QohBatchItem> fallback =
+      OptimizeQohBatch(batch, fallback_options);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (!fallback[i].result.feasible) continue;
+    ASSERT_TRUE(reference[i].result.feasible) << "item " << i;
+    EXPECT_LE(reference[i].result.cost.Log2(),
+              fallback[i].result.cost.Log2())
+        << "item " << i;
+  }
+}
+
+}  // namespace
+}  // namespace aqo

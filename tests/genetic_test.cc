@@ -87,7 +87,9 @@ TEST(Genetic, BeatsRandomSamplingAtEqualBudget) {
     options.population = 50;
     options.generations = 40;  // ~2000 evaluations
     OptimizerResult ga = GeneticOptimizer(inst, &rng, options);
-    OptimizerResult rs = RandomSamplingOptimizer(inst, &rng, 2000);
+    OptimizerOptions rs_options;
+    rs_options.samples = 2000;
+    OptimizerResult rs = RandomSamplingOptimizer(inst, &rng, rs_options);
     if (ga.feasible && rs.feasible && ga.cost <= rs.cost) ++wins;
   }
   EXPECT_GE(wins, trials / 2);

@@ -45,6 +45,10 @@ TEST(DpOptimizer, MatchesExhaustiveNoCartesian) {
   Rng rng(62);
   OptimizerOptions options;
   options.forbid_cartesian = true;
+  OptimizerOptions sampling_options = options;
+  sampling_options.samples = 20;
+  OptimizerOptions ii_options = options;
+  ii_options.restarts = 2;
   for (int trial = 0; trial < 40; ++trial) {
     int n = static_cast<int>(rng.UniformInt(2, 8));
     QonInstance inst = RandomInstance(n, rng.UniformReal(0.3, 1.0), &rng);
@@ -65,6 +69,10 @@ TEST(DpOptimizer, InfeasibleOnDisconnectedWhenCartesianForbidden) {
   QonInstance inst(g, sizes);
   OptimizerOptions options;
   options.forbid_cartesian = true;
+  OptimizerOptions sampling_options = options;
+  sampling_options.samples = 20;
+  OptimizerOptions ii_options = options;
+  ii_options.restarts = 2;
   EXPECT_FALSE(DpQonOptimizer(inst, options).feasible);
   EXPECT_TRUE(DpQonOptimizer(inst).feasible);
 }
@@ -82,17 +90,21 @@ TEST(Heuristics, NeverBeatTheOptimumAndStayFeasible) {
     EXPECT_GE(greedy.cost.Log2(), opt.cost.Log2() - 1e-9);
     EXPECT_TRUE(IsPermutation(greedy.sequence, n));
 
-    OptimizerResult sampled = RandomSamplingOptimizer(inst, &rng, 50);
+    OptimizerOptions sample_options;
+    sample_options.samples = 50;
+    OptimizerResult sampled = RandomSamplingOptimizer(inst, &rng, sample_options);
     ASSERT_TRUE(sampled.feasible);
     EXPECT_GE(sampled.cost.Log2(), opt.cost.Log2() - 1e-9);
 
-    OptimizerResult ii = IterativeImprovementOptimizer(inst, &rng, 3);
+    OptimizerOptions ii_options;
+    ii_options.restarts = 3;
+    OptimizerResult ii = IterativeImprovementOptimizer(inst, &rng, ii_options);
     ASSERT_TRUE(ii.feasible);
     EXPECT_GE(ii.cost.Log2(), opt.cost.Log2() - 1e-9);
 
-    AnnealingOptions sa_options;
-    sa_options.iterations = 2000;
-    sa_options.restarts = 2;
+    OptimizerOptions sa_options;
+    sa_options.sa.iterations = 2000;
+    sa_options.sa.restarts = 2;
     OptimizerResult sa = SimulatedAnnealingOptimizer(inst, &rng, sa_options);
     ASSERT_TRUE(sa.feasible);
     EXPECT_GE(sa.cost.Log2(), opt.cost.Log2() - 1e-9);
@@ -105,7 +117,9 @@ TEST(Heuristics, LocalSearchFindsOptimumOnTinyInstances) {
   for (int trial = 0; trial < 20; ++trial) {
     QonInstance inst = RandomInstance(5, 0.8, &rng);
     OptimizerResult opt = DpQonOptimizer(inst);
-    OptimizerResult ii = IterativeImprovementOptimizer(inst, &rng, 8);
+    OptimizerOptions ii_options;
+    ii_options.restarts = 8;
+    OptimizerResult ii = IterativeImprovementOptimizer(inst, &rng, ii_options);
     if (ii.cost.ApproxEquals(opt.cost, 1e-6)) ++hits;
   }
   EXPECT_GE(hits, 15);  // 2-swap local search cracks most 5-relation cases
@@ -115,13 +129,17 @@ TEST(Heuristics, RespectCartesianRestriction) {
   Rng rng(66);
   OptimizerOptions options;
   options.forbid_cartesian = true;
+  OptimizerOptions sampling_options = options;
+  sampling_options.samples = 20;
+  OptimizerOptions ii_options = options;
+  ii_options.restarts = 2;
   for (int trial = 0; trial < 10; ++trial) {
     QonInstance inst = RandomInstance(8, 0.5, &rng);
     if (!inst.graph().IsConnected()) continue;
     for (const OptimizerResult& r :
          {GreedyQonOptimizer(inst, options),
-          RandomSamplingOptimizer(inst, &rng, 20, options),
-          IterativeImprovementOptimizer(inst, &rng, 2, options)}) {
+          RandomSamplingOptimizer(inst, &rng, sampling_options),
+          IterativeImprovementOptimizer(inst, &rng, ii_options)}) {
       ASSERT_TRUE(r.feasible);
       EXPECT_FALSE(HasCartesianProduct(inst.graph(), r.sequence));
     }

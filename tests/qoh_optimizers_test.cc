@@ -21,11 +21,17 @@ TEST(QohHeuristics, NeverBeatExhaustiveOptimum) {
     QohInstance inst = RandomQohWorkload(n, &rng, rng.UniformReal(0.2, 1.2));
     QohOptimizerResult exact = ExhaustiveQohOptimizer(inst);
     if (!exact.feasible) continue;
+    QohOptimizerOptions sample_options;
+    sample_options.samples = 40;
+    QohOptimizerOptions ii_options;
+    ii_options.restarts = 2;
+    QohOptimizerOptions sa_options;
+    sa_options.sa.iterations = 500;
+    sa_options.sa.restarts = 1;
     for (const QohOptimizerResult& r :
-         {RandomSamplingQohOptimizer(inst, &rng, 40),
-          IterativeImprovementQohOptimizer(inst, &rng, 2),
-          SimulatedAnnealingQohOptimizer(inst, &rng,
-                                         {.iterations = 500, .restarts = 1})}) {
+         {RandomSamplingQohOptimizer(inst, &rng, sample_options),
+          IterativeImprovementQohOptimizer(inst, &rng, ii_options),
+          SimulatedAnnealingQohOptimizer(inst, &rng, sa_options)}) {
       if (!r.feasible) continue;
       EXPECT_GE(r.cost.Log2(), exact.cost.Log2() - 1e-9);
       // The reported decomposition reproduces the reported cost.
@@ -45,7 +51,10 @@ TEST(QohHeuristics, LocalSearchUsuallyFindsTheOptimum) {
     QohOptimizerResult exact = ExhaustiveQohOptimizer(inst);
     if (!exact.feasible) continue;
     ++total;
-    QohOptimizerResult ii = IterativeImprovementQohOptimizer(inst, &rng, 4);
+    QohOptimizerOptions ii_options;
+    ii_options.restarts = 4;
+    QohOptimizerResult ii =
+        IterativeImprovementQohOptimizer(inst, &rng, ii_options);
     hits += ii.feasible && ii.cost.ApproxEquals(exact.cost, 1e-6);
   }
   EXPECT_GE(hits * 4, total * 3);  // >= 75%
@@ -55,12 +64,18 @@ TEST(QohHeuristics, SentinelFirstRespectedOnGapInstances) {
   Graph g = Graph::Complete(9);
   QohGapInstance gap = ReduceTwoThirdsCliqueToQoh(g, QohGapParams{});
   Rng rng(193);
+  QohOptimizerOptions sample_options;
+  sample_options.samples = 30;
+  sample_options.sentinel_first = 0;
   QohOptimizerResult sampled =
-      RandomSamplingQohOptimizer(gap.instance, &rng, 30, /*sentinel_first=*/0);
+      RandomSamplingQohOptimizer(gap.instance, &rng, sample_options);
   ASSERT_TRUE(sampled.feasible);
   EXPECT_EQ(sampled.sequence[0], 0);
-  QohOptimizerResult ii = IterativeImprovementQohOptimizer(
-      gap.instance, &rng, 2, /*sentinel_first=*/0);
+  QohOptimizerOptions ii_options;
+  ii_options.restarts = 2;
+  ii_options.sentinel_first = 0;
+  QohOptimizerResult ii =
+      IterativeImprovementQohOptimizer(gap.instance, &rng, ii_options);
   ASSERT_TRUE(ii.feasible);
   EXPECT_EQ(ii.sequence[0], 0);
   // The heuristics respect the YES-side L bound region (complete graph).

@@ -1,0 +1,86 @@
+# Adaptive serve smoke (see tests/CMakeLists.txt).
+#
+# Generates a duplicate-heavy request stream that routes every request to
+# the `adaptive` registry entry (aqo_loadgen --optimizer=adaptive), then:
+#
+#   1. runs aqo_serve over it TWICE with the same seed and asserts the two
+#      stdout response streams are byte-identical — the adaptive entry's
+#      decisions are a pure function of (stream, seed, initial store);
+#   2. replays run 1's JSONL decision log with aqo_adaptive_replay, which
+#      re-derives every choice from the logged features/predictions and
+#      exits nonzero on any mismatch;
+#   3. runs once against --feedback-dir= state, restarts against the same
+#      directory, and asserts the warm process actually loaded the cold
+#      process's committed records.
+#
+# Usage: cmake -DAQO_SERVE=<bin> -DAQO_LOADGEN=<bin> -DAQO_REPLAY=<bin>
+#        -DWORK_DIR=<dir> -P run_adaptive_smoke.cmake
+
+if(NOT AQO_SERVE OR NOT AQO_LOADGEN OR NOT AQO_REPLAY OR NOT WORK_DIR)
+  message(FATAL_ERROR
+    "AQO_SERVE, AQO_LOADGEN, AQO_REPLAY and WORK_DIR are required")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND "${AQO_LOADGEN}" --requests=40 --bases=5 --n=7 --seed=31
+          --optimizer=adaptive --out=${WORK_DIR}/workload.bin
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "aqo_loadgen exited with ${rc}")
+endif()
+
+function(run_serve tag)
+  execute_process(
+    COMMAND "${AQO_SERVE}" --seed=3 ${ARGN}
+            --json-out=${WORK_DIR}/${tag}.jsonl
+    INPUT_FILE "${WORK_DIR}/workload.bin"
+    OUTPUT_FILE "${WORK_DIR}/${tag}.out"
+    ERROR_FILE "${WORK_DIR}/${tag}.err"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "aqo_serve (${tag}) exited with ${rc}")
+  endif()
+endfunction()
+
+# 1. Same-seed bit-identity.
+run_serve(run1)
+run_serve(run2)
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WORK_DIR}/run1.out" "${WORK_DIR}/run2.out"
+  RESULT_VARIABLE stdout_diff)
+if(NOT stdout_diff EQUAL 0)
+  message(FATAL_ERROR
+    "adaptive responses differ between two same-seed runs "
+    "(${WORK_DIR}/run1.out vs run2.out)")
+endif()
+
+# 2. The decision log reconstructs.
+execute_process(
+  COMMAND "${AQO_REPLAY}" "${WORK_DIR}/run1.jsonl"
+  OUTPUT_VARIABLE replay_out
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "aqo_adaptive_replay exited with ${rc}: ${replay_out}")
+endif()
+if(NOT replay_out MATCHES "decisions=([1-9][0-9]*)")
+  message(FATAL_ERROR
+    "aqo_adaptive_replay replayed no decisions: ${replay_out}")
+endif()
+
+# 3. Feedback persistence across a restart.
+run_serve(fb_cold --feedback-dir=${WORK_DIR}/fb)
+run_serve(fb_warm --feedback-dir=${WORK_DIR}/fb)
+file(READ "${WORK_DIR}/fb_warm.err" warm_err)
+if(NOT warm_err MATCHES "feedback store loaded ([1-9][0-9]*) records")
+  message(FATAL_ERROR
+    "warm restart loaded no feedback records — the cold run persisted "
+    "nothing (stderr: ${warm_err})")
+endif()
+
+message(STATUS "adaptive smoke: stdout identical across same-seed runs; "
+  "decision log replayed; warm restart loaded "
+  "${CMAKE_MATCH_1} feedback records")

@@ -48,10 +48,14 @@ TEST(Stress, HeuristicsAlwaysProduceValidCostedPlans) {
   for (int trial = 0; trial < 30; ++trial) {
     int n = static_cast<int>(rng.UniformInt(5, 20));
     QonInstance inst = RandomQonWorkload(n, &rng);
+    OptimizerOptions sample_options;
+    sample_options.samples = 30;
+    OptimizerOptions ii_options;
+    ii_options.restarts = 1;
     for (const OptimizerResult& r :
          {GreedyQonOptimizer(inst),
-          RandomSamplingOptimizer(inst, &rng, 30),
-          IterativeImprovementOptimizer(inst, &rng, 1)}) {
+          RandomSamplingOptimizer(inst, &rng, sample_options),
+          IterativeImprovementOptimizer(inst, &rng, ii_options)}) {
       ASSERT_TRUE(r.feasible);
       ASSERT_TRUE(IsPermutation(r.sequence, n));
       EXPECT_TRUE(QonSequenceCost(inst, r.sequence).ApproxEquals(r.cost, 1e-9));

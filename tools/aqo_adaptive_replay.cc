@@ -1,0 +1,91 @@
+// aqo_adaptive_replay — verifies an adaptive decision log reconstructs.
+//
+// Reads a JSONL run-log (the --json-out of any bench, aqo_serve, or
+// service batch run that exercised the `adaptive` entry), replays every
+// `adaptive_decision` record against a feedback store via
+// ReplayDecisionLog (qo/adaptive.h): each logged choice is re-derived
+// with Recommend() from the store state the original process saw and
+// compared against what was logged, then the logged outcomes are applied
+// exactly as the original run applied them. `adaptive_commit` records
+// mark the commit boundaries. Unrelated records are skipped.
+//
+// Usage:
+//   aqo_adaptive_replay <runlog.jsonl> [--feedback-in=<file>]
+//
+// --feedback-in= pre-loads the store with a persisted feedback file
+// (PersistFileKind::kFeedback) when the logged process itself started
+// warm — the replayed store must match the original's starting state.
+//
+// Exit status: 0 when every decision reconstructed; 1 on any mismatch or
+// parse problem; 2 on usage/IO errors. The CI adaptive smoke runs this
+// over a fresh serve log and requires 0.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "qo/adaptive.h"
+
+namespace aqo {
+namespace {
+
+int Main(int argc, char** argv) {
+  std::string log_path;
+  std::string feedback_in;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--feedback-in=", 0) == 0) {
+      feedback_in = arg.substr(14);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "error: unknown flag " << arg << "\n";
+      return 2;
+    } else if (log_path.empty()) {
+      log_path = arg;
+    } else {
+      std::cerr << "error: more than one log path\n";
+      return 2;
+    }
+  }
+  if (log_path.empty()) {
+    std::cerr << "usage: aqo_adaptive_replay <runlog.jsonl> "
+                 "[--feedback-in=<file>]\n";
+    return 2;
+  }
+
+  FeedbackStore store;
+  if (!feedback_in.empty()) {
+    FeedbackLoadStats loaded = store.LoadFrom(feedback_in);
+    if (!loaded.existed) {
+      std::cerr << "error: --feedback-in=" << feedback_in << ": not found\n";
+      return 2;
+    }
+    if (!loaded.damage.empty()) {
+      std::cerr << "error: --feedback-in=" << feedback_in << ": "
+                << loaded.damage << "\n";
+      return 2;
+    }
+    std::cerr << "aqo_adaptive_replay: preloaded " << loaded.records
+              << " feedback records\n";
+  }
+
+  std::ifstream in(log_path, std::ios::binary);
+  if (!in) {
+    std::cerr << "error: cannot open " << log_path << "\n";
+    return 2;
+  }
+  DecisionReplayStats stats = ReplayDecisionLog(in, &store);
+  std::cout << "aqo_adaptive_replay: decisions=" << stats.decisions
+            << " commits=" << stats.commits
+            << " mismatches=" << stats.mismatches << "\n";
+  if (!stats.error.empty()) {
+    std::cerr << "error: " << stats.error << "\n";
+    return 1;
+  }
+  if (stats.mismatches > 0) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace aqo
+
+int main(int argc, char** argv) { return aqo::Main(argc, argv); }

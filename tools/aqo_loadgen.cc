@@ -21,6 +21,11 @@
 // therefore duplicate work under canonical fingerprinting — a server-side
 // cache should converge to a hit rate near 1 - bases/requests. Everything
 // is a pure function of --seed.
+//
+// --optimizer=<name> stamps an `optimizer=` token into every request
+// header so the server runs that registry entry (e.g. `adaptive` — the CI
+// adaptive smoke drives same-seed streams through it twice and diffs the
+// bytes); --optimizer=help prints both registries' listings.
 
 #include <sys/types.h>
 #include <sys/wait.h>
@@ -100,6 +105,34 @@ Workload BuildWorkload(const bench::Flags& flags) {
   double zipf = flags.GetDouble("zipf", 1.1);
   std::string family = flags.GetString("family", "qon");
   AQO_CHECK(family == "qon" || family == "qoh");
+  // --optimizer=<name> rides along in every request header so the server
+  // runs that entry (validated here against the family's registry, aliases
+  // resolved); --optimizer=help prints the registry listings and exits.
+  std::string optimizer = flags.GetString("optimizer");
+  if (optimizer == "help") {
+    std::cout << OptimizerRegistry::Qon().Describe()
+              << QohOptimizerRegistry::Get().Describe();
+    std::exit(0);
+  }
+  if (!optimizer.empty()) {
+    if (family == "qon") {
+      const auto* entry = OptimizerRegistry::Qon().Find(optimizer);
+      if (entry == nullptr) {
+        std::cerr << "error: unknown QO_N optimizer '" << optimizer
+                  << "' in --optimizer=\n";
+        std::exit(2);
+      }
+      optimizer = entry->name;
+    } else {
+      const auto* entry = QohOptimizerRegistry::Get().Find(optimizer);
+      if (entry == nullptr) {
+        std::cerr << "error: unknown QO_H optimizer '" << optimizer
+                  << "' in --optimizer=\n";
+        std::exit(2);
+      }
+      optimizer = entry->name;
+    }
+  }
   WorkloadOptions wopts;
   wopts.shape = ShapeFromName(flags.GetString("shape", "random"));
   wopts.edge_probability = flags.GetDouble("edge-prob", 0.5);
@@ -124,7 +157,9 @@ Workload BuildWorkload(const bench::Flags& flags) {
     for (int v = 0; v < n; ++v) perm[static_cast<size_t>(v)] = v;
     arrivals.Shuffle(&perm);
     std::ostringstream payload;
-    payload << "req r" << r << "\n";
+    payload << "req r" << r;
+    if (!optimizer.empty()) payload << " optimizer=" << optimizer;
+    payload << "\n";
     if (family == "qon") {
       WriteQonInstance(PermuteQonInstance(qon_bases[static_cast<size_t>(base)],
                                           perm),

@@ -3,9 +3,13 @@
 // Speaks a length-prefixed frame protocol (io/framing.h): each request
 // frame carries a small text payload —
 //
-//   req <id> [deadline_ms]
+//   req <id> [deadline_ms] [optimizer=<name>]
 //   qon <n>            (or qoh — the full instance text, io/serialization.h)
 //   ...
+//
+// The optional `optimizer=` token selects any registry entry (family-
+// checked, aliases resolved) for that one request; `--optimizer=help`
+// prints both registries' Describe() listings and exits.
 //
 // and produces exactly one response frame per request:
 //
@@ -29,7 +33,9 @@
 // every insert is written through to the journal; a graceful shutdown
 // (stdin EOF, SIGTERM, SIGINT) rotates a fresh snapshot. SIGKILL loses
 // nothing but the snapshot rotation — the journal already holds every
-// insert.
+// insert. --feedback-dir=<dir> does the same for the adaptive feedback
+// store (docs/adaptive.md): warm from <dir>/feedback.bin, append every
+// committed record write-through.
 //
 // Admission control: --max-n= rejects instances above a relation-count
 // ceiling before any optimization work; --request-deadline-ms= (or the
@@ -44,6 +50,8 @@
 
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -55,6 +63,7 @@
 #include "io/serialization.h"
 #include "obs/histogram.h"
 #include "obs/metrics.h"
+#include "qo/adaptive.h"
 #include "qo/persist.h"
 #include "qo/plan_cache.h"
 #include "qo/service.h"
@@ -85,8 +94,11 @@ struct ServerConfig {
 };
 
 // One optimize request: parses, admits, runs a single-instance batch
-// through the shared cache, formats the response payload.
+// through the shared cache, formats the response payload. A non-empty
+// `optimizer` (the per-request `optimizer=<name>` header token) overrides
+// the configured entry for this request only.
 std::string ServeOptimize(const std::string& id, double deadline_ms,
+                          const std::string& optimizer,
                           const std::string& body, const ServerConfig& config,
                           PlanCache* cache, ThreadPool* pool) {
   static obs::Counter& rejects =
@@ -116,6 +128,16 @@ std::string ServeOptimize(const std::string& id, double deadline_ms,
     options.pool = nullptr;  // single instance; optimizer-level pool below
     options.qon.pool = pool;
     options.deadline_ms = deadline_ms;
+    if (!optimizer.empty()) {
+      const auto* entry = OptimizerRegistry::Qon().Find(optimizer);
+      if (entry == nullptr) {
+        rejects.Increment();
+        out << "err " << id << " optimizer: unknown QO_N entry '" << optimizer
+            << "'";
+        return out.str();
+      }
+      options.optimizer = entry->name;
+    }
     std::vector<QonBatchItem> items = OptimizeQonBatch({inst}, options);
     const QonBatchItem& item = items.front();
     if (item.from_cache) cache_hits.Increment();
@@ -146,6 +168,16 @@ std::string ServeOptimize(const std::string& id, double deadline_ms,
     options.cache = cache;
     options.pool = nullptr;
     options.deadline_ms = deadline_ms;
+    if (!optimizer.empty()) {
+      const auto* entry = QohOptimizerRegistry::Get().Find(optimizer);
+      if (entry == nullptr) {
+        rejects.Increment();
+        out << "err " << id << " optimizer: unknown QO_H entry '" << optimizer
+            << "'";
+        return out.str();
+      }
+      options.optimizer = entry->name;
+    }
     std::vector<QohBatchItem> items = OptimizeQohBatch({inst}, options);
     const QohBatchItem& item = items.front();
     if (item.from_cache) cache_hits.Increment();
@@ -178,6 +210,12 @@ int Main(int argc, char** argv) {
   config.qoh_batch.optimizer = flags.GetString("qoh-optimizer", "greedy");
   config.qoh_batch.qoh = bench::ReadQohKnobs(flags);
   config.qoh_batch.seed = seed;
+  if (config.qon_batch.optimizer == "help" ||
+      config.qoh_batch.optimizer == "help") {
+    std::cout << OptimizerRegistry::Qon().Describe()
+              << QohOptimizerRegistry::Get().Describe();
+    return 0;
+  }
   // Note: `--deadline-ms` (without the prefix) is the per-optimizer anytime
   // budget consumed by ReadQonKnobs above; this one arms the batch-level
   // wall-clock deadline default for requests that don't carry their own.
@@ -231,6 +269,31 @@ int Main(int argc, char** argv) {
     store->AttachTo(&cache);
   }
 
+  // Adaptive feedback durability: warm the default store from
+  // <dir>/feedback.bin (salvaging up to any damage point), then make
+  // every commit append write-through. The batch service commits after
+  // each adaptive request, so learning survives restarts.
+  std::string feedback_dir = flags.GetString("feedback-dir");
+  if (!feedback_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(feedback_dir, ec);
+    std::string feedback_path = feedback_dir + "/feedback.bin";
+    FeedbackStore& feedback = FeedbackStore::Default();
+    FeedbackLoadStats loaded = feedback.LoadFrom(feedback_path);
+    std::cerr << "aqo_serve: feedback store loaded " << loaded.records
+              << " records (" << loaded.duplicates << " duplicates)";
+    if (loaded.torn_tail) std::cerr << " [torn tail]";
+    if (!loaded.damage.empty()) {
+      std::cerr << " [damage: " << loaded.damage << "]";
+    }
+    std::cerr << "\n";
+    std::string attach_error;
+    if (!feedback.AttachFile(feedback_path, &attach_error)) {
+      std::cerr << "error: --feedback-dir: " << attach_error << "\n";
+      return 1;
+    }
+  }
+
   // SIGTERM/SIGINT end the serve loop for a graceful snapshot; no
   // SA_RESTART, so a blocking stdin read returns early.
   struct sigaction sa = {};
@@ -272,9 +335,20 @@ int Main(int argc, char** argv) {
     header >> verb >> id;
     std::string response;
     if (verb == "req" && !id.empty()) {
+      // Optional header tokens after the id: a bare number is a deadline
+      // override, `optimizer=<name>` selects the registry entry for this
+      // request (aqo_loadgen --optimizer= emits it).
       double deadline_ms = config.default_deadline_ms;
-      header >> deadline_ms;  // optional per-request override
-      response = ServeOptimize(id, deadline_ms, body, config, &cache, &pool);
+      std::string optimizer;
+      for (std::string token; header >> token;) {
+        if (token.rfind("optimizer=", 0) == 0) {
+          optimizer = token.substr(10);
+        } else {
+          deadline_ms = std::strtod(token.c_str(), nullptr);
+        }
+      }
+      response = ServeOptimize(id, deadline_ms, optimizer, body, config,
+                               &cache, &pool);
       ++served;
       ++since_snapshot;
     } else if (verb == "ping" && !id.empty()) {
