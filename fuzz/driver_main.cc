@@ -1,0 +1,172 @@
+// Standalone replay-and-mutate driver for the fuzz harnesses.
+//
+// The harnesses are plain LLVMFuzzerTestOneInput entry points. When the
+// toolchain has libFuzzer (-fsanitize=fuzzer), fuzz/CMakeLists.txt links
+// that and this file is unused. When it does not (g++-only containers),
+// this driver supplies main(): it replays the corpus and then runs a
+// budget of seeded deterministic mutations — a miniature libFuzzer with
+// none of the coverage feedback but all of the crash-surfacing, and
+// byte-reproducible from the command line alone.
+//
+// CLI (the libFuzzer subset CI uses):
+//   fuzz_<target> [-runs=N] [-seed=S] [-max_len=M] [corpus file|dir]...
+//
+// Every corpus file runs once; then N mutated inputs derived from corpus
+// picks via util/random.h Rng(seed). Any crash/sanitizer abort falls out
+// as the process dying, which is what the CI job checks.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+std::string ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void RunOne(const std::string& input) {
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(input.data()),
+                         input.size());
+}
+
+// One seeded mutation pass over `base`: a few stacked edits drawn from
+// the usual structural set (flip, overwrite, insert, erase, truncate,
+// splice). Bounded by max_len.
+std::string Mutate(const std::string& base,
+                   const std::vector<std::string>& corpus, size_t max_len,
+                   aqo::Rng* rng) {
+  std::string out = base;
+  int edits = static_cast<int>(rng->UniformInt(1, 4));
+  for (int e = 0; e < edits; ++e) {
+    switch (rng->UniformInt(0, 5)) {
+      case 0:  // flip one bit
+        if (!out.empty()) {
+          size_t at = static_cast<size_t>(
+              rng->UniformInt(0, static_cast<int>(out.size()) - 1));
+          out[at] = static_cast<char>(out[at] ^ (1 << rng->UniformInt(0, 7)));
+        }
+        break;
+      case 1:  // overwrite one byte
+        if (!out.empty()) {
+          size_t at = static_cast<size_t>(
+              rng->UniformInt(0, static_cast<int>(out.size()) - 1));
+          out[at] = static_cast<char>(rng->UniformInt(0, 255));
+        }
+        break;
+      case 2: {  // insert a short run
+        size_t at = static_cast<size_t>(
+            rng->UniformInt(0, static_cast<int>(out.size())));
+        int len = static_cast<int>(rng->UniformInt(1, 8));
+        std::string run;
+        for (int i = 0; i < len; ++i) {
+          run.push_back(static_cast<char>(rng->UniformInt(0, 255)));
+        }
+        out.insert(at, run);
+        break;
+      }
+      case 3:  // erase a short range
+        if (!out.empty()) {
+          size_t at = static_cast<size_t>(
+              rng->UniformInt(0, static_cast<int>(out.size()) - 1));
+          size_t len = static_cast<size_t>(rng->UniformInt(1, 8));
+          out.erase(at, len);
+        }
+        break;
+      case 4:  // truncate
+        if (!out.empty()) {
+          out.resize(static_cast<size_t>(
+              rng->UniformInt(0, static_cast<int>(out.size()) - 1)));
+        }
+        break;
+      case 5:  // splice a random slice of another corpus entry
+        if (!corpus.empty()) {
+          const std::string& other = corpus[static_cast<size_t>(
+              rng->UniformInt(0, static_cast<int>(corpus.size()) - 1))];
+          if (!other.empty()) {
+            size_t from = static_cast<size_t>(
+                rng->UniformInt(0, static_cast<int>(other.size()) - 1));
+            size_t len = static_cast<size_t>(rng->UniformInt(1, 32));
+            size_t at = static_cast<size_t>(
+                rng->UniformInt(0, static_cast<int>(out.size())));
+            out.insert(at, other.substr(from, len));
+          }
+        }
+        break;
+    }
+  }
+  if (out.size() > max_len) out.resize(max_len);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t runs = 0;
+  uint64_t seed = 1;
+  size_t max_len = 4096;
+  std::vector<std::filesystem::path> corpus_paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("-runs=", 0) == 0) {
+      runs = std::strtoull(arg.c_str() + 6, nullptr, 10);
+    } else if (arg.rfind("-seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 6, nullptr, 10);
+    } else if (arg.rfind("-max_len=", 0) == 0) {
+      max_len = std::strtoull(arg.c_str() + 9, nullptr, 10);
+    } else if (arg.rfind("-", 0) == 0) {
+      // Unknown libFuzzer flag: accept and ignore so CI scripts can pass
+      // a superset.
+      std::cerr << "fuzz-driver: ignoring flag " << arg << "\n";
+    } else {
+      corpus_paths.push_back(arg);
+    }
+  }
+
+  // Deterministic corpus order: directories expand to their sorted
+  // regular files (non-recursive).
+  std::vector<std::string> corpus;
+  for (const std::filesystem::path& path : corpus_paths) {
+    if (std::filesystem::is_directory(path)) {
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry : std::filesystem::directory_iterator(path)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());
+      for (const auto& file : files) corpus.push_back(ReadFile(file));
+    } else if (std::filesystem::is_regular_file(path)) {
+      corpus.push_back(ReadFile(path));
+    } else {
+      std::cerr << "fuzz-driver: no such corpus path: " << path << "\n";
+      return 2;
+    }
+  }
+
+  for (const std::string& input : corpus) RunOne(input);
+
+  aqo::Rng rng(seed);
+  for (uint64_t i = 0; i < runs; ++i) {
+    std::string base =
+        corpus.empty() ? std::string()
+                       : corpus[static_cast<size_t>(rng.UniformInt(
+                             0, static_cast<int>(corpus.size()) - 1))];
+    RunOne(Mutate(base, corpus, max_len, &rng));
+  }
+
+  std::cerr << "fuzz-driver: " << corpus.size() << " corpus inputs + "
+            << runs << " mutated runs, no crashes\n";
+  return 0;
+}

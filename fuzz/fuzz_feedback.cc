@@ -1,0 +1,30 @@
+// Fuzz target: the adaptive feedback record codec (qo/adaptive.h).
+// Decode is strict — malformed bytes must fail with a reason — and the
+// codec is canonical: whatever decodes must re-encode to the identical
+// bytes (the feedback store dedupes on byte digests, so canonicality is
+// load-bearing, not cosmetic).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "qo/adaptive.h"
+#include "util/check.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  constexpr size_t kMaxInput = 4096;
+  if (size > kMaxInput) size = kMaxInput;
+  std::string_view payload(reinterpret_cast<const char*>(data), size);
+
+  aqo::FeedbackRecord record;
+  std::string error;
+  if (!aqo::DecodeFeedbackPayload(payload, &record, &error)) {
+    AQO_CHECK(!error.empty());
+    return 0;
+  }
+  std::string reencoded = aqo::EncodeFeedbackPayload(record);
+  AQO_CHECK(reencoded == payload)
+      << "feedback codec is not canonical: " << payload.size() << " vs "
+      << reencoded.size() << " bytes";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fuzz target: io/serialization.h Parse* readers. Malformed text must
+// come back as a ParseResult error (never a crash or unbounded
+// allocation — the kMaxSerializedRelations guard); accepted values must
+// survive a write/reparse round trip.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "io/serialization.h"
+#include "util/check.h"
+
+namespace {
+
+template <typename T, typename ParseFn, typename WriteFn>
+void Check(const std::string& text, ParseFn parse, WriteFn write) {
+  std::istringstream is(text);
+  aqo::ParseResult<T> parsed = parse(is);
+  if (!parsed.ok()) {
+    AQO_CHECK(!parsed.error.empty());
+    return;
+  }
+  // Anything we accept must round-trip through our own writer.
+  std::ostringstream os;
+  write(*parsed.value, os);
+  std::istringstream is2(os.str());
+  aqo::ParseResult<T> reparsed = parse(is2);
+  AQO_CHECK(reparsed.ok()) << "round-trip reparse failed: " << reparsed.error;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  constexpr size_t kMaxInput = 1 << 14;
+  if (size > kMaxInput) size = kMaxInput;
+  std::string text(reinterpret_cast<const char*>(data), size);
+
+  Check<aqo::Graph>(text, aqo::ParseGraph,
+                    [](const aqo::Graph& g, std::ostream& os) {
+                      aqo::WriteGraph(g, os);
+                    });
+  Check<aqo::CnfFormula>(text, aqo::ParseDimacs,
+                         [](const aqo::CnfFormula& f, std::ostream& os) {
+                           aqo::WriteDimacs(f, os);
+                         });
+  Check<aqo::QonInstance>(text, aqo::ParseQonInstance,
+                          [](const aqo::QonInstance& inst, std::ostream& os) {
+                            aqo::WriteQonInstance(inst, os);
+                          });
+  Check<aqo::QohInstance>(text, aqo::ParseQohInstance,
+                          [](const aqo::QohInstance& inst, std::ostream& os) {
+                            aqo::WriteQohInstance(inst, os);
+                          });
+  return 0;
+}

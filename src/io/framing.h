@@ -12,8 +12,20 @@
 // and error (truncated frame or an implausible length; reason suitable
 // for `error: <source>: <reason>`). A truncated final frame is the
 // streaming analogue of the persistence layer's torn tail.
+//
+// Corruption recovery: FrameReader wraps a stream and, instead of
+// treating an implausible length prefix as fatal, resynchronizes — it
+// slides a byte at a time until it finds a prefix whose length is
+// plausible and whose payload passes the caller's validator (for the
+// serve protocol: "starts with a known verb"). Skipped garbage is
+// counted, never silently swallowed: the frame after a resync is flagged
+// so the server can answer `err ? frame: ...` for the corrupt region.
+// Scanning buffers unconsumed candidate bytes internally, so a rejected
+// candidate loses no data — which is why resync lives in a stateful
+// reader rather than a free function.
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 
@@ -33,9 +45,57 @@ enum class FrameRead {
 // when to flush, e.g. once per response).
 void WriteFrame(std::ostream& os, const std::string& payload);
 
-// Reads one frame. On kError, `*error` holds a one-line reason.
+// Reads one frame, no resync. On kError, `*error` holds a one-line
+// reason.
 FrameRead ReadFrame(std::istream& is, std::string* payload,
                     std::string* error);
+
+// --- fd-level framing (pipes; aqo_loadgen / aqo_chaos drive modes) ---
+
+// Full, EINTR-retrying write; false on error.
+bool WriteAllFd(int fd, const char* data, size_t size);
+// Writes one frame (prefix + payload); false on error.
+bool WriteFrameFd(int fd, const std::string& payload);
+// Reads one frame: 1 = frame, 0 = clean EOF, -1 = error/truncation.
+int ReadFrameFd(int fd, std::string* payload);
+
+// --- Resynchronizing reader ---
+
+class FrameReader {
+ public:
+  // Returns true when `payload` is plausibly a real frame payload. Only
+  // consulted while resynchronizing after corruption — well-framed
+  // payloads are delivered regardless (payload-level validation is the
+  // protocol layer's job). Null = accept any plausible length.
+  using Validator = std::function<bool(const std::string& payload)>;
+
+  explicit FrameReader(std::istream& is, Validator validator = nullptr)
+      : is_(is), validator_(std::move(validator)) {}
+
+  // Reads the next frame, resynchronizing past corrupt bytes if needed.
+  // kError is reserved for unrecoverable states (stream ended mid-frame
+  // or mid-scan). After kFrame, resynced() says whether garbage was
+  // skipped immediately before this frame and last_skipped() how many
+  // bytes.
+  FrameRead Next(std::string* payload, std::string* error);
+
+  bool resynced() const { return last_skipped_ > 0; }
+  uint64_t last_skipped() const { return last_skipped_; }
+  uint64_t total_skipped() const { return total_skipped_; }
+  uint64_t resync_count() const { return resync_count_; }
+
+ private:
+  // Ensures buffer_ holds at least `need` bytes, reading from is_.
+  // False: stream exhausted first.
+  bool Fill(size_t need);
+
+  std::istream& is_;
+  Validator validator_;
+  std::string buffer_;  // bytes read but not yet consumed
+  uint64_t last_skipped_ = 0;
+  uint64_t total_skipped_ = 0;
+  uint64_t resync_count_ = 0;
+};
 
 }  // namespace aqo
 

@@ -85,6 +85,9 @@ ParseResult<Graph> ParseGraph(std::istream& is) {
   if (header.fail() || tag != "graph" || n < 0 || m < 0) {
     return Fail<Graph>("bad graph header", line);
   }
+  if (n > kMaxSerializedRelations) {
+    return Fail<Graph>("graph header n exceeds supported maximum", line);
+  }
   Graph g(n);
   for (int i = 0; i < m; ++i) {
     if (!NextLine(is, &line)) return Fail<Graph>("truncated graph edge list");
@@ -204,6 +207,9 @@ ParseResult<QonInstance> ParseQonInstance(std::istream& is) {
   if (header.fail() || tag != "qon" || n < 1) {
     return Fail<QonInstance>("bad qon header", line);
   }
+  if (n > kMaxSerializedRelations) {
+    return Fail<QonInstance>("qon header n exceeds supported maximum", line);
+  }
 
   std::vector<LogDouble> sizes(static_cast<size_t>(n), LogDouble::One());
   std::vector<std::tuple<int, int, double>> edges;
@@ -314,6 +320,9 @@ ParseResult<QohInstance> ParseQohInstance(std::istream& is) {
   if (header.fail() || tag != "qoh" || n < 1 || !std::isfinite(memory) ||
       memory <= 0.0 || !std::isfinite(eta) || eta <= 0.0 || eta >= 1.0) {
     return Fail<QohInstance>("bad qoh header", line);
+  }
+  if (n > kMaxSerializedRelations) {
+    return Fail<QohInstance>("qoh header n exceeds supported maximum", line);
   }
 
   std::vector<LogDouble> sizes(static_cast<size_t>(n), LogDouble::One());

@@ -41,6 +41,13 @@
 
 namespace aqo {
 
+// Ceiling on the relation/vertex count a parser will accept. Instance
+// state is quadratic in n, so the bound is what keeps a 12-byte
+// "qon 2000000000" header from costing gigabytes before any admission
+// check can run (the fuzz harnesses under fuzz/ hammer exactly this).
+// Far above anything the optimizers can process anyway.
+inline constexpr int kMaxSerializedRelations = 4096;
+
 // Recoverable readers: structured error instead of abort, for any
 // malformed input reachable from files a user hands to a tool. Also the
 // "io.parse" fault-injection site (util/fault_injection.h): the k-th

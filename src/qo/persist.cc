@@ -12,6 +12,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <istream>
 #include <limits>
 #include <sstream>
@@ -23,6 +24,7 @@
 #include "util/check.h"
 #include "util/crc32.h"
 #include "util/fault_injection.h"
+#include "util/random.h"
 
 namespace aqo {
 
@@ -399,12 +401,115 @@ std::string PlanStore::JournalPath() const {
   return options_.dir + "/journal.log";
 }
 
+const char* PersistHealthName(PersistHealth health) {
+  switch (health) {
+    case PersistHealth::kHealthy:
+      return "healthy";
+    case PersistHealth::kReadOnly:
+      return "readonly";
+    case PersistHealth::kOpen:
+      return "open";
+  }
+  return "unknown";
+}
+
+void PlanStore::SetHealth(PersistHealth health, const std::string& reason) {
+  static obs::Gauge& health_gauge =
+      obs::Registry::Get().GetGauge("qo.persist.health");
+  health_ = health;
+  health_gauge.Set(static_cast<double>(health));
+  if (obs::RunLog* log = obs::RunLog::Global()) {
+    obs::JsonValue record = obs::JsonValue::Object();
+    record["type"] = "persist_health";
+    record["dir"] = options_.dir;
+    record["health"] = PersistHealthName(health);
+    if (!reason.empty()) record["reason"] = reason;
+    record["trips"] = trips_;
+    record["probes"] = probes_;
+    record["reopens"] = reopens_;
+    record["backoff"] = backoff_current_;
+    log->Write(record);
+  }
+}
+
 bool PlanStore::Fail(const std::string& reason) {
   static obs::Counter& failures = CounterRef("qo.persist.failures");
+  static obs::Counter& trips = CounterRef("qo.persist.breaker_trips");
   failures.Increment();
-  failed_ = true;
   error_ = reason;
+  probe_in_flight_ = false;
+  // healthy -> read-only on the first failure; a failed probe (we were
+  // already unhealthy) escalates to open.
+  PersistHealth next = health_ == PersistHealth::kHealthy
+                           ? PersistHealth::kReadOnly
+                           : PersistHealth::kOpen;
+  ++trips_;
+  trips.Increment();
+  refused_since_trip_ = 0;
+  if (options_.breaker.enabled) {
+    // Exponential backoff in refused-write units, deterministic jitter
+    // from the breaker seed so probe points reproduce run to run.
+    uint64_t shift = trips_ > 20 ? 20 : trips_ - 1;
+    uint64_t base = options_.breaker.backoff_base << shift;
+    if (base > options_.breaker.backoff_max) {
+      base = options_.breaker.backoff_max;
+    }
+    Rng jitter(MixSeed(options_.breaker.seed, trips_));
+    backoff_current_ =
+        base + static_cast<uint64_t>(jitter.UniformInt(
+                   0, static_cast<int64_t>(options_.breaker.backoff_base)));
+  } else {
+    backoff_current_ = ~0ull;  // legacy latch: the probe never comes
+  }
+  SetHealth(next, reason);
+  // One-shot operator warning (the silent-latch fix): a tripped store is
+  // an event a human should see once, not per refused write.
+  if (!warned_) {
+    warned_ = true;
+    std::cerr << "warning: plan store '" << options_.dir
+              << "' tripped: " << reason << " — entering "
+              << PersistHealthName(next)
+              << (options_.breaker.enabled
+                      ? " (probe after " + std::to_string(backoff_current_) +
+                            " refused writes)"
+                      : " (breaker disabled: latched)")
+              << "\n";
+  }
   return false;
+}
+
+bool PlanStore::AllowWrite() {
+  static obs::Counter& refusals = CounterRef("qo.persist.breaker_refusals");
+  static obs::Counter& probes = CounterRef("qo.persist.breaker_probes");
+  if (health_ == PersistHealth::kHealthy) return true;
+  if (!options_.breaker.enabled) return false;
+  ++refused_since_trip_;
+  if (refused_since_trip_ < backoff_current_) {
+    refusals.Increment();
+    return false;
+  }
+  // Probe slot: let this write through. Force a journal reopen first so
+  // the repair path truncates any torn tail the trip left behind —
+  // re-appending after a tear must never create mid-file garbage.
+  ++probes_;
+  probes.Increment();
+  probe_in_flight_ = true;
+  if (journal_fd_ >= 0) {
+    ::close(journal_fd_);
+    journal_fd_ = -1;
+  }
+  return true;
+}
+
+void PlanStore::Reopen() {
+  static obs::Counter& reopens = CounterRef("qo.persist.breaker_reopens");
+  ++reopens_;
+  reopens.Increment();
+  probe_in_flight_ = false;
+  refused_since_trip_ = 0;
+  backoff_current_ = 0;
+  error_.clear();
+  SetHealth(PersistHealth::kHealthy, "probe write succeeded");
 }
 
 bool PlanStore::SyncFd(int fd, const char* what) {
@@ -483,7 +588,7 @@ bool PlanStore::AppendEntry(const Hash128& key, const CachedPlan& plan) {
   static obs::Counter& append_bytes = CounterRef("qo.persist.append_bytes");
   static obs::Histogram& append_us = HistogramRef("qo.persist.append_us");
   std::lock_guard<std::mutex> lock(append_mu_);
-  if (failed_) return false;
+  if (!AllowWrite()) return false;
   obs::ScopedLatencyTimer timer(append_us);
   if (!OpenJournal(/*truncate=*/false)) return false;
   std::string record = EncodePersistRecord(PersistedEntry{key, plan});
@@ -506,6 +611,7 @@ bool PlanStore::AppendEntry(const Hash128& key, const CachedPlan& plan) {
   if (options_.fsync && !SyncFd(journal_fd_, "journal append")) return false;
   appends.Increment();
   append_bytes.Add(record.size());
+  if (probe_in_flight_) Reopen();
   return true;
 }
 
@@ -516,7 +622,7 @@ bool PlanStore::SaveSnapshot(const PlanCache& cache) {
   static obs::Histogram& snapshot_us =
       HistogramRef("qo.persist.snapshot_us");
   std::lock_guard<std::mutex> lock(append_mu_);
-  if (failed_) return false;
+  if (!AllowWrite()) return false;
   obs::ScopedLatencyTimer timer(snapshot_us);
 
   std::vector<std::pair<Hash128, CachedPlan>> entries = cache.Export();
@@ -574,6 +680,7 @@ bool PlanStore::SaveSnapshot(const PlanCache& cache) {
   if (!OpenJournal(/*truncate=*/true)) return false;
   saves.Increment();
   snapshot_entries.Add(entries.size());
+  if (probe_in_flight_) Reopen();
   return true;
 }
 

@@ -79,6 +79,26 @@ enum class PersistFileKind : uint32_t {
   kFeedback = 3,
 };
 
+// Circuit-breaker configuration for PlanStore write failures
+// (docs/robustness.md has the state machine). Backoff is counted in
+// *refused write attempts*, not wall time, so the probe schedule is a
+// pure function of the request stream — two runs with the same stream
+// and fault schedule trip, probe, and reopen at identical points.
+struct PersistBreakerOptions {
+  // false = legacy latch: the first failure wedges the store permanently
+  // (what a crashed process looks like; tests/persist_crash_test.cc pins
+  // this mode because its faults *are* simulated process deaths).
+  bool enabled = true;
+  // Refused writes before the first probe after a trip.
+  uint64_t backoff_base = 8;
+  // Ceiling for the doubled backoff after repeated probe failures.
+  uint64_t backoff_max = 1024;
+  // Seeds the deterministic jitter added to each backoff window (spreads
+  // probe points so a fleet of stores doesn't probe in lockstep while
+  // staying reproducible per seed).
+  uint64_t seed = 1;
+};
+
 struct PersistOptions {
   // Directory holding snapshot.bin / journal.log (created if absent).
   std::string dir;
@@ -86,7 +106,23 @@ struct PersistOptions {
   // crash *consistency* (the format tolerates torn tails regardless) but
   // trades durability of the last few records for append throughput.
   bool fsync = true;
+  PersistBreakerOptions breaker;
 };
+
+// PlanStore health, exported as the qo.persist.health gauge (0/1/2) and
+// the serve `health` verb:
+//   kHealthy  — writes flow;
+//   kReadOnly — first write failure: appends/snapshots are refused while
+//               the breaker counts down to a probe; reads (the already-
+//               recovered cache) are unaffected;
+//   kOpen     — a probe failed too; same refusal, longer backoff.
+enum class PersistHealth {
+  kHealthy = 0,
+  kReadOnly = 1,
+  kOpen = 2,
+};
+
+const char* PersistHealthName(PersistHealth health);
 
 // One persisted cache entry: canonical-fingerprint key + canonical-label
 // plan, bit-for-bit what PlanCache stores.
@@ -184,9 +220,13 @@ class PlanStore {
   bool SaveSnapshot(const PlanCache& cache);
 
   // Appends one record to the journal (fsync per options). False on
-  // failure; after a failure the store latches failed() and refuses
-  // further writes, exactly as a crashed process would stop writing —
-  // this keeps a torn tail a *tail*, never garbage mid-file.
+  // failure or while the breaker is refusing writes. A failure trips the
+  // circuit breaker: the store goes read-only (kReadOnly; repeated probe
+  // failures escalate to kOpen) and refuses writes — keeping a torn tail
+  // a *tail*, never garbage mid-file — until the deterministic backoff
+  // elapses and a probe write succeeds, which repairs the journal tail
+  // and returns the store to healthy. With breaker.enabled = false the
+  // first failure latches permanently (legacy crash semantics).
   bool AppendEntry(const Hash128& key, const CachedPlan& plan);
 
   // Loads snapshot.bin and replays journal.log into `cache` (which should
@@ -204,11 +244,23 @@ class PlanStore {
   // appended to the journal (PlanCache::SetInsertObserver).
   void AttachTo(PlanCache* cache);
 
-  // True after any append/snapshot failure (real or injected crash
-  // point); all subsequent writes are refused.
-  bool failed() const { return failed_; }
+  // Current circuit-breaker state. Transitions are logged to stderr
+  // (one-shot per store, on the first trip) and to the run log as
+  // `persist_health` records; the qo.persist.health gauge mirrors it.
+  PersistHealth health() const { return health_; }
+
+  // True while unhealthy (read-only or open): writes are currently being
+  // refused. With the breaker enabled this is *not* a permanent latch —
+  // a later successful probe returns the store to healthy; with
+  // breaker.enabled = false it is the legacy crash latch.
+  bool failed() const { return health_ != PersistHealth::kHealthy; }
   // Reason for the most recent failure.
   const std::string& error() const { return error_; }
+
+  // Breaker observability, deterministic given the write-attempt stream:
+  uint64_t breaker_trips() const { return trips_; }
+  uint64_t breaker_probes() const { return probes_; }
+  uint64_t breaker_reopens() const { return reopens_; }
 
   std::string SnapshotPath() const;
   std::string JournalPath() const;
@@ -220,11 +272,28 @@ class PlanStore {
   // (injected or real) failure.
   bool SyncFd(int fd, const char* what);
   bool OpenJournal(bool truncate);
+  // Breaker gate, called with append_mu_ held at the top of every write
+  // entry point. Healthy: proceed. Unhealthy: count a refused attempt,
+  // and once the backoff window has elapsed let the write through as a
+  // probe (forcing a journal reopen so the tail is repaired first) —
+  // success reopens the breaker, failure escalates it.
+  bool AllowWrite();
+  // Probe success: back to healthy, reset the backoff ladder.
+  void Reopen();
+  void SetHealth(PersistHealth health, const std::string& reason);
 
   PersistOptions options_;
   int journal_fd_ = -1;
-  bool failed_ = false;
+  PersistHealth health_ = PersistHealth::kHealthy;
   std::string error_;
+  // Breaker state (all under append_mu_ on write paths).
+  uint64_t trips_ = 0;
+  uint64_t probes_ = 0;
+  uint64_t reopens_ = 0;
+  uint64_t refused_since_trip_ = 0;
+  uint64_t backoff_current_ = 0;
+  bool probe_in_flight_ = false;
+  bool warned_ = false;
   // Deterministic fault-site ordinals (see header comment).
   uint64_t append_ordinal_ = 0;
   uint64_t fsync_ordinal_ = 0;

@@ -1,0 +1,369 @@
+// The deterministic load governor (qo/overload.h): cost-estimate tables,
+// the declared degradation rewrites, leaky-bucket tier transitions, and
+// the serve-path property the whole design exists for — the shed/degrade
+// decision trace is a pure function of the request stream, bit-identical
+// across thread counts and plan-cache configurations, and invariant
+// under instance relabeling.
+
+#include "qo/overload.h"
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qo/fingerprint.h"
+#include "qo/optimizers.h"
+#include "qo/plan_cache.h"
+#include "qo/qoh_optimizers.h"
+#include "qo/registry.h"
+#include "qo/service.h"
+#include "qo/workloads.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace aqo {
+namespace {
+
+constexpr double kCostCap = 1125899906842624.0;  // 2^50, the saturation
+
+// ---------------------------------------------------------------------------
+// Cost-estimate tables.
+
+TEST(EstimateCost, QonTableMatchesDeclaredFormulas) {
+  OptimizerOptions o;
+  EXPECT_DOUBLE_EQ(EstimateQonCostUnits("greedy", o, 7), 49.0);
+  EXPECT_DOUBLE_EQ(EstimateQonCostUnits("kbz", o, 7), 49.0);
+  EXPECT_DOUBLE_EQ(EstimateQonCostUnits("dp", o, 7), 7.0 * 128.0);
+  EXPECT_DOUBLE_EQ(EstimateQonCostUnits("cout", o, 7), 7.0 * 128.0);
+  EXPECT_DOUBLE_EQ(EstimateQonCostUnits("adaptive", o, 7), 7.0 * 128.0);
+  EXPECT_DOUBLE_EQ(EstimateQonCostUnits("random", o, 7), 1000.0 * 7.0);
+  o.samples = 10;
+  EXPECT_DOUBLE_EQ(EstimateQonCostUnits("random", o, 7), 70.0);
+  EXPECT_DOUBLE_EQ(EstimateQonCostUnits("ii", o, 5), 8.0 * 125.0);
+  EXPECT_DOUBLE_EQ(EstimateQonCostUnits("sa", o, 7), 3.0 * 20000.0);
+  EXPECT_DOUBLE_EQ(EstimateQonCostUnits("genetic", o, 7), 64.0 * 120.0);
+  // bnb: the node budget when set, 2^n when exact.
+  EXPECT_DOUBLE_EQ(EstimateQonCostUnits("bnb", o, 7), 128.0);
+  o.bnb_node_limit = 37;
+  EXPECT_DOUBLE_EQ(EstimateQonCostUnits("bnb", o, 7), 37.0);
+}
+
+TEST(EstimateCost, QohTableMatchesDeclaredFormulas) {
+  QohOptimizerOptions o;
+  EXPECT_DOUBLE_EQ(EstimateQohCostUnits("greedy", o, 6), 36.0);
+  EXPECT_DOUBLE_EQ(EstimateQohCostUnits("exhaustive", o, 6), 720.0);
+  o.samples = 8;
+  EXPECT_DOUBLE_EQ(EstimateQohCostUnits("random", o, 6), 48.0);
+}
+
+TEST(EstimateCost, UnknownNamesEstimateLikeTheWorstEntry) {
+  // A typo can only over-throttle: unknown names cost n!.
+  OptimizerOptions o;
+  EXPECT_DOUBLE_EQ(EstimateQonCostUnits("exhaustive", o, 6), 720.0);
+  EXPECT_DOUBLE_EQ(EstimateQonCostUnits("drp", o, 6), 720.0);
+  EXPECT_DOUBLE_EQ(EstimateQonCostUnits("", o, 6), 720.0);
+}
+
+TEST(EstimateCost, SaturatesAtTheCap) {
+  OptimizerOptions o;
+  EXPECT_DOUBLE_EQ(EstimateQonCostUnits("exhaustive", o, 200), kCostCap);
+  EXPECT_DOUBLE_EQ(EstimateQonCostUnits("dp", o, 200), kCostCap);
+  QohOptimizerOptions qoh;
+  EXPECT_DOUBLE_EQ(EstimateQohCostUnits("exhaustive", qoh, 200), kCostCap);
+}
+
+TEST(EstimateCost, BudgetCapsTheEstimate) {
+  OptimizerOptions o;
+  o.budget.max_evaluations = 100;
+  EXPECT_DOUBLE_EQ(EstimateQonCostUnits("dp", o, 20), 100.0);
+  // The budget never inflates a cheap request.
+  EXPECT_DOUBLE_EQ(EstimateQonCostUnits("greedy", o, 5), 25.0);
+}
+
+// ---------------------------------------------------------------------------
+// Degradation rewrites.
+
+TEST(Degrade, QonExactEntriesFallToGreedy) {
+  for (const char* name : {"exhaustive", "dp", "bnb", "cout", "adaptive"}) {
+    OptimizerOptions o;
+    EXPECT_EQ(DegradeQon(name, &o), "greedy") << name;
+  }
+}
+
+TEST(Degrade, QonStochasticEntriesKeepIdentityWithClampedEffort) {
+  OptimizerOptions o;
+  EXPECT_EQ(DegradeQon("random", &o), "random");
+  EXPECT_EQ(o.samples, 64);
+  o = OptimizerOptions{};
+  EXPECT_EQ(DegradeQon("ii", &o), "ii");
+  EXPECT_EQ(o.restarts, 2);
+  o = OptimizerOptions{};
+  EXPECT_EQ(DegradeQon("sa", &o), "sa");
+  EXPECT_EQ(o.sa.restarts, 1);
+  EXPECT_EQ(o.sa.iterations, 2000);
+  o = OptimizerOptions{};
+  EXPECT_EQ(DegradeQon("genetic", &o), "genetic");
+  EXPECT_EQ(o.ga.population, 16);
+  EXPECT_EQ(o.ga.generations, 16);
+}
+
+TEST(Degrade, ClampNeverRaisesEffort) {
+  OptimizerOptions o;
+  o.samples = 10;  // already below the clamp
+  EXPECT_EQ(DegradeQon("random", &o), "random");
+  EXPECT_EQ(o.samples, 10);
+}
+
+TEST(Degrade, FloorEntriesPassThroughUnchanged) {
+  OptimizerOptions o;
+  EXPECT_EQ(DegradeQon("greedy", &o), "greedy");
+  EXPECT_EQ(DegradeQon("kbz", &o), "kbz");
+  EXPECT_EQ(o.samples, OptimizerOptions{}.samples);
+}
+
+TEST(Degrade, QohTable) {
+  QohOptimizerOptions o;
+  EXPECT_EQ(DegradeQoh("exhaustive", &o), "greedy");
+  EXPECT_EQ(DegradeQoh("adaptive", &o), "greedy");
+  o = QohOptimizerOptions{};
+  EXPECT_EQ(DegradeQoh("sa", &o), "sa");
+  EXPECT_EQ(o.sa.restarts, 1);
+  EXPECT_EQ(o.sa.iterations, 1000);
+  o = QohOptimizerOptions{};
+  EXPECT_EQ(DegradeQoh("random", &o), "random");
+  EXPECT_EQ(o.samples, 64);
+}
+
+// ---------------------------------------------------------------------------
+// The governor.
+
+TEST(LoadGovernor, DisarmedGovernorAdmitsEverything) {
+  LoadGovernor governor;  // both capacities 0
+  EXPECT_FALSE(governor.armed());
+  for (int i = 0; i < 100; ++i) {
+    OverloadDecision d = governor.OnArrival(1e18, 1e18);
+    EXPECT_EQ(d.tier, OverloadTier::kAdmit);
+    EXPECT_EQ(d.pressure_permille, 0u);
+    EXPECT_TRUE(d.reason.empty());
+  }
+  EXPECT_EQ(governor.admits(), 100u);
+  EXPECT_EQ(governor.sheds(), 0u);
+  EXPECT_EQ(governor.PressurePermille(), 0u);
+}
+
+TEST(LoadGovernor, DepthBucketShedsWhenAdmissionWouldOverflow) {
+  OverloadOptions opts;
+  opts.queue_capacity = 2.0;
+  opts.drain_requests = 0.25;
+  opts.degrade_threshold = 1.0;  // keep the degrade tier out of the way
+  LoadGovernor governor(opts);
+  ASSERT_TRUE(governor.armed());
+
+  // Hand-computed leaky-bucket walk: drain 0.25/slot against +1/admit.
+  std::vector<OverloadTier> tiers;
+  std::vector<uint64_t> pressures;
+  for (int i = 0; i < 5; ++i) {
+    OverloadDecision d = governor.OnArrival(0.0, 0.0);
+    tiers.push_back(d.tier);
+    pressures.push_back(d.pressure_permille);
+  }
+  std::vector<OverloadTier> want_tiers = {
+      OverloadTier::kAdmit, OverloadTier::kAdmit, OverloadTier::kShed,
+      OverloadTier::kShed, OverloadTier::kAdmit};
+  std::vector<uint64_t> want_pressures = {0, 375, 750, 625, 500};
+  EXPECT_EQ(tiers, want_tiers);
+  EXPECT_EQ(pressures, want_pressures);
+  EXPECT_EQ(governor.admits(), 3u);
+  EXPECT_EQ(governor.sheds(), 2u);
+  EXPECT_EQ(governor.degrades(), 0u);
+}
+
+TEST(LoadGovernor, CostBucketDegradesThenSheds) {
+  OverloadOptions opts;
+  opts.cost_capacity = 1000.0;
+  opts.drain_cost = 100.0;
+  opts.degrade_threshold = 0.5;
+  LoadGovernor governor(opts);
+
+  // Below threshold: admitted at full cost.
+  EXPECT_EQ(governor.OnArrival(400.0, 80.0).tier, OverloadTier::kAdmit);
+  EXPECT_EQ(governor.OnArrival(400.0, 80.0).tier, OverloadTier::kAdmit);
+  // Pressure 600 permille >= 500: degraded, and the bucket charges the
+  // *degraded* estimate.
+  OverloadDecision d = governor.OnArrival(400.0, 80.0);
+  EXPECT_EQ(d.tier, OverloadTier::kDegrade);
+  EXPECT_EQ(d.pressure_permille, 600u);
+  EXPECT_DOUBLE_EQ(d.cost_units, 80.0);
+  EXPECT_NE(d.reason.find("degrade threshold"), std::string::npos);
+  EXPECT_EQ(governor.OnArrival(400.0, 80.0).tier, OverloadTier::kDegrade);
+  // Over threshold and even the cheap form would overflow: shed, and the
+  // bucket is not charged (the next cheap request still degrades).
+  OverloadDecision shed = governor.OnArrival(400.0, 700.0);
+  EXPECT_EQ(shed.tier, OverloadTier::kShed);
+  EXPECT_NE(shed.reason.find("over capacity"), std::string::npos);
+  // The shed charged nothing, so one more drain slot drops pressure back
+  // under the threshold: full-cost admission resumes.
+  EXPECT_EQ(governor.OnArrival(400.0, 80.0).tier, OverloadTier::kAdmit);
+  EXPECT_EQ(governor.admits(), 3u);
+  EXPECT_EQ(governor.degrades(), 2u);
+  EXPECT_EQ(governor.sheds(), 1u);
+}
+
+TEST(LoadGovernor, ControlFramesDrainWithoutDeciding) {
+  OverloadOptions opts;
+  opts.cost_capacity = 1000.0;
+  opts.drain_cost = 100.0;
+  opts.degrade_threshold = 0.5;
+  LoadGovernor governor(opts);
+  governor.OnArrival(600.0, 600.0);
+  EXPECT_EQ(governor.PressurePermille(), 600u);
+  // Three pings drain 300 cost units and decide nothing.
+  governor.OnControlFrame();
+  governor.OnControlFrame();
+  governor.OnControlFrame();
+  EXPECT_EQ(governor.PressurePermille(), 300u);
+  EXPECT_EQ(governor.admits(), 1u);
+  EXPECT_EQ(governor.degrades(), 0u);
+  EXPECT_EQ(governor.sheds(), 0u);
+  // The drained bucket admits at full cost again.
+  EXPECT_EQ(governor.OnArrival(600.0, 80.0).tier, OverloadTier::kAdmit);
+}
+
+TEST(LoadGovernor, SameStreamSameDecisions) {
+  OverloadOptions opts;
+  opts.queue_capacity = 4.0;
+  opts.drain_requests = 0.5;
+  opts.cost_capacity = 3000.0;
+  LoadGovernor a(opts);
+  LoadGovernor b(opts);
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    double cost = static_cast<double>(rng.UniformInt(1, 2000));
+    double cheap = cost / 8.0;
+    OverloadDecision da = a.OnArrival(cost, cheap);
+    OverloadDecision db = b.OnArrival(cost, cheap);
+    EXPECT_EQ(da.tier, db.tier) << i;
+    EXPECT_EQ(da.pressure_permille, db.pressure_permille) << i;
+    EXPECT_EQ(da.reason, db.reason) << i;
+  }
+  EXPECT_EQ(a.sheds(), b.sheds());
+  EXPECT_EQ(a.degrades(), b.degrades());
+}
+
+// ---------------------------------------------------------------------------
+// The serve-path property: the decision trace is a pure function of the
+// request stream. We replay the exact serve-side procedure — estimate,
+// degrade rewrite, OnArrival — over a fixed synthetic stream while the
+// admitted work *actually runs* through the optimizer registry on thread
+// pools of different sizes, with and without a plan cache in front. The
+// trace (tier, pressure, charged cost, reason, effective optimizer per
+// request) must come out byte-identical in every configuration, and
+// relabeling every instance must not move a single decision.
+
+struct StreamRequest {
+  std::string optimizer;
+  int n;
+};
+
+std::vector<StreamRequest> PropertyStream() {
+  // Cycle through cheap and expensive entries over a range of sizes; the
+  // governor below is tuned so this stream crosses all three tiers.
+  const char* kNames[] = {"dp", "greedy", "sa", "random", "bnb", "genetic"};
+  std::vector<StreamRequest> stream;
+  for (int i = 0; i < 36; ++i) {
+    stream.push_back({kNames[i % 6], 5 + (i % 4)});
+  }
+  return stream;
+}
+
+std::string DecisionTrace(int threads, bool with_cache, bool relabel) {
+  ThreadPool pool(threads);
+  PlanCache cache(PlanCacheOptions{.byte_budget = 1 << 20, .shards = 2});
+  OverloadOptions opts;
+  opts.queue_capacity = 6.0;
+  opts.drain_requests = 0.5;
+  opts.cost_capacity = 4000.0;
+  opts.degrade_threshold = 0.6;
+  LoadGovernor governor(opts);
+
+  Rng inst_rng(99);  // same instance sequence in every configuration
+  std::ostringstream trace;
+  for (const auto& [optimizer, n] : PropertyStream()) {
+    QonInstance inst = RandomQonWorkload(n, &inst_rng);
+    if (relabel) {
+      std::vector<int> perm(static_cast<size_t>(n));
+      for (int i = 0; i < n; ++i) perm[static_cast<size_t>(i)] = n - 1 - i;
+      inst = PermuteQonInstance(inst, perm);
+    }
+
+    OptimizerOptions options;
+    options.pool = &pool;
+    OptimizerOptions degraded_options = options;
+    std::string fallback = DegradeQon(optimizer, &degraded_options);
+    OverloadDecision d = governor.OnArrival(
+        EstimateQonCostUnits(optimizer, options, n),
+        EstimateQonCostUnits(fallback, degraded_options, n));
+
+    std::string effective =
+        d.tier == OverloadTier::kDegrade ? fallback : optimizer;
+    trace << OverloadTierName(d.tier) << " " << d.pressure_permille << " "
+          << d.cost_units << " " << effective << " " << d.reason << "\n";
+    if (d.tier == OverloadTier::kShed) continue;
+
+    // Run the admitted (possibly degraded) work for real: its outcome —
+    // and whether it was a cache hit — must not leak into later
+    // decisions.
+    const OptimizerOptions& eff_options =
+        d.tier == OverloadTier::kDegrade ? degraded_options : options;
+    CanonicalQon canon = CanonicalizeQon(inst);
+    uint64_t seed = 17;
+    Hash128 key =
+        QonPlanCacheKey(canon.fingerprint, effective, eff_options, seed);
+    CachedPlan cached;
+    if (with_cache && cache.Lookup(key, &cached)) continue;
+    Rng run_rng(MixSeed(seed, canon.fingerprint.lo));
+    OptimizerResult result = OptimizerRegistry::Qon().Run(
+        effective, canon.instance, eff_options, &run_rng);
+    if (with_cache && result.feasible) {
+      CachedPlan plan;
+      plan.feasible = result.feasible;
+      plan.sequence = result.sequence;
+      plan.cost = result.cost;
+      plan.evaluations = result.evaluations;
+      plan.status = result.status;
+      cache.Insert(key, plan);
+    }
+  }
+  trace << "admits=" << governor.admits() << " degrades="
+        << governor.degrades() << " sheds=" << governor.sheds() << "\n";
+  return trace.str();
+}
+
+TEST(OverloadProperty, DecisionTraceInvariantAcrossThreadsAndCache) {
+  std::string reference = DecisionTrace(1, false, false);
+  // The tuned stream must actually exercise all three tiers, or the
+  // invariance claim is vacuous.
+  EXPECT_NE(reference.find("shed"), std::string::npos);
+  EXPECT_NE(reference.find("degrade"), std::string::npos);
+  EXPECT_NE(reference.find("admit"), std::string::npos);
+  for (int threads : {1, 2, 4}) {
+    for (bool with_cache : {false, true}) {
+      EXPECT_EQ(DecisionTrace(threads, with_cache, false), reference)
+          << "threads=" << threads << " cache=" << with_cache;
+    }
+  }
+}
+
+TEST(OverloadProperty, DecisionTraceInvariantUnderRelabeling) {
+  // Estimates depend on the instance only through n, and cache keys go
+  // through the canonical fingerprint, so relabeling every relation must
+  // not move a single decision — even with the cache interposed.
+  EXPECT_EQ(DecisionTrace(2, true, true), DecisionTrace(2, true, false));
+  EXPECT_EQ(DecisionTrace(1, false, true), DecisionTrace(1, false, false));
+}
+
+}  // namespace
+}  // namespace aqo

@@ -103,7 +103,12 @@ void RunSweep(const char* site) {
       {
         PlanCache cache(
             PlanCacheOptions{.byte_budget = 1 << 20, .shards = 4});
-        PlanStore store(PersistOptions{.dir = dir, .fsync = true});
+        // Breaker disabled: these faults simulate process death, and a
+        // dead process never probes — the legacy latch (first failure
+        // wedges the store) is exactly the crash being modeled. Breaker
+        // recovery from *transient* faults is covered in persist_test.cc.
+        PlanStore store(PersistOptions{
+            .dir = dir, .fsync = true, .breaker = {.enabled = false}});
         store.AttachTo(&cache);
         FaultInjector::Get().Arm(site, ordinal);
         BatchOptions options = base;

@@ -22,6 +22,7 @@
 #include "obs/histogram.h"
 #include "obs/metrics.h"
 #include "util/crc32.h"
+#include "util/fault_injection.h"
 #include "util/hash.h"
 #include "qo/fingerprint.h"
 #include "qo/plan_cache.h"
@@ -479,6 +480,220 @@ TEST(PlanStore, TenThousandEntryJournalRecovers) {
     EXPECT_EQ(std::bit_cast<uint64_t>(out.cost.Log2()),
               std::bit_cast<uint64_t>(TestPlan(i).cost.Log2()));
   }
+}
+
+// ---------------------------------------------------------------------------
+// The circuit breaker (docs/robustness.md): a write failure trips the
+// store read-only instead of latching it dead; a deterministic backoff
+// counted in refused writes schedules a probe append that repairs the
+// torn tail and reopens the breaker. persist_crash_test.cc pins the
+// breaker *off* (its faults simulate process death); these tests cover
+// the transient-fault path the breaker exists for.
+
+// The backoff window Fail() computes for trip number `trip` — replicated
+// here so the tests assert the exact probe point, not just "eventually".
+uint64_t ExpectedBackoff(const PersistBreakerOptions& breaker,
+                         uint64_t trip) {
+  uint64_t shift = trip > 20 ? 20 : trip - 1;
+  uint64_t base = breaker.backoff_base << shift;
+  if (base > breaker.backoff_max) base = breaker.backoff_max;
+  Rng jitter(MixSeed(breaker.seed, trip));
+  return base + static_cast<uint64_t>(jitter.UniformInt(
+                    0, static_cast<int64_t>(breaker.backoff_base)));
+}
+
+TEST(PlanStoreBreaker, TripRefuseProbeReopenRepairsTheJournal) {
+  std::string dir = TestDir("trip");
+  PersistOptions options{.dir = dir, .fsync = false};
+  options.breaker.backoff_base = 4;
+  options.breaker.backoff_max = 64;
+  options.breaker.seed = 7;
+  const uint64_t backoff = ExpectedBackoff(options.breaker, 1);
+
+  PlanCache cache(PlanCacheOptions{.byte_budget = 1 << 20, .shards = 2});
+  PlanStore store(options);
+  store.AttachTo(&cache);
+  for (int i = 0; i < 3; ++i) cache.Insert(TestKey(i), TestPlan(i));
+  ASSERT_FALSE(store.failed()) << store.error();
+
+  // The 4th append tears mid-record: healthy -> read-only, one trip.
+  FaultInjector::Get().Arm("persist.append", 3);
+  cache.Insert(TestKey(3), TestPlan(3));
+  FaultInjector::Get().Disarm();
+  EXPECT_EQ(store.health(), PersistHealth::kReadOnly);
+  EXPECT_TRUE(store.failed());
+  EXPECT_EQ(store.breaker_trips(), 1u);
+  EXPECT_NE(store.error().find("injected crash"), std::string::npos);
+  EXPECT_DOUBLE_EQ(
+      obs::Registry::Get().GetGauge("qo.persist.health").Value(),
+      static_cast<double>(PersistHealth::kReadOnly));
+
+  // The next backoff-1 writes are refused; the store stays read-only and
+  // never touches the (torn) journal.
+  int next = 4;
+  for (uint64_t r = 0; r + 1 < backoff; ++r) {
+    cache.Insert(TestKey(next), TestPlan(next));
+    ++next;
+    EXPECT_EQ(store.health(), PersistHealth::kReadOnly);
+  }
+  EXPECT_EQ(store.breaker_probes(), 0u);
+
+  // Write number `backoff` is the probe: the journal reopen repairs the
+  // torn tail first, the append succeeds, and the breaker reopens.
+  const int probe_key = next;
+  cache.Insert(TestKey(next), TestPlan(next));
+  ++next;
+  EXPECT_EQ(store.health(), PersistHealth::kHealthy);
+  EXPECT_FALSE(store.failed());
+  EXPECT_TRUE(store.error().empty());
+  EXPECT_EQ(store.breaker_probes(), 1u);
+  EXPECT_EQ(store.breaker_reopens(), 1u);
+  EXPECT_DOUBLE_EQ(
+      obs::Registry::Get().GetGauge("qo.persist.health").Value(),
+      static_cast<double>(PersistHealth::kHealthy));
+
+  // Post-reopen appends flow normally again.
+  const int final_key = next;
+  cache.Insert(TestKey(next), TestPlan(next));
+  EXPECT_FALSE(store.failed());
+
+  // Recovery sees exactly the pre-trip entries plus the probe-and-later
+  // entries — no damage and no torn tail, because the probe truncated
+  // the tear before re-appending. The faulted and refused entries never
+  // reached disk.
+  PlanCache warm(PlanCacheOptions{.byte_budget = 1 << 20, .shards = 2});
+  PlanStore reader(PersistOptions{.dir = dir, .fsync = false});
+  ParseResult<RecoveryStats> stats = reader.LoadAndRecover(&warm);
+  ASSERT_TRUE(stats.ok()) << stats.error;
+  EXPECT_TRUE(stats.value->damage.empty()) << stats.value->damage;
+  EXPECT_FALSE(stats.value->torn_tail);
+  EXPECT_EQ(stats.value->log_entries, 5u);
+  for (int i : {0, 1, 2, probe_key, final_key}) {
+    CachedPlan out;
+    EXPECT_TRUE(warm.Lookup(TestKey(i), &out)) << i;
+  }
+  CachedPlan out;
+  EXPECT_FALSE(warm.Lookup(TestKey(3), &out));
+}
+
+TEST(PlanStoreBreaker, FailedProbeEscalatesToOpenThenRecovers) {
+  std::string dir = TestDir("escalate");
+  PersistOptions options{.dir = dir, .fsync = false};
+  options.breaker.backoff_base = 4;
+  options.breaker.backoff_max = 64;
+  options.breaker.seed = 11;
+  const uint64_t backoff1 = ExpectedBackoff(options.breaker, 1);
+  const uint64_t backoff2 = ExpectedBackoff(options.breaker, 2);
+  // Trip 2 doubles the base (8 + jitter): the ladder actually ladders.
+  EXPECT_GE(backoff2, 8u);
+
+  PlanCache cache(PlanCacheOptions{.byte_budget = 1 << 20, .shards = 2});
+  PlanStore store(options);
+  store.AttachTo(&cache);
+  cache.Insert(TestKey(0), TestPlan(0));
+  ASSERT_FALSE(store.failed()) << store.error();
+
+  // Two shots at any ordinal: refused writes never reach the fault site,
+  // so shot one is the trip and shot two is the failed probe.
+  FaultInjector::Get().Arm("persist.append", FaultInjector::kAnyOrdinal,
+                           /*times=*/2);
+  int next = 1;
+  cache.Insert(TestKey(next), TestPlan(next));
+  ++next;
+  EXPECT_EQ(store.health(), PersistHealth::kReadOnly);
+  EXPECT_EQ(store.breaker_trips(), 1u);
+  for (uint64_t r = 0; r + 1 < backoff1; ++r) {
+    cache.Insert(TestKey(next), TestPlan(next));
+    ++next;
+  }
+  EXPECT_EQ(store.breaker_probes(), 0u);
+  // The probe fails too: read-only escalates to open.
+  cache.Insert(TestKey(next), TestPlan(next));
+  ++next;
+  FaultInjector::Get().Disarm();
+  EXPECT_EQ(store.health(), PersistHealth::kOpen);
+  EXPECT_EQ(store.breaker_trips(), 2u);
+  EXPECT_EQ(store.breaker_probes(), 1u);
+  EXPECT_EQ(store.breaker_reopens(), 0u);
+  EXPECT_DOUBLE_EQ(
+      obs::Registry::Get().GetGauge("qo.persist.health").Value(),
+      static_cast<double>(PersistHealth::kOpen));
+
+  // The longer second window elapses; the healthy probe closes the loop.
+  for (uint64_t r = 0; r + 1 < backoff2; ++r) {
+    cache.Insert(TestKey(next), TestPlan(next));
+    ++next;
+    EXPECT_EQ(store.health(), PersistHealth::kOpen);
+  }
+  cache.Insert(TestKey(next), TestPlan(next));
+  EXPECT_EQ(store.health(), PersistHealth::kHealthy);
+  EXPECT_EQ(store.breaker_probes(), 2u);
+  EXPECT_EQ(store.breaker_reopens(), 1u);
+
+  // The journal is clean end to end despite two mid-record tears.
+  PlanCache warm(PlanCacheOptions{.byte_budget = 1 << 20, .shards = 2});
+  PlanStore reader(PersistOptions{.dir = dir, .fsync = false});
+  ParseResult<RecoveryStats> stats = reader.LoadAndRecover(&warm);
+  ASSERT_TRUE(stats.ok()) << stats.error;
+  EXPECT_TRUE(stats.value->damage.empty()) << stats.value->damage;
+  EXPECT_FALSE(stats.value->torn_tail);
+}
+
+TEST(PlanStoreBreaker, SnapshotWritesAreGatedAndCanProbe) {
+  std::string dir = TestDir("snapgate");
+  PersistOptions options{.dir = dir, .fsync = false};
+  options.breaker.backoff_base = 2;
+  options.breaker.seed = 3;
+  const uint64_t backoff = ExpectedBackoff(options.breaker, 1);
+
+  PlanCache cache(PlanCacheOptions{.byte_budget = 1 << 20, .shards = 2});
+  for (int i = 0; i < 8; ++i) cache.Insert(TestKey(i), TestPlan(i));
+  PlanStore store(options);
+
+  FaultInjector::Get().Arm("persist.snapshot", 0);
+  EXPECT_FALSE(store.SaveSnapshot(cache));
+  FaultInjector::Get().Disarm();
+  EXPECT_EQ(store.health(), PersistHealth::kReadOnly);
+
+  // Snapshot attempts are refused through the same gate...
+  for (uint64_t r = 0; r + 1 < backoff; ++r) {
+    EXPECT_FALSE(store.SaveSnapshot(cache));
+    EXPECT_EQ(store.health(), PersistHealth::kReadOnly);
+  }
+  // ...and the probe slot lets a snapshot through and reopens.
+  EXPECT_TRUE(store.SaveSnapshot(cache)) << store.error();
+  EXPECT_EQ(store.health(), PersistHealth::kHealthy);
+  EXPECT_EQ(store.breaker_reopens(), 1u);
+
+  PlanCache warm(PlanCacheOptions{.byte_budget = 1 << 20, .shards = 2});
+  PlanStore reader(PersistOptions{.dir = dir, .fsync = false});
+  ParseResult<RecoveryStats> stats = reader.LoadAndRecover(&warm);
+  ASSERT_TRUE(stats.ok()) << stats.error;
+  EXPECT_TRUE(stats.value->had_snapshot);
+  EXPECT_EQ(stats.value->snapshot_entries, 8u);
+}
+
+TEST(PlanStoreBreaker, DisabledBreakerLatchesForever) {
+  std::string dir = TestDir("latch");
+  PersistOptions options{.dir = dir, .fsync = false};
+  options.breaker.enabled = false;  // legacy crash semantics
+  PlanCache cache(PlanCacheOptions{.byte_budget = 1 << 20, .shards = 2});
+  PlanStore store(options);
+  store.AttachTo(&cache);
+  cache.Insert(TestKey(0), TestPlan(0));
+  ASSERT_FALSE(store.failed()) << store.error();
+
+  FaultInjector::Get().Arm("persist.append", 1);
+  cache.Insert(TestKey(1), TestPlan(1));
+  FaultInjector::Get().Disarm();
+  EXPECT_TRUE(store.failed());
+
+  // No backoff window ever elapses: 50 more writes, zero probes.
+  for (int i = 2; i < 52; ++i) cache.Insert(TestKey(i), TestPlan(i));
+  EXPECT_TRUE(store.failed());
+  EXPECT_EQ(store.breaker_probes(), 0u);
+  EXPECT_EQ(store.breaker_reopens(), 0u);
+  EXPECT_EQ(store.breaker_trips(), 1u);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,42 @@
+# Chaos suite driver (see tests/CMakeLists.txt): generates a fixed
+# duplicate-heavy request stream once, then hands it to aqo_chaos for one
+# fault scenario. aqo_chaos owns the checks (byte-identity to a
+# fault-free reference, recovery, deterministic shed sets); this script
+# just plumbs paths and fails the test on a nonzero exit.
+#
+# Usage: cmake -DAQO_SERVE=<bin> -DAQO_LOADGEN=<bin> -DAQO_CHAOS=<bin>
+#        -DWORK_DIR=<dir> -DSCENARIO=<name>
+#        [-DSCENARIO_ARGS=<space-separated extra aqo_chaos flags>]
+#        -P run_chaos.cmake
+
+if(NOT AQO_SERVE OR NOT AQO_LOADGEN OR NOT AQO_CHAOS OR NOT WORK_DIR
+   OR NOT SCENARIO)
+  message(FATAL_ERROR
+    "AQO_SERVE, AQO_LOADGEN, AQO_CHAOS, WORK_DIR and SCENARIO are required")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# Small instances (n=7) keep the full persist sweeps fast; 30 arrivals
+# over 4 bases still exercise duplicate hits, journal growth, and enough
+# arrival slots for the governor scenarios.
+execute_process(
+  COMMAND "${AQO_LOADGEN}" --requests=30 --bases=4 --n=7 --seed=5
+          --out=${WORK_DIR}/stream.bin
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "aqo_loadgen exited with ${rc}")
+endif()
+
+separate_arguments(scenario_args UNIX_COMMAND "${SCENARIO_ARGS}")
+execute_process(
+  COMMAND "${AQO_CHAOS}" --serve=${AQO_SERVE} --stream=${WORK_DIR}/stream.bin
+          --scenario=${SCENARIO} --state-root=${WORK_DIR}/state
+          ${scenario_args}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "aqo_chaos --scenario=${SCENARIO} exited with ${rc}")
+endif()
+
+message(STATUS "chaos scenario ${SCENARIO} held")

@@ -1,0 +1,85 @@
+# Corrupt-frame regression for aqo_serve (see tests/CMakeLists.txt).
+#
+# Replays the committed fixtures:
+#
+#   frames_valid.bin   — req r0, ping p0, req r1, well framed;
+#   frames_garbage.bin — the same stream with 9 bytes of high-bit garbage
+#     spliced between the first and second frame.
+#
+# The serve loop must survive the garbage (exit 0), answer every real
+# frame exactly as in the clean run, and flag the corrupt region with one
+# `err ? parse: resynchronized after 9 bytes of frame garbage` frame —
+# so the garbled run's stdout is the clean run's stdout plus exactly that
+# one extra frame, which the size arithmetic below pins down.
+#
+# Usage: cmake -DAQO_SERVE=<bin> -DFIXTURES_DIR=<examples/fixtures>
+#        -DWORK_DIR=<dir> -P run_serve_corrupt_frame.cmake
+
+if(NOT AQO_SERVE OR NOT FIXTURES_DIR OR NOT WORK_DIR)
+  message(FATAL_ERROR "AQO_SERVE, FIXTURES_DIR and WORK_DIR are required")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_serve tag input)
+  execute_process(
+    COMMAND "${AQO_SERVE}"
+    INPUT_FILE "${input}"
+    OUTPUT_FILE "${WORK_DIR}/${tag}.out"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "aqo_serve (${tag}) exited with ${rc} — the frame loop must "
+      "recover from malformed frames, not die")
+  endif()
+endfunction()
+
+run_serve(valid "${FIXTURES_DIR}/frames_valid.bin")
+run_serve(garbled "${FIXTURES_DIR}/frames_garbage.bin")
+
+# The outputs are framed binary (length prefixes carry NUL bytes), so
+# all content checks happen on hex encodings.
+file(READ "${WORK_DIR}/valid.out" valid_out HEX)
+file(READ "${WORK_DIR}/garbled.out" garbled_out HEX)
+
+function(expect_marker tag text)
+  string(HEX "${text}" marker_hex)
+  string(FIND "${${tag}_out}" "${marker_hex}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "${tag}.out is missing '${text}'")
+  endif()
+endfunction()
+
+# Every real request was answered in both runs.
+foreach(marker "ok r0 qon" "ok p0 pong" "ok r1 qon")
+  expect_marker(valid "${marker}")
+  expect_marker(garbled "${marker}")
+endforeach()
+
+# The clean run saw no garbage; the garbled run flagged exactly the
+# spliced 9 bytes.
+set(resync_payload
+  "err ? parse: resynchronized after 9 bytes of frame garbage")
+string(HEX "resynchronized" resync_marker_hex)
+string(FIND "${valid_out}" "${resync_marker_hex}" at)
+if(NOT at EQUAL -1)
+  message(FATAL_ERROR "valid.out reports a resync on a clean stream")
+endif()
+expect_marker(garbled "${resync_payload}")
+
+# The garbled stdout is the clean stdout plus exactly one extra frame:
+# the 4-byte length prefix and the resync payload. Anything else means a
+# real response changed under corruption.
+file(SIZE "${WORK_DIR}/valid.out" valid_size)
+file(SIZE "${WORK_DIR}/garbled.out" garbled_size)
+string(LENGTH "${resync_payload}" resync_len)
+math(EXPR want_size "${valid_size} + 4 + ${resync_len}")
+if(NOT garbled_size EQUAL want_size)
+  message(FATAL_ERROR
+    "garbled.out is ${garbled_size} bytes, expected ${want_size} "
+    "(valid.out ${valid_size} + one resync frame) — responses diverged "
+    "beyond the flagged garbage")
+endif()
+
+message(STATUS "serve corrupt-frame recovery held")

@@ -9,8 +9,10 @@
 //     exactly that).
 //   * drive (--serve=<path-to-aqo_serve> [--serve-args="..."]): forks the
 //     server over a pipe pair, sends the same stream with open-loop
-//     pacing (--pace-ms= between arrivals, independent of response
-//     times), reads responses, and records per-request round-trip latency
+//     pacing (--pace-ms= between arrivals, or --burst=<k>/<gap-ms> for
+//     back-to-back groups of k with a gap between groups — both
+//     independent of response times), reads responses, and records
+//     per-request round-trip latency
 //     into the loadgen.request_us histogram — print percentiles with
 //     --latency-table, or export everything with --json-out.
 //
@@ -174,65 +176,49 @@ Workload BuildWorkload(const bench::Flags& flags) {
   return workload;
 }
 
-// --- fd-level framing for drive mode (pipes, not iostreams) ---
+// Burst pacing (--burst=<k>/<gap-ms>): arrivals leave in back-to-back
+// groups of k with a gap-ms pause between groups — the overload shape the
+// load governor is built for. Pacing only shifts *when* frames are sent;
+// the frame byte stream itself is unchanged, so a burst run and a smooth
+// run of the same seed produce identical request bytes (and therefore
+// identical shed/degrade decisions from the slot-indexed governor).
+struct BurstSpec {
+  int k = 0;  // 0 = bursting off
+  double gap_ms = 0.0;
+};
 
-bool WriteAllFd(int fd, const char* data, size_t size) {
-  while (size > 0) {
-    ssize_t wrote = ::write(fd, data, size);
-    if (wrote < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data += wrote;
-    size -= static_cast<size_t>(wrote);
+BurstSpec ParseBurst(const std::string& spec) {
+  BurstSpec burst;
+  if (spec.empty()) return burst;
+  size_t slash = spec.find('/');
+  burst.k = std::atoi(spec.c_str());
+  burst.gap_ms =
+      slash == std::string::npos ? 0.0 : std::atof(spec.c_str() + slash + 1);
+  if (burst.k <= 0) {
+    std::cerr << "error: --burst expects <k>/<gap-ms> with k >= 1, got '"
+              << spec << "'\n";
+    std::exit(2);
   }
-  return true;
+  return burst;
 }
 
-bool WriteFrameFd(int fd, const std::string& payload) {
-  char prefix[4];
-  uint32_t len = static_cast<uint32_t>(payload.size());
-  for (int i = 0; i < 4; ++i) {
-    prefix[i] = static_cast<char>((len >> (8 * i)) & 0xFF);
-  }
-  return WriteAllFd(fd, prefix, sizeof(prefix)) &&
-         WriteAllFd(fd, payload.data(), payload.size());
-}
-
-// 1 = frame, 0 = EOF, -1 = error.
-int ReadFrameFd(int fd, std::string* payload) {
-  char prefix[4];
-  size_t got = 0;
-  while (got < sizeof(prefix)) {
-    ssize_t r = ::read(fd, prefix + got, sizeof(prefix) - got);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return -1;
+// Sleeps after frame `index` according to burst/pace settings.
+void PaceAfter(size_t index, const BurstSpec& burst, double pace_ms) {
+  if (burst.k > 0) {
+    if ((index + 1) % static_cast<size_t>(burst.k) == 0 &&
+        burst.gap_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(burst.gap_ms));
     }
-    if (r == 0) return got == 0 ? 0 : -1;
-    got += static_cast<size_t>(r);
+  } else if (pace_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(pace_ms));
   }
-  uint32_t len = 0;
-  for (int i = 3; i >= 0; --i) {
-    len = (len << 8) | static_cast<unsigned char>(prefix[i]);
-  }
-  if (len > kMaxFrameBytes) return -1;
-  payload->resize(len);
-  size_t off = 0;
-  while (off < len) {
-    ssize_t r = ::read(fd, payload->data() + off, len - off);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return -1;
-    }
-    if (r == 0) return -1;
-    off += static_cast<size_t>(r);
-  }
-  return 1;
 }
 
 int Drive(const Workload& workload, const std::string& serve_path,
-          const std::string& serve_args, double pace_ms) {
+          const std::string& serve_args, double pace_ms,
+          const BurstSpec& burst) {
   int to_server[2];
   int from_server[2];
   AQO_CHECK(::pipe(to_server) == 0 && ::pipe(from_server) == 0);
@@ -268,10 +254,7 @@ int Drive(const Workload& workload, const std::string& serve_path,
     for (size_t i = 0; i < workload.frames.size(); ++i) {
       sent[i] = Clock::now();
       if (!WriteFrameFd(to_server[1], workload.frames[i])) break;
-      if (pace_ms > 0) {
-        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-            pace_ms));
-      }
+      PaceAfter(i, burst, pace_ms);
     }
     ::close(to_server[1]);  // EOF → graceful server shutdown
   });
@@ -318,9 +301,10 @@ int Main(int argc, char** argv) {
   Workload workload = BuildWorkload(flags);
   std::string serve_path = flags.GetString("serve");
   double pace_ms = flags.GetDouble("pace-ms", 0.0);
+  BurstSpec burst = ParseBurst(flags.GetString("burst"));
   if (!serve_path.empty()) {
     return Drive(workload, serve_path, flags.GetString("serve-args"),
-                 pace_ms);
+                 pace_ms, burst);
   }
 
   std::string out_path = flags.GetString("out");
@@ -333,12 +317,11 @@ int Main(int argc, char** argv) {
     }
   }
   std::ostream& out = out_path.empty() ? std::cout : file;
-  for (const std::string& frame : workload.frames) {
-    WriteFrame(out, frame);
-    if (pace_ms > 0) {
+  for (size_t i = 0; i < workload.frames.size(); ++i) {
+    WriteFrame(out, workload.frames[i]);
+    if (burst.k > 0 || pace_ms > 0) {
       out.flush();
-      std::this_thread::sleep_for(
-          std::chrono::duration<double, std::milli>(pace_ms));
+      PaceAfter(i, burst, pace_ms);
     }
   }
   out.flush();

@@ -63,11 +63,14 @@
 #include "io/serialization.h"
 #include "obs/histogram.h"
 #include "obs/metrics.h"
+#include "obs/runlog.h"
 #include "qo/adaptive.h"
+#include "qo/overload.h"
 #include "qo/persist.h"
 #include "qo/plan_cache.h"
 #include "qo/service.h"
 #include "util/cancellation.h"
+#include "util/fault_injection.h"
 #include "util/thread_pool.h"
 
 namespace aqo {
@@ -93,6 +96,24 @@ struct ServerConfig {
   int64_t snapshot_every = 0;  // optimize requests between rotations; 0 = off
 };
 
+// Emits one `overload_decision` JSONL record for a shed or degraded
+// request (admits are the common case and stay silent).
+void LogOverloadDecision(const std::string& id, const OverloadDecision& d,
+                         const std::string& requested,
+                         const std::string& effective) {
+  if (obs::RunLog* log = obs::RunLog::Global()) {
+    obs::JsonValue record = obs::JsonValue::Object();
+    record["type"] = "overload_decision";
+    record["id"] = id;
+    record["tier"] = OverloadTierName(d.tier);
+    record["pressure_permille"] = d.pressure_permille;
+    record["optimizer"] = requested;
+    if (d.tier == OverloadTier::kDegrade) record["effective"] = effective;
+    record["reason"] = d.reason;
+    log->Write(record);
+  }
+}
+
 // One optimize request: parses, admits, runs a single-instance batch
 // through the shared cache, formats the response payload. A non-empty
 // `optimizer` (the per-request `optimizer=<name>` header token) overrides
@@ -100,11 +121,16 @@ struct ServerConfig {
 std::string ServeOptimize(const std::string& id, double deadline_ms,
                           const std::string& optimizer,
                           const std::string& body, const ServerConfig& config,
-                          PlanCache* cache, ThreadPool* pool) {
+                          PlanCache* cache, ThreadPool* pool,
+                          LoadGovernor* governor) {
   static obs::Counter& rejects =
       obs::Registry::Get().GetCounter("qo.serve.admission_rejects");
   static obs::Counter& cache_hits =
       obs::Registry::Get().GetCounter("qo.serve.cache_hits");
+  static obs::Counter& shed_counter =
+      obs::Registry::Get().GetCounter("qo.serve.sheds");
+  static obs::Counter& degrade_counter =
+      obs::Registry::Get().GetCounter("qo.serve.degraded");
   std::istringstream in(body);
   std::string family;
   in >> family;
@@ -138,6 +164,30 @@ std::string ServeOptimize(const std::string& id, double deadline_ms,
       }
       options.optimizer = entry->name;
     }
+    bool degraded = false;
+    if (governor != nullptr && governor->armed()) {
+      OptimizerOptions degraded_knobs = options.qon;
+      std::string fallback = DegradeQon(options.optimizer, &degraded_knobs);
+      OverloadDecision d = governor->OnArrival(
+          EstimateQonCostUnits(options.optimizer, options.qon,
+                               inst.NumRelations()),
+          EstimateQonCostUnits(fallback, degraded_knobs,
+                               inst.NumRelations()));
+      if (d.tier == OverloadTier::kShed) {
+        shed_counter.Increment();
+        LogOverloadDecision(id, d, options.optimizer, fallback);
+        out << "err " << id << " shed: " << d.reason;
+        return out.str();
+      }
+      if (d.tier == OverloadTier::kDegrade) {
+        degrade_counter.Increment();
+        LogOverloadDecision(id, d, options.optimizer, fallback);
+        options.optimizer = fallback;
+        options.qon = degraded_knobs;
+        options.qon.pool = pool;
+        degraded = true;
+      }
+    }
     std::vector<QonBatchItem> items = OptimizeQonBatch({inst}, options);
     const QonBatchItem& item = items.front();
     if (item.from_cache) cache_hits.Increment();
@@ -145,6 +195,7 @@ std::string ServeOptimize(const std::string& id, double deadline_ms,
         << " status=" << PlanStatusName(item.result.status)
         << " cost_log2=" << FormatG17(item.result.cost.Log2())
         << " evaluations=" << item.result.evaluations;
+    if (degraded) out << " degraded=1";
     if (item.result.feasible) {
       out << "\nseq";
       for (int v : item.result.sequence) out << " " << v;
@@ -178,6 +229,29 @@ std::string ServeOptimize(const std::string& id, double deadline_ms,
       }
       options.optimizer = entry->name;
     }
+    bool degraded = false;
+    if (governor != nullptr && governor->armed()) {
+      QohOptimizerOptions degraded_knobs = options.qoh;
+      std::string fallback = DegradeQoh(options.optimizer, &degraded_knobs);
+      OverloadDecision d = governor->OnArrival(
+          EstimateQohCostUnits(options.optimizer, options.qoh,
+                               inst.NumRelations()),
+          EstimateQohCostUnits(fallback, degraded_knobs,
+                               inst.NumRelations()));
+      if (d.tier == OverloadTier::kShed) {
+        shed_counter.Increment();
+        LogOverloadDecision(id, d, options.optimizer, fallback);
+        out << "err " << id << " shed: " << d.reason;
+        return out.str();
+      }
+      if (d.tier == OverloadTier::kDegrade) {
+        degrade_counter.Increment();
+        LogOverloadDecision(id, d, options.optimizer, fallback);
+        options.optimizer = fallback;
+        options.qoh = degraded_knobs;
+        degraded = true;
+      }
+    }
     std::vector<QohBatchItem> items = OptimizeQohBatch({inst}, options);
     const QohBatchItem& item = items.front();
     if (item.from_cache) cache_hits.Increment();
@@ -185,6 +259,7 @@ std::string ServeOptimize(const std::string& id, double deadline_ms,
         << " status=" << PlanStatusName(item.result.status)
         << " cost_log2=" << FormatG17(item.result.cost.Log2())
         << " evaluations=" << item.result.evaluations;
+    if (degraded) out << " degraded=1";
     if (item.result.feasible) {
       out << "\nseq";
       for (int v : item.result.sequence) out << " " << v;
@@ -222,6 +297,45 @@ int Main(int argc, char** argv) {
   config.default_deadline_ms = flags.GetDouble("request-deadline-ms", 0.0);
   config.max_n = static_cast<int>(flags.GetInt("max-n", 0));
   config.snapshot_every = flags.GetInt("snapshot-every", 0);
+
+  // Load governor (qo/overload.h): disarmed unless a capacity is set, in
+  // which case shed/degrade decisions are a pure function of the request
+  // stream — two runs over the same stream shed the same requests.
+  OverloadOptions overload;
+  overload.queue_capacity = flags.GetDouble("overload-queue-cap", 0.0);
+  overload.cost_capacity = flags.GetDouble("overload-cost-cap", 0.0);
+  overload.drain_requests = flags.GetDouble("overload-drain-requests", 1.0);
+  overload.drain_cost = flags.GetDouble("overload-drain-cost", 0.0);
+  overload.degrade_threshold = flags.GetDouble("overload-degrade", 0.75);
+  LoadGovernor governor(overload);
+
+  // --fault=<site>@<ordinal>[x<times>] (or <site>@any) arms the
+  // deterministic fault injector for chaos runs (tools/aqo_chaos.cc):
+  // e.g. --fault=persist.append@3 tears the 4th journal append exactly as
+  // tests/persist_crash_test.cc does in-process.
+  std::string fault_spec = flags.GetString("fault");
+  if (!fault_spec.empty()) {
+    size_t at = fault_spec.find('@');
+    if (at == std::string::npos) {
+      std::cerr << "error: --fault expects <site>@<ordinal>[x<times>], got '"
+                << fault_spec << "'\n";
+      return 2;
+    }
+    std::string site = fault_spec.substr(0, at);
+    std::string rest = fault_spec.substr(at + 1);
+    int times = 1;
+    size_t x = rest.find('x');
+    if (x != std::string::npos) {
+      times = std::atoi(rest.c_str() + x + 1);
+      rest = rest.substr(0, x);
+    }
+    uint64_t ordinal = rest == "any"
+                           ? FaultInjector::kAnyOrdinal
+                           : std::strtoull(rest.c_str(), nullptr, 10);
+    FaultInjector::Get().Arm(site, ordinal, times);
+    std::cerr << "aqo_serve: armed fault " << site << "@" << rest
+              << " x" << times << "\n";
+  }
   if (OptimizerRegistry::Qon().Find(config.qon_batch.optimizer) == nullptr) {
     std::cerr << "error: unknown QO_N optimizer '"
               << config.qon_batch.optimizer << "'\n";
@@ -251,6 +365,15 @@ int Main(int argc, char** argv) {
     PersistOptions persist_options;
     persist_options.dir = cache_dir;
     persist_options.fsync = flags.GetInt("fsync", 1) != 0;
+    // Circuit breaker (docs/robustness.md): --persist-breaker=0 restores
+    // the legacy first-failure latch; backoff counts refused writes.
+    persist_options.breaker.enabled =
+        flags.GetInt("persist-breaker", 1) != 0;
+    persist_options.breaker.backoff_base = static_cast<uint64_t>(
+        flags.GetInt("persist-backoff", 8));
+    persist_options.breaker.backoff_max = static_cast<uint64_t>(
+        flags.GetInt("persist-backoff-max", 1024));
+    persist_options.breaker.seed = seed;
     store = std::make_unique<PlanStore>(persist_options);
     ParseResult<RecoveryStats> recovered = store->LoadAndRecover(&cache);
     if (!recovered.ok()) {
@@ -313,14 +436,33 @@ int Main(int argc, char** argv) {
   bool clean = true;
   std::string payload;
   std::string frame_error;
+  // Corruption in the byte stream must not poison the session: the
+  // reader resynchronizes on the next frame whose payload starts with a
+  // known protocol verb, and the skipped garbage is answered with one
+  // `err ?` frame so the client knows bytes were dropped.
+  FrameReader frames(std::cin, [](const std::string& p) {
+    return p.rfind("req ", 0) == 0 || p.rfind("ping ", 0) == 0 ||
+           p.rfind("health ", 0) == 0 || p.rfind("snapshot ", 0) == 0;
+  });
   while (g_stop == 0) {
-    FrameRead read = ReadFrame(std::cin, &payload, &frame_error);
+    FrameRead read = frames.Next(&payload, &frame_error);
     if (read == FrameRead::kEof) break;
     if (read == FrameRead::kError) {
       if (g_stop != 0) break;  // interrupted mid-read by a stop signal
       std::cerr << "error: <stdin>: " << frame_error << "\n";
       clean = false;
       break;
+    }
+    if (frames.resynced()) {
+      static obs::Counter& resyncs =
+          obs::Registry::Get().GetCounter("qo.serve.frame_resyncs");
+      resyncs.Increment();
+      errors.Increment();
+      std::ostringstream garbage;
+      garbage << "err ? parse: resynchronized after "
+              << frames.last_skipped() << " bytes of frame garbage";
+      WriteFrame(std::cout, garbage.str());
+      std::cout.flush();
     }
     obs::ScopedLatencyTimer timer(request_us);
     requests.Increment();
@@ -348,12 +490,48 @@ int Main(int argc, char** argv) {
         }
       }
       response = ServeOptimize(id, deadline_ms, optimizer, body, config,
-                               &cache, &pool);
+                               &cache, &pool, &governor);
       ++served;
       ++since_snapshot;
     } else if (verb == "ping" && !id.empty()) {
-      response = "ok " + id + " pong";
+      // Extended health ping: everything here is a deterministic
+      // function of the request stream (+ fault schedule), so pinged
+      // runs still diff byte-identically.
+      governor.OnControlFrame();
+      std::ostringstream pong;
+      pong << "ok " << id << " pong pressure="
+           << governor.PressurePermille() << " sheds=" << governor.sheds()
+           << " degrades=" << governor.degrades() << " persist="
+           << (store != nullptr ? PersistHealthName(store->health())
+                                : "none")
+           << " feedback=" << (feedback_dir.empty() ? "none" : "attached");
+      response = pong.str();
+    } else if (verb == "health" && !id.empty()) {
+      governor.OnControlFrame();
+      PlanCache::Stats stats = cache.GetStats();
+      std::ostringstream health;
+      health << "ok " << id << " health\n"
+             << "governor armed=" << (governor.armed() ? 1 : 0)
+             << " pressure=" << governor.PressurePermille()
+             << " admits=" << governor.admits()
+             << " degrades=" << governor.degrades()
+             << " sheds=" << governor.sheds() << "\n"
+             << "persist ";
+      if (store != nullptr) {
+        health << PersistHealthName(store->health())
+               << " trips=" << store->breaker_trips()
+               << " probes=" << store->breaker_probes()
+               << " reopens=" << store->breaker_reopens();
+      } else {
+        health << "none";
+      }
+      health << "\ncache entries=" << stats.entries
+             << " bytes=" << stats.bytes << " hits=" << stats.hits
+             << " misses=" << stats.misses << "\nfeedback "
+             << (feedback_dir.empty() ? "none" : "attached");
+      response = health.str();
     } else if (verb == "snapshot" && !id.empty()) {
+      governor.OnControlFrame();
       if (store == nullptr) {
         response = "err " + id + " snapshot: no --cache-dir configured";
       } else if (store->SaveSnapshot(cache)) {
@@ -380,6 +558,20 @@ int Main(int argc, char** argv) {
       std::cerr << "warning: shutdown snapshot failed: " << store->error()
                 << "\n";
     }
+  }
+  if (governor.armed()) {
+    if (obs::RunLog* log = obs::RunLog::Global()) {
+      obs::JsonValue record = obs::JsonValue::Object();
+      record["type"] = "overload_summary";
+      record["admits"] = governor.admits();
+      record["degrades"] = governor.degrades();
+      record["sheds"] = governor.sheds();
+      record["final_pressure_permille"] = governor.PressurePermille();
+      log->Write(record);
+    }
+    std::cerr << "aqo_serve: governor admits=" << governor.admits()
+              << " degrades=" << governor.degrades()
+              << " sheds=" << governor.sheds() << "\n";
   }
   cache.LogStats();
   PlanCache::Stats stats = cache.GetStats();

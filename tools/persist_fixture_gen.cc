@@ -13,13 +13,24 @@
 //   torn_tail.bin        — record #1 cut mid-payload (crash artifact);
 //                          record #0 must still salvage
 //
+// Also emits the fuzz-corpus seed fixtures one level up (fuzz/ and
+// tests/serve_corrupt_frame use them):
+//
+//   feedback_valid.bin   — one canonical EncodeFeedbackPayload record
+//   frames_valid.bin     — three well-formed serve-protocol frames
+//   frames_garbage.bin   — the same frames with raw garbage spliced
+//                          between frames #1 and #2 (resync exercise)
+//
 // Deterministic: same bytes every run. Run from the repo root:
-//   ./build/tools/persist_fixture_gen examples/fixtures/persist
+//   ./build/tools/persist_fixture_gen examples/fixtures/persist [examples/fixtures]
 
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
+#include "io/framing.h"
+#include "qo/adaptive.h"
 #include "qo/persist.h"
 #include "util/log_double.h"
 
@@ -80,6 +91,52 @@ int Main(int argc, char** argv) {
   WriteFixture(dir, "torn_tail.bin",
                valid.substr(0, header.size() + record0.size() + 8 +
                                    (record1.size() - 8) / 2));
+
+  std::string fixtures_root = argc > 2 ? argv[2] : "examples/fixtures";
+
+  FeedbackRecord feedback;
+  feedback.family = AdaptiveFamily::kQon;
+  feedback.optimizer = "greedy";
+  feedback.knob_hash = 0x0123456789abcdefULL;
+  feedback.features.n = 7;
+  feedback.features.edges = 9;
+  feedback.features.edge_density = 0.4285714285714286;
+  feedback.features.log_size_mean = 10.25;
+  feedback.features.log_size_min = 8.0;
+  feedback.features.log_size_max = 12.5;
+  feedback.features.sel_log_mean = -3.5;
+  feedback.features.sel_log_min = -7.0;
+  feedback.features.access_log_mean = 9.5;
+  feedback.features.access_log_max = 11.0;
+  feedback.features.memory_log2 = 20.0;
+  feedback.features.eta = 0.5;
+  feedback.features.wl_class = 42;
+  feedback.feasible = true;
+  feedback.cost_log2 = 33.125;
+  feedback.regret_log2 = 0.5;
+  feedback.evaluations = 49;
+  feedback.status = PlanStatus::kComplete;
+  WriteFixture(fixtures_root, "feedback_valid.bin",
+               EncodeFeedbackPayload(feedback));
+
+  auto framed = [](const std::string& payload) {
+    std::ostringstream os;
+    WriteFrame(os, payload);
+    return os.str();
+  };
+  std::string frame0 = framed(
+      "req r0\nqon 3\nrel 0 4.0\nrel 1 5.0\nrel 2 6.0\n"
+      "edge 0 1 -2.0\nedge 1 2 -1.5\n");
+  std::string frame1 = framed("ping p0");
+  std::string frame2 =
+      framed("req r1\nqon 2\nrel 0 3.0\nrel 1 3.5\nedge 0 1 -1.0\n");
+  WriteFixture(fixtures_root, "frames_valid.bin", frame0 + frame1 + frame2);
+
+  // Garbage spliced after the first frame: bytes keep the high bit set so
+  // no window decodes to a plausible length (io/framing.h resync path).
+  std::string garbage = "\x81\x93\xa7\xbb\xcf\xd3\xe1\xf5\x89";
+  WriteFixture(fixtures_root, "frames_garbage.bin",
+               frame0 + garbage + frame1 + frame2);
   return 0;
 }
 
