@@ -20,6 +20,7 @@
 #include "graph/clique.h"
 #include "graph/generators.h"
 #include "qo/cost_eval.h"
+#include "qo/fast_eval.h"
 #include "qo/optimizers.h"
 #include "qo/qoh.h"
 #include "qo/qon.h"
@@ -209,6 +210,92 @@ void BM_QohSwapIncremental(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_QohSwapIncremental)
+    ->Arg(10)
+    ->Arg(30)
+    ->Arg(100)
+    ->Unit(benchmark::kMicrosecond);
+
+// Neighborhood pricing: all n-1 adjacent transpositions of one sequence.
+// "Exact" pays what a local-search loop pays per candidate — a probe
+// evaluation plus the restore that rebuilds the evaluator's incremental
+// state after the (typical) rejection. "Fast" is one Load plus the
+// batched certified pass. items_processed = candidates, so the reported
+// rate is per-candidate and directly comparable across the two.
+void BM_QonNeighborhoodExact(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  QonInstance inst = MakeQonInstance(n, 42);
+  JoinSequence seq = IdentitySequence(n);
+  Rng rng(7);
+  rng.Shuffle(&seq);
+  QonCostEvaluator eval(inst);
+  eval.Cost(seq);
+  for (auto _ : state) {
+    for (int i = 0; i + 1 < n; ++i) {
+      benchmark::DoNotOptimize(eval.CostAfterSwap(i, i + 1));  // probe
+      benchmark::DoNotOptimize(eval.CostAfterSwap(i, i + 1));  // restore
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * (n - 1));
+}
+BENCHMARK(BM_QonNeighborhoodExact)->Arg(10)->Arg(30)->Arg(100)->Arg(300);
+
+void BM_QonNeighborhoodFast(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  QonInstance inst = MakeQonInstance(n, 42);
+  JoinSequence seq = IdentitySequence(n);
+  Rng rng(7);
+  rng.Shuffle(&seq);
+  QonNeighborhoodEvaluator fast(inst);
+  for (auto _ : state) {
+    fast.Load(seq);
+    benchmark::DoNotOptimize(fast.PriceAdjacentAll());
+  }
+  state.SetItemsProcessed(state.iterations() * (n - 1));
+}
+BENCHMARK(BM_QonNeighborhoodFast)->Arg(10)->Arg(30)->Arg(100)->Arg(300);
+
+void BM_QohNeighborhoodExact(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  QohInstance inst = MakeQohInstance(n, 5);
+  JoinSequence seq = IdentitySequence(n);
+  Rng rng(7);
+  rng.Shuffle(&seq);
+  QohCostEvaluator eval(inst);
+  eval.Evaluate(seq);
+  for (auto _ : state) {
+    for (int i = 0; i + 1 < n; ++i) {
+      size_t a = static_cast<size_t>(i);
+      std::swap(seq[a], seq[a + 1]);
+      benchmark::DoNotOptimize(eval.Evaluate(seq));  // probe
+      std::swap(seq[a], seq[a + 1]);
+      benchmark::DoNotOptimize(eval.Evaluate(seq));  // restore
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * (n - 1));
+}
+BENCHMARK(BM_QohNeighborhoodExact)
+    ->Arg(10)
+    ->Arg(30)
+    ->Arg(100)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_QohNeighborhoodFast(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  QohInstance inst = MakeQohInstance(n, 5);
+  JoinSequence seq = IdentitySequence(n);
+  Rng rng(7);
+  rng.Shuffle(&seq);
+  QohNeighborhoodEvaluator fast(inst);
+  for (auto _ : state) {
+    fast.Load(seq);
+    for (int i = 0; i + 1 < n; ++i) {
+      bool feasible = false;
+      benchmark::DoNotOptimize(fast.PriceSwap(i, i + 1, &feasible));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * (n - 1));
+}
+BENCHMARK(BM_QohNeighborhoodFast)
     ->Arg(10)
     ->Arg(30)
     ->Arg(100)

@@ -30,16 +30,26 @@ QonCostEvaluator::QonCostEvaluator(const QonInstance& inst)
   wt_.resize(n * n);
   selt_.resize(n * n);
   adj_.assign(n * words_, 0);
+  wlog_.assign(n * n, std::numeric_limits<double>::infinity());
+  mslog_.assign(n * n, 0.0);
+  szlog_.resize(n);
   for (int t = 0; t < n_; ++t) {
     sizes_[static_cast<size_t>(t)] = inst.size(t);
+    szlog_[static_cast<size_t>(t)] = inst.size(t).Log2();
     LogDouble* wrow = wt_.data() + static_cast<size_t>(t) * n;
     LogDouble* srow = selt_.data() + static_cast<size_t>(t) * n;
+    double* wlrow = wlog_.data() + static_cast<size_t>(t) * n;
+    double* msrow = mslog_.data() + static_cast<size_t>(t) * n;
     uint64_t* arow = adj_.data() + static_cast<size_t>(t) * words_;
     for (int k = 0; k < n_; ++k) {
-      if (k != t) wrow[static_cast<size_t>(k)] = inst.AccessCost(k, t);
+      if (k != t) {
+        wrow[static_cast<size_t>(k)] = inst.AccessCost(k, t);
+        wlrow[static_cast<size_t>(k)] = inst.AccessCost(k, t).Log2();
+      }
       srow[static_cast<size_t>(k)] = inst.selectivity(k, t);
       if (inst.graph().HasEdge(t, k)) {
         arow[static_cast<size_t>(k >> 6)] |= uint64_t{1} << (k & 63);
+        msrow[static_cast<size_t>(k)] = inst.selectivity(k, t).Log2();
       }
     }
   }
@@ -52,32 +62,36 @@ QonCostEvaluator::QonCostEvaluator(const QonInstance& inst)
 LogDouble QonCostEvaluator::EvaluateFrom(int first) {
   if (n_ == 0) return LogDouble::Zero();
   if (first == 0) prefix_[0] = LogDouble::One();
+  const int* AQO_RESTRICT seq = seq_.data();
   for (int p = first; p < n_; ++p) {
     size_t sp = static_cast<size_t>(p);
-    int v = seq_[sp];
-    size_t sv = static_cast<size_t>(v);
+    size_t sv = static_cast<size_t>(seq[sp]);
     if (p >= 1) {
       // H_p = N(prefix) * min_j AccessCost(seq[j], v), folded in position
       // order starting from position 0 — the QonJoinCosts association.
-      const LogDouble* wrow = wt_.data() + sv * static_cast<size_t>(n_);
-      LogDouble min_w = wrow[static_cast<size_t>(seq_[0])];
+      // Raw log2 fold: MinOf keeps the left operand only when strictly
+      // smaller, and equal log2 values here are bit-identical (no -0.0
+      // sources), so the branch-free min matches LogDouble MinOf exactly.
+      const double* AQO_RESTRICT wrow =
+          wlog_.data() + sv * static_cast<size_t>(n_);
+      double mw = wrow[static_cast<size_t>(seq[0])];
       for (size_t j = 1; j < sp; ++j) {
-        min_w = MinOf(min_w, wrow[static_cast<size_t>(seq_[j])]);
+        double c = wrow[static_cast<size_t>(seq[j])];
+        mw = mw < c ? mw : c;
       }
-      run_cost_[sp] = run_cost_[sp - 1] + prefix_[sp] * min_w;
+      run_cost_[sp] = run_cost_[sp - 1] + prefix_[sp] * LogDouble::FromLog2(mw);
     }
     // N(prefix + v) = N(prefix) * t_v * (selectivities toward the prefix,
-    // in position order) — the PrefixSizes association.
-    LogDouble next = prefix_[sp] * sizes_[sv];
-    const uint64_t* arow = adj_.data() + sv * words_;
-    const LogDouble* srow = selt_.data() + sv * static_cast<size_t>(n_);
+    // in position order) — the PrefixSizes association. mslog_ stores
+    // +0.0 for non-edges, so the fold needs no adjacency branch: adding
+    // +0.0 is exact, keeping the sum bit-identical to the gated product.
+    const double* AQO_RESTRICT srow =
+        mslog_.data() + sv * static_cast<size_t>(n_);
+    double next = prefix_[sp].Log2() + szlog_[sv];
     for (size_t j = 0; j < sp; ++j) {
-      int u = seq_[j];
-      if ((arow[static_cast<size_t>(u >> 6)] >> (u & 63)) & 1) {
-        next *= srow[static_cast<size_t>(u)];
-      }
+      next += srow[static_cast<size_t>(seq[j])];
     }
-    prefix_[sp + 1] = next;
+    prefix_[sp + 1] = LogDouble::FromLog2(next);
   }
   return run_cost_[static_cast<size_t>(n_) - 1];
 }

@@ -120,6 +120,16 @@ class QonCostEvaluator {
   std::vector<LogDouble> wt_;
   std::vector<LogDouble> selt_;
   std::vector<uint64_t> adj_;
+  // Raw log2 mirrors of the rows above, for the EvaluateFrom hot loops:
+  // wlog_[t*n + k] = AccessCost(k, t).Log2() (+inf on the diagonal, never
+  // selected since t is outside its own prefix); mslog_[t*n + k] =
+  // selectivity(k, t).Log2() when (t, k) is a graph edge, else +0.0 so the
+  // fold adds it unconditionally — x + 0.0 is exact, and no log2 value
+  // here is -0.0, so the branch-free sum is bit-identical to the gated
+  // LogDouble product. szlog_[t] = size(t).Log2().
+  std::vector<double> wlog_;
+  std::vector<double> mslog_;
+  std::vector<double> szlog_;
   // Incremental state: last sequence, N(prefix) per position, and the
   // left-to-right running cost sum after each join.
   bool valid_ = false;

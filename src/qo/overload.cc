@@ -118,14 +118,19 @@ std::string DegradeQon(std::string_view optimizer, OptimizerOptions* options) {
     options->samples = std::min(options->samples, 64);
   } else if (optimizer == "ii") {
     options->restarts = std::min(options->restarts, 2);
+    options->eval_tier = EvalTier::kFast;
   } else if (optimizer == "sa") {
     options->sa.restarts = std::min(options->sa.restarts, 1);
     options->sa.iterations = std::min(options->sa.iterations, 2000);
+    options->eval_tier = EvalTier::kFast;
   } else if (optimizer == "genetic") {
     options->ga.population = std::min(options->ga.population, 16);
     options->ga.generations = std::min(options->ga.generations, 16);
+    options->eval_tier = EvalTier::kFast;
   }
-  // greedy / kbz are already the floor.
+  // greedy / kbz are already the floor. The fast tier never changes the
+  // plan — it only cuts exact-evaluation work — so degraded local-search
+  // responses stay bit-identical to undegraded ones with equal knobs.
   return std::string(optimizer);
 }
 
@@ -138,9 +143,11 @@ std::string DegradeQoh(std::string_view optimizer,
     options->samples = std::min(options->samples, 64);
   } else if (optimizer == "ii") {
     options->restarts = std::min(options->restarts, 2);
+    options->eval_tier = EvalTier::kFast;
   } else if (optimizer == "sa") {
     options->sa.restarts = std::min(options->sa.restarts, 1);
     options->sa.iterations = std::min(options->sa.iterations, 1000);
+    options->eval_tier = EvalTier::kFast;
   }
   return std::string(optimizer);
 }

@@ -21,6 +21,7 @@
 #include "qo/adaptive.h"
 #include "qo/analysis.h"
 #include "qo/cost_eval.h"
+#include "qo/fast_eval.h"
 #include "qo/optimizers.h"
 #include "qo/qoh.h"
 #include "qo/registry.h"
@@ -119,6 +120,126 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(4, 7, 10),
                        ::testing::Values(uint64_t{1}, uint64_t{99},
                                          uint64_t{2024})));
+
+// --- fast evaluation tier: certified error bound (qo/fast_eval.h) ---
+
+// The fast tier's contract is an interval argument over the fold length;
+// this sweep is the empirical side: across 1000 seeded instances, every
+// fast price (base cost and every adjacent-swap candidate) lands within
+// EpsLog2() of the exact evaluator.
+TEST(FastEvalCertifiedBound, QonThousandSeedSweep) {
+  for (uint64_t seed = 0; seed < 1000; ++seed) {
+    Rng rng(seed);
+    int n = 2 + static_cast<int>(rng.UniformInt(0, 28));
+    QonInstance inst = RandomQonWorkload(n, &rng);
+    QonCostEvaluator exact(inst);
+    QonNeighborhoodEvaluator fast(inst);
+    double eps = fast.EpsLog2();
+
+    JoinSequence seq = IdentitySequence(n);
+    rng.Shuffle(&seq);
+    LogDouble base = exact.Cost(seq);
+    fast.Load(seq);
+    ASSERT_NEAR(fast.BaseCostLog2(), base.Log2(), eps)
+        << "seed=" << seed << " n=" << n;
+    const double* adjacent = fast.PriceAdjacentAll();
+    for (int i = 0; i + 1 < n; ++i) {
+      LogDouble probe = exact.CostAfterSwap(i, i + 1);
+      exact.CostAfterSwap(i, i + 1);  // restore
+      ASSERT_NEAR(adjacent[i], probe.Log2(), eps)
+          << "seed=" << seed << " n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(FastEvalCertifiedBound, QohThousandSeedSweep) {
+  for (uint64_t seed = 0; seed < 1000; ++seed) {
+    Rng rng(seed);
+    int n = 2 + static_cast<int>(rng.UniformInt(0, 10));
+    QohInstance inst = RandomQohWorkload(n, &rng);
+    QohCostEvaluator exact(inst);
+    QohNeighborhoodEvaluator fast(inst);
+    double eps = fast.EpsLog2();
+
+    JoinSequence seq = IdentitySequence(n);
+    rng.Shuffle(&seq);
+    const QohPlan& base = exact.Evaluate(seq);
+    fast.Load(seq);
+    ASSERT_EQ(fast.BaseFeasible(), base.feasible) << "seed=" << seed;
+    if (base.feasible) {
+      ASSERT_NEAR(fast.BaseCostLog2(), base.cost.Log2(), eps)
+          << "seed=" << seed << " n=" << n;
+    }
+    for (int i = 0; i + 1 < n; ++i) {
+      JoinSequence swapped = seq;
+      std::swap(swapped[static_cast<size_t>(i)],
+                swapped[static_cast<size_t>(i + 1)]);
+      const QohPlan& probe = exact.Evaluate(swapped);
+      bool want_feasible = probe.feasible;
+      double want = probe.feasible ? probe.cost.Log2() : 0.0;
+      exact.Evaluate(seq);  // restore
+      bool feasible = false;
+      double got = fast.PriceSwap(i, i + 1, &feasible);
+      ASSERT_EQ(feasible, want_feasible)
+          << "seed=" << seed << " n=" << n << " i=" << i;
+      if (want_feasible) {
+        ASSERT_NEAR(got, want, eps)
+            << "seed=" << seed << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+// The re-pricing contract the optimizers rely on: rank candidates with
+// the fast tier, exactly re-price only those within 2*eps of the fast
+// minimum, and the resulting argmin (lowest index on exact ties) is the
+// argmin a fully exact pass would pick. Any candidate outside the 2*eps
+// band is certified non-minimal, so skipping its exact evaluation is
+// lossless — even on instances where every swap is exactly cost-neutral.
+TEST(FastEvalCertifiedBound, RepricedArgminMatchesExactArgmin) {
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng(seed);
+    int n = 4 + static_cast<int>(rng.UniformInt(0, 12));
+    QonInstance inst = RandomQonWorkload(n, &rng);
+    QonCostEvaluator exact(inst);
+    QonNeighborhoodEvaluator fast(inst);
+    double eps = fast.EpsLog2();
+
+    JoinSequence seq = IdentitySequence(n);
+    rng.Shuffle(&seq);
+    exact.Cost(seq);
+    fast.Load(seq);
+    const double* prices = fast.PriceAdjacentAll();
+
+    double fast_min = prices[0];
+    for (int i = 1; i + 1 < n; ++i) fast_min = std::min(fast_min, prices[i]);
+
+    int repriced_argmin = -1;
+    LogDouble repriced_best;
+    for (int i = 0; i + 1 < n; ++i) {
+      if (prices[i] > fast_min + 2.0 * eps) continue;  // certified non-min
+      LogDouble cost = exact.CostAfterSwap(i, i + 1);
+      exact.CostAfterSwap(i, i + 1);  // restore
+      if (repriced_argmin < 0 || cost < repriced_best) {
+        repriced_best = cost;
+        repriced_argmin = i;
+      }
+    }
+
+    int exact_argmin = -1;
+    LogDouble exact_best;
+    for (int i = 0; i + 1 < n; ++i) {
+      LogDouble cost = exact.CostAfterSwap(i, i + 1);
+      exact.CostAfterSwap(i, i + 1);  // restore
+      if (exact_argmin < 0 || cost < exact_best) {
+        exact_best = cost;
+        exact_argmin = i;
+      }
+    }
+    ASSERT_EQ(repriced_argmin, exact_argmin) << "seed=" << seed << " n=" << n;
+    ASSERT_EQ(repriced_best.Log2(), exact_best.Log2()) << "seed=" << seed;
+  }
+}
 
 // --- f_N gap soundness across parameterizations ---
 

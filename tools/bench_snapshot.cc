@@ -8,7 +8,14 @@
 //
 //   cmake -S . -B build-release -DCMAKE_BUILD_TYPE=Release
 //   cmake --build build-release -j --target bench_snapshot
-//   ./build-release/tools/bench_snapshot --out=BENCH_COST_EVAL.json
+//   ./build-release/tools/bench_snapshot
+//       --out=BENCH_COST_EVAL.json --fast-out=BENCH_FAST_EVAL.json
+// (one invocation with both flags on the command line)
+//
+// One run emits both snapshots: the incremental-vs-naive comparison
+// (BENCH_COST_EVAL.json) and the certified fast tier vs exact
+// neighborhood pricing (BENCH_FAST_EVAL.json, which also records whether
+// the fast tier ran its SIMD or scalar kernels).
 //
 // Workloads are fully seeded (instances, start sequences, and the swap
 // schedule), so reruns on the same machine are directly comparable; only
@@ -27,6 +34,7 @@
 
 #include "graph/generators.h"
 #include "qo/cost_eval.h"
+#include "qo/fast_eval.h"
 #include "qo/qoh.h"
 #include "qo/qon.h"
 #include "util/random.h"
@@ -104,6 +112,12 @@ struct Row {
 
 // Accumulates costs so the optimizer cannot discard the evaluations.
 LogDouble g_sink;
+
+// Leaks a pointer to `p` into an empty asm so the compiler must assume the
+// object is read and written externally. GCC 12's -O3 IPA otherwise decides
+// an internal-linkage accumulator like g_sink is effectively constant and
+// places it in .rodata — while still emitting stores to it, which fault.
+void EscapeSink(void* p) { asm volatile("" : : "r"(p) : "memory"); }
 
 Row MeasureQonFull(int n, double min_seconds) {
   QonInstance inst = MakeQonInstance(n, 42);
@@ -189,50 +203,145 @@ Row MeasureQohSwap(int n, double min_seconds) {
   return {"qoh", "swap", n, naive, fast};
 }
 
-int Main(int argc, char** argv) {
-  std::string out = "BENCH_COST_EVAL.json";
-  double min_seconds = 0.2;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--out=", 6) == 0) {
-      out = argv[i] + 6;
-    } else if (std::strncmp(argv[i], "--min-seconds=", 14) == 0) {
-      min_seconds = std::atof(argv[i] + 14);
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--out=FILE] [--min-seconds=S]\n", argv[0]);
-      return 2;
+// Double sink for the raw log2 prices of the fast tier.
+double g_fast_sink;
+
+// Neighborhood pricing: all n-1 adjacent transpositions of one sequence,
+// reported per candidate. "Exact" pays a CostAfterSwap probe plus the
+// restore that rebuilds the incremental state after the (typical)
+// rejection; "fast" is one Load plus the batched certified pass.
+Row MeasureQonNeighborhood(int n, double min_seconds) {
+  QonInstance inst = MakeQonInstance(n, 42);
+  JoinSequence seq = IdentitySequence(n);
+  Rng rng(7);
+  rng.Shuffle(&seq);
+  double candidates = static_cast<double>(n - 1);
+
+  QonCostEvaluator eval(inst);
+  eval.Cost(seq);
+  double exact = TimeNs(4, min_seconds, [&](long) {
+    for (int i = 0; i + 1 < n; ++i) {
+      g_sink += eval.CostAfterSwap(i, i + 1);  // probe
+      g_sink += eval.CostAfterSwap(i, i + 1);  // restore
     }
-  }
+  }) / candidates;
 
-  std::vector<Row> rows;
-  for (int n : kSizes) {
-    rows.push_back(MeasureQonFull(n, min_seconds));
-    rows.push_back(MeasureQonSwap(n, min_seconds));
-    rows.push_back(MeasureQohFull(n, min_seconds));
-    rows.push_back(MeasureQohSwap(n, min_seconds));
-  }
+  QonNeighborhoodEvaluator fast_eval(inst);
+  double fast = TimeNs(4, min_seconds, [&](long) {
+    fast_eval.Load(seq);
+    const double* prices = fast_eval.PriceAdjacentAll();
+    g_fast_sink += prices[0];
+  }) / candidates;
+  return {"qon", "neighborhood", n, exact, fast};
+}
 
+Row MeasureQohNeighborhood(int n, double min_seconds) {
+  QohInstance inst = MakeQohInstance(n, 5);
+  JoinSequence seq = IdentitySequence(n);
+  Rng rng(7);
+  rng.Shuffle(&seq);
+  double candidates = static_cast<double>(n - 1);
+
+  QohCostEvaluator eval(inst);
+  eval.Evaluate(seq);
+  double exact = TimeNs(4, min_seconds, [&](long) {
+    for (int i = 0; i + 1 < n; ++i) {
+      size_t a = static_cast<size_t>(i);
+      std::swap(seq[a], seq[a + 1]);
+      g_sink += eval.Evaluate(seq).cost;  // probe
+      std::swap(seq[a], seq[a + 1]);
+      g_sink += eval.Evaluate(seq).cost;  // restore
+    }
+  }) / candidates;
+
+  QohNeighborhoodEvaluator fast_eval(inst);
+  double fast = TimeNs(4, min_seconds, [&](long) {
+    fast_eval.Load(seq);
+    for (int i = 0; i + 1 < n; ++i) {
+      bool feasible = false;
+      g_fast_sink += fast_eval.PriceSwap(i, i + 1, &feasible);
+    }
+  }) / candidates;
+  return {"qoh", "neighborhood", n, exact, fast};
+}
+
+// Writes one snapshot file. `baseline_key`/`eval_key` name the two timing
+// columns ("naive"/"eval" for the cost-eval snapshot, "exact"/"fast" for
+// the fast-eval one), and `extra` is injected verbatim after the unit
+// field (used for the SIMD-path marker).
+int WriteSnapshot(const std::string& out, const char* benchmark,
+                  const char* unit, const char* extra,
+                  const char* baseline_key, const char* eval_key,
+                  const std::vector<Row>& rows) {
   std::FILE* f = std::fopen(out.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", out.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"benchmark\": \"cost_eval\",\n");
-  std::fprintf(f, "  \"unit\": \"ns_per_evaluation\",\n  \"rows\": [\n");
+  std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n", benchmark);
+  std::fprintf(f, "  \"unit\": \"%s\",\n%s  \"rows\": [\n", unit, extra);
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(f,
                  "    {\"family\": \"%s\", \"workload\": \"%s\", \"n\": %d, "
-                 "\"naive_ns\": %.1f, \"eval_ns\": %.1f, "
+                 "\"%s_ns\": %.1f, \"%s_ns\": %.1f, "
                  "\"speedup\": %.2f}%s\n",
-                 r.family, r.workload, r.n, r.naive_ns, r.eval_ns, r.speedup(),
+                 r.family, r.workload, r.n, baseline_key, r.naive_ns,
+                 eval_key, r.eval_ns, r.speedup(),
                  i + 1 < rows.size() ? "," : "");
-    std::printf("%-4s %-5s n=%-4d naive=%10.1f ns  eval=%10.1f ns  %6.2fx\n",
-                r.family, r.workload, r.n, r.naive_ns, r.eval_ns, r.speedup());
+    std::printf("%-4s %-12s n=%-4d %s=%10.1f ns  %s=%10.1f ns  %6.2fx\n",
+                r.family, r.workload, r.n, baseline_key, r.naive_ns,
+                eval_key, r.eval_ns, r.speedup());
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
-  std::printf("wrote %s (sink=%g)\n", out.c_str(), g_sink.Log2());
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  EscapeSink(&g_sink);
+  EscapeSink(&g_fast_sink);
+  std::string out = "BENCH_COST_EVAL.json";
+  std::string fast_out = "BENCH_FAST_EVAL.json";
+  double min_seconds = 0.2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--fast-out=", 11) == 0) {
+      fast_out = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--min-seconds=", 14) == 0) {
+      min_seconds = std::atof(argv[i] + 14);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--out=FILE] [--fast-out=FILE]"
+                   " [--min-seconds=S]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<Row> rows;
+  std::vector<Row> fast_rows;
+  for (int n : kSizes) {
+    rows.push_back(MeasureQonFull(n, min_seconds));
+    rows.push_back(MeasureQonSwap(n, min_seconds));
+    rows.push_back(MeasureQohFull(n, min_seconds));
+    rows.push_back(MeasureQohSwap(n, min_seconds));
+    fast_rows.push_back(MeasureQonNeighborhood(n, min_seconds));
+    fast_rows.push_back(MeasureQohNeighborhood(n, min_seconds));
+  }
+
+  int rc = WriteSnapshot(out, "cost_eval", "ns_per_evaluation", "",
+                         "naive", "eval", rows);
+  if (rc != 0) return rc;
+  std::string simd_field =
+      std::string("  \"simd\": \"") + fast_eval_internal::SimdPath() +
+      "\",\n";
+  rc = WriteSnapshot(fast_out, "fast_eval", "ns_per_candidate",
+                     simd_field.c_str(), "exact", "fast", fast_rows);
+  if (rc != 0) return rc;
+  std::printf("(sink=%g fast_sink=%g)\n", g_sink.Log2(), g_fast_sink);
   return 0;
 }
 
